@@ -1,0 +1,364 @@
+//! Closed-form queueing theory: the pen-and-paper baseline.
+//!
+//! BigHouse exists because "easily-analyzed queuing models (e.g., M/M/1)
+//! often poorly represent internet services" and the realistic G/G/k
+//! models "have no known closed-form solution" (§1 of the paper). The
+//! closed forms that *do* exist remain invaluable — as ground truth for
+//! validating the simulator (see `tests/queueing_theory.rs` at the
+//! workspace root), and as the strawman whose errors Figure 5 quantifies.
+//! This crate implements them:
+//!
+//! - [`mm1`]: the M/M/1 queue (exact, including response-time quantiles),
+//! - [`mmk`]: the M/M/k queue via the [`erlang_c`] delay formula,
+//! - [`mg1`]: the M/G/1 queue via Pollaczek–Khinchine,
+//! - [`erlang_b`]/[`erlang_c`]: the Erlang blocking and delay formulas,
+//! - [`kingman`]: Kingman's G/G/1 heavy-traffic waiting-time
+//!   approximation — the "two-moment approximation" whose inadequacy
+//!   (Gupta et al., the paper's ref. 18) motivates simulation.
+//!
+//! All functions take rates/moments in consistent units and return times
+//! in those units.
+//!
+//! # Examples
+//!
+//! ```
+//! use bighouse_analytic::{mm1, mg1};
+//!
+//! // An M/M/1 queue at 80% load with 10 ms mean service:
+//! let t = mm1::mean_response(80.0, 100.0);
+//! assert!((t - 0.05).abs() < 1e-12); // 1/(µ−λ) = 50 ms
+//!
+//! // Deterministic service halves the waiting time (P–K with Cv = 0):
+//! let w_md1 = mg1::mean_waiting(80.0, 0.01, 0.0);
+//! let w_mm1 = mg1::mean_waiting(80.0, 0.01, 1.0);
+//! assert!((w_md1 / w_mm1 - 0.5).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+/// Validates a (λ, µ, servers) triple describes a stable queue; returns ρ.
+fn stable_rho(lambda: f64, mu: f64, servers: u32) -> f64 {
+    assert!(
+        lambda.is_finite() && lambda > 0.0,
+        "arrival rate must be finite and positive, got {lambda}"
+    );
+    assert!(
+        mu.is_finite() && mu > 0.0,
+        "service rate must be finite and positive, got {mu}"
+    );
+    assert!(servers > 0, "need at least one server");
+    let rho = lambda / (mu * f64::from(servers));
+    assert!(
+        rho < 1.0,
+        "queue is unstable: rho = {rho} (lambda {lambda}, mu {mu}, k {servers})"
+    );
+    rho
+}
+
+/// The Erlang-B blocking probability for an M/M/k/k loss system with
+/// offered load `a = λ/µ` Erlangs and `k` servers.
+///
+/// Computed with the numerically stable recurrence
+/// `B(0) = 1; B(j) = a·B(j−1) / (j + a·B(j−1))`.
+///
+/// # Panics
+///
+/// Panics if `a` is not positive and finite or `k` is zero.
+///
+/// # Examples
+///
+/// ```
+/// // 10 Erlangs offered to 10 circuits: ~21.5% blocking.
+/// let b = bighouse_analytic::erlang_b(10.0, 10);
+/// assert!((b - 0.2146).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn erlang_b(a: f64, k: u32) -> f64 {
+    assert!(a.is_finite() && a > 0.0, "offered load must be positive, got {a}");
+    assert!(k > 0, "need at least one server");
+    let mut b = 1.0;
+    for j in 1..=k {
+        b = a * b / (f64::from(j) + a * b);
+    }
+    b
+}
+
+/// The Erlang-C probability that an arrival must wait in an M/M/k queue
+/// with offered load `a = λ/µ < k`.
+///
+/// Derived from Erlang-B: `C = k·B / (k − a(1 − B))`.
+///
+/// # Panics
+///
+/// Panics if `a` is not in `(0, k)` or `k` is zero.
+///
+/// # Examples
+///
+/// ```
+/// // Heavily loaded single server: P(wait) = rho.
+/// let c = bighouse_analytic::erlang_c(0.8, 1);
+/// assert!((c - 0.8).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn erlang_c(a: f64, k: u32) -> f64 {
+    assert!(
+        a.is_finite() && a > 0.0 && a < f64::from(k),
+        "offered load must be in (0, k), got {a} for k = {k}"
+    );
+    let b = erlang_b(a, k);
+    f64::from(k) * b / (f64::from(k) - a * (1.0 - b))
+}
+
+/// The M/M/1 queue.
+pub mod mm1 {
+    use super::stable_rho;
+
+    /// Mean response (sojourn) time: `1 / (µ − λ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive rates or an unstable queue.
+    #[must_use]
+    pub fn mean_response(lambda: f64, mu: f64) -> f64 {
+        let _ = stable_rho(lambda, mu, 1);
+        1.0 / (mu - lambda)
+    }
+
+    /// Mean waiting (queueing) time: `ρ / (µ − λ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive rates or an unstable queue.
+    #[must_use]
+    pub fn mean_waiting(lambda: f64, mu: f64) -> f64 {
+        let rho = stable_rho(lambda, mu, 1);
+        rho / (mu - lambda)
+    }
+
+    /// Mean number of jobs in the system: `ρ / (1 − ρ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive rates or an unstable queue.
+    #[must_use]
+    pub fn mean_jobs(lambda: f64, mu: f64) -> f64 {
+        let rho = stable_rho(lambda, mu, 1);
+        rho / (1.0 - rho)
+    }
+
+    /// The `q`-quantile of response time (response is exponential with
+    /// rate `µ − λ`): `−ln(1 − q) / (µ − λ)`.
+    ///
+    /// This exact tail is what Figures 4–5 estimate by simulation for
+    /// non-exponential inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics for invalid rates, instability, or `q` outside `(0, 1)`.
+    #[must_use]
+    pub fn response_quantile(lambda: f64, mu: f64, q: f64) -> f64 {
+        let _ = stable_rho(lambda, mu, 1);
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1), got {q}");
+        -(1.0 - q).ln() / (mu - lambda)
+    }
+}
+
+/// The M/M/k queue.
+pub mod mmk {
+    use super::{erlang_c, stable_rho};
+
+    /// Mean waiting time: `C(k, a) / (kµ − λ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive rates or an unstable queue.
+    #[must_use]
+    pub fn mean_waiting(lambda: f64, mu: f64, k: u32) -> f64 {
+        let _ = stable_rho(lambda, mu, k);
+        let a = lambda / mu;
+        erlang_c(a, k) / (f64::from(k) * mu - lambda)
+    }
+
+    /// Mean response time: `1/µ + W`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive rates or an unstable queue.
+    #[must_use]
+    pub fn mean_response(lambda: f64, mu: f64, k: u32) -> f64 {
+        1.0 / mu + mean_waiting(lambda, mu, k)
+    }
+
+    /// Probability an arriving job waits (Erlang-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive rates or an unstable queue.
+    #[must_use]
+    pub fn delay_probability(lambda: f64, mu: f64, k: u32) -> f64 {
+        let _ = stable_rho(lambda, mu, k);
+        erlang_c(lambda / mu, k)
+    }
+}
+
+/// The M/G/1 queue (Pollaczek–Khinchine).
+pub mod mg1 {
+    /// Mean waiting time for service with mean `mean_service` and
+    /// coefficient of variation `cv`:
+    /// `W = λ·E[S²] / (2(1−ρ))` with `E[S²] = E[S]²(1 + C_v²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for invalid parameters or an unstable queue.
+    #[must_use]
+    pub fn mean_waiting(lambda: f64, mean_service: f64, cv: f64) -> f64 {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "arrival rate must be positive, got {lambda}"
+        );
+        assert!(
+            mean_service.is_finite() && mean_service > 0.0,
+            "mean service must be positive, got {mean_service}"
+        );
+        assert!(cv.is_finite() && cv >= 0.0, "Cv must be non-negative, got {cv}");
+        let rho = lambda * mean_service;
+        assert!(rho < 1.0, "queue is unstable: rho = {rho}");
+        let second_moment = mean_service * mean_service * (1.0 + cv * cv);
+        lambda * second_moment / (2.0 * (1.0 - rho))
+    }
+
+    /// Mean response time: `E[S] + W`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for invalid parameters or an unstable queue.
+    #[must_use]
+    pub fn mean_response(lambda: f64, mean_service: f64, cv: f64) -> f64 {
+        mean_service + mean_waiting(lambda, mean_service, cv)
+    }
+}
+
+/// Kingman's G/G/1 heavy-traffic approximation.
+pub mod kingman {
+    /// Approximate mean waiting time:
+    /// `W ≈ (ρ/(1−ρ)) · ((C_a² + C_s²)/2) · E[S]`.
+    ///
+    /// This is the classic "two moments of inter-arrival and service"
+    /// formula; the paper's ref. 18 shows two moments are *not enough*
+    /// for accurate G/G/k analysis — which is why BigHouse simulates
+    /// empirical distributions instead. Exact for M/M/1; an approximation
+    /// elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics for invalid parameters or an unstable queue.
+    #[must_use]
+    pub fn mean_waiting(lambda: f64, mean_service: f64, ca: f64, cs: f64) -> f64 {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "arrival rate must be positive, got {lambda}"
+        );
+        assert!(
+            mean_service.is_finite() && mean_service > 0.0,
+            "mean service must be positive, got {mean_service}"
+        );
+        assert!(ca.is_finite() && ca >= 0.0, "Ca must be non-negative");
+        assert!(cs.is_finite() && cs >= 0.0, "Cs must be non-negative");
+        let rho = lambda * mean_service;
+        assert!(rho < 1.0, "queue is unstable: rho = {rho}");
+        rho / (1.0 - rho) * (ca * ca + cs * cs) / 2.0 * mean_service
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_b_reference_values() {
+        // Classic traffic-engineering table values.
+        assert!((erlang_b(1.0, 1) - 0.5).abs() < 1e-12);
+        assert!((erlang_b(10.0, 10) - 0.214_616).abs() < 1e-4);
+        assert!((erlang_b(5.0, 10) - 0.018_385).abs() < 1e-4);
+    }
+
+    #[test]
+    fn erlang_c_single_server_is_rho() {
+        for rho in [0.1, 0.5, 0.9] {
+            assert!((erlang_c(rho, 1) - rho).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erlang_c_exceeds_erlang_b() {
+        // Queued systems delay more often than loss systems block.
+        for k in [2u32, 4, 16] {
+            let a = f64::from(k) * 0.8;
+            assert!(erlang_c(a, k) > erlang_b(a, k));
+        }
+    }
+
+    #[test]
+    fn mm1_relations() {
+        let (lambda, mu) = (8.0, 10.0);
+        assert!((mm1::mean_response(lambda, mu) - 0.5).abs() < 1e-12);
+        assert!((mm1::mean_waiting(lambda, mu) - 0.4).abs() < 1e-12);
+        // Little's law: L = λT.
+        assert!((mm1::mean_jobs(lambda, mu) - lambda * mm1::mean_response(lambda, mu)).abs() < 1e-12);
+        // Median < mean for the exponential response.
+        assert!(mm1::response_quantile(lambda, mu, 0.5) < mm1::mean_response(lambda, mu));
+        // p95 = -ln(0.05)/(µ-λ) ≈ 1.498.
+        assert!((mm1::response_quantile(lambda, mu, 0.95) - 1.4979).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mmk_reduces_to_mm1() {
+        let (lambda, mu) = (0.7, 1.0);
+        assert!((mmk::mean_response(lambda, mu, 1) - mm1::mean_response(lambda, mu)).abs() < 1e-12);
+        assert!((mmk::mean_waiting(lambda, mu, 1) - mm1::mean_waiting(lambda, mu)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmk_pooling_beats_mm1_at_same_rho() {
+        // k pooled servers outperform one server at the same utilization.
+        let mu = 1.0;
+        let t1 = mm1::mean_response(0.8, mu);
+        let t4 = mmk::mean_response(3.2, mu, 4);
+        assert!(t4 < t1, "pooling should reduce response: {t4} vs {t1}");
+    }
+
+    #[test]
+    fn mg1_reduces_to_mm1_at_cv_one() {
+        let (lambda, mu) = (6.0, 10.0);
+        let pk = mg1::mean_response(lambda, 1.0 / mu, 1.0);
+        assert!((pk - mm1::mean_response(lambda, mu)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mg1_waiting_scales_with_one_plus_cv_squared() {
+        let w0 = mg1::mean_waiting(5.0, 0.1, 0.0);
+        let w2 = mg1::mean_waiting(5.0, 0.1, 2.0);
+        assert!((w2 / w0 - 5.0).abs() < 1e-12); // (1+4)/(1+0)
+    }
+
+    #[test]
+    fn kingman_exact_for_mm1() {
+        let (lambda, mean_s) = (7.0, 0.1);
+        let kng = kingman::mean_waiting(lambda, mean_s, 1.0, 1.0);
+        let exact = mm1::mean_waiting(lambda, 1.0 / mean_s);
+        assert!((kng - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn unstable_queue_rejected() {
+        let _ = mm1::mean_response(10.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, k)")]
+    fn erlang_c_rejects_saturation() {
+        let _ = erlang_c(4.0, 4);
+    }
+}

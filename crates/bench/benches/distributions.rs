@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks for distribution sampling: the innermost
+//! loop of synthetic event-trace generation (§2.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bighouse::prelude::*;
+
+fn bench_dist(c: &mut Criterion, name: &str, dist: &dyn Distribution) {
+    c.bench_function(&format!("sample_10k/{name}"), |b| {
+        let mut rng = SimRng::from_seed(7);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += dist.sample(&mut rng);
+            }
+            acc
+        })
+    });
+}
+
+fn sampling(c: &mut Criterion) {
+    bench_dist(c, "exponential", &Exponential::new(1.0).unwrap());
+    bench_dist(c, "erlang_16", &Erlang::new(16, 16.0).unwrap());
+    bench_dist(c, "gamma_0.5", &Gamma::new(0.5, 2.0).unwrap());
+    bench_dist(c, "lognormal", &LogNormal::from_mean_cv(1.0, 2.0).unwrap());
+    bench_dist(c, "weibull", &Weibull::new(1.5, 1.0).unwrap());
+    bench_dist(
+        c,
+        "hyperexponential",
+        &HyperExponential::from_mean_cv(1.0, 4.0).unwrap(),
+    );
+    bench_dist(c, "pareto", &Pareto::new(1.0, 3.0).unwrap());
+
+    let mut rng = SimRng::from_seed(9);
+    let exp = Exponential::new(1.0).unwrap();
+    let samples: Vec<f64> = (0..100_000).map(|_| exp.sample(&mut rng)).collect();
+    let empirical = Empirical::from_samples(&samples).unwrap();
+    bench_dist(c, "empirical_1024pt", &empirical);
+}
+
+fn construction(c: &mut Criterion) {
+    let mut rng = SimRng::from_seed(11);
+    let exp = Exponential::new(1.0).unwrap();
+    let samples: Vec<f64> = (0..100_000).map(|_| exp.sample(&mut rng)).collect();
+    c.bench_function("empirical/from_samples_100k", |b| {
+        b.iter(|| Empirical::from_samples(&samples).unwrap())
+    });
+}
+
+criterion_group!(benches, sampling, construction);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks for the statistics package: histogram
+//! insertion/merge, the runs-up test, and the per-observation cost of the
+//! full metric phase machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bighouse::prelude::*;
+use bighouse::stats::{find_lag, math};
+
+fn pseudo_stream(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SimRng::from_seed(seed);
+    (0..n).map(|_| rng.open01()).collect()
+}
+
+fn histogram_ops(c: &mut Criterion) {
+    let data = pseudo_stream(100_000, 1);
+    c.bench_function("histogram/record_100k", |b| {
+        b.iter(|| {
+            let spec = HistogramSpec::new(0.0, 0.001, 1000).unwrap();
+            let mut hist = Histogram::new(spec);
+            for &x in &data {
+                hist.record(x);
+            }
+            hist.quantile(0.95)
+        })
+    });
+
+    let spec = HistogramSpec::new(0.0, 0.001, 1000).unwrap();
+    let mut a = Histogram::new(spec);
+    let mut b_hist = Histogram::new(spec);
+    for (i, &x) in data.iter().enumerate() {
+        if i % 2 == 0 {
+            a.record(x);
+        } else {
+            b_hist.record(x);
+        }
+    }
+    c.bench_function("histogram/merge_1000_bins", |b| {
+        b.iter(|| {
+            let mut merged = a.clone();
+            merged.merge(&b_hist);
+            merged.count()
+        })
+    });
+}
+
+fn runs_up(c: &mut Criterion) {
+    let data = pseudo_stream(5000, 2);
+    let test = RunsUpTest::default();
+    c.bench_function("runs_up/statistic_5000", |b| {
+        b.iter(|| test.statistic(&data))
+    });
+    c.bench_function("runs_up/find_lag_5000", |b| {
+        b.iter(|| find_lag(&data, 32, &test))
+    });
+}
+
+fn metric_pipeline(c: &mut Criterion) {
+    let data = pseudo_stream(50_000, 3);
+    c.bench_function("metric/record_50k_through_phases", |b| {
+        b.iter(|| {
+            let spec = MetricSpec::new("bench")
+                .with_warmup(1000)
+                .with_calibration(5000);
+            let mut metric = OutputMetric::new(spec);
+            for &x in &data {
+                metric.record(x);
+            }
+            metric.kept_count()
+        })
+    });
+}
+
+fn special_functions(c: &mut Criterion) {
+    c.bench_function("math/normal_inverse_cdf", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..1000 {
+                acc += math::normal_inverse_cdf(i as f64 / 1000.0);
+            }
+            acc
+        })
+    });
+    c.bench_function("math/chi_square_inverse_cdf", |b| {
+        b.iter(|| math::chi_square_inverse_cdf(6, 0.975))
+    });
+}
+
+criterion_group!(benches, histogram_ops, runs_up, metric_pipeline, special_functions);
+criterion_main!(benches);

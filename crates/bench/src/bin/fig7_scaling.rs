@@ -1,0 +1,76 @@
+//! Regenerates **Figure 7**: simulation time scaling — wall-clock time to
+//! convergence vs the number of simulated servers (10 → 10,000) for the
+//! DNS, Mail, Shell, and Web workloads, on the §4.1 power-capping cluster.
+//!
+//! The mechanism behind the paper's linear scaling: the required *sample
+//! size* barely changes with cluster size, but the epoch-paced capping
+//! metric pins the simulated duration, so the number of task events the
+//! engine must process grows proportionally with the server count.
+//!
+//! Run with: `cargo run --release -p bighouse-bench --bin fig7_scaling`
+//! Optional: `max_servers=10000 load=0.3 budget=0.7 seed=17`
+//! (default max_servers=1000; the 10,000-server points take minutes each)
+
+use bighouse::prelude::*;
+use bighouse_bench::{arg_or, capping_cluster, fmt_duration, timed};
+
+fn main() {
+    let max_servers: usize = arg_or("max_servers", 1000);
+    let load: f64 = arg_or("load", 0.3);
+    let budget: f64 = arg_or("budget", 0.7);
+    let seed: u64 = arg_or("seed", 17);
+
+    let mut sizes = vec![10usize, 100, 1000, 10_000];
+    sizes.retain(|&n| n <= max_servers);
+
+    println!(
+        "Figure 7: time to convergence vs cluster size (power capping, {:.0}% load)",
+        load * 100.0
+    );
+    println!();
+    println!(
+        "{:>8} {:>10} {:>14} {:>14} {:>12} {:>10}",
+        "wkld", "servers", "wall time", "events", "events/s", "converged"
+    );
+
+    for which in [
+        StandardWorkload::Dns,
+        StandardWorkload::Mail,
+        StandardWorkload::Shell,
+        StandardWorkload::Web,
+    ] {
+        let workload = Workload::standard(which);
+        for &servers in &sizes {
+            let config = capping_cluster(&workload, servers, load, budget)
+                .with_target_accuracy(0.05)
+                // The epoch-paced metric that pins simulated duration. Its
+                // targets are loosened so each point completes in minutes
+                // on one host (the paper's absolute times came from their
+                // Java engine; the scaling *shape* is the claim).
+                .with_metric_spec(
+                    MetricKind::CappingLevel,
+                    MetricSpec::new("capping_level")
+                        .with_target_accuracy(0.15)
+                        .with_warmup(200)
+                        .with_calibration(500)
+                        .with_max_lag(8),
+                )
+                .with_max_events(4_000_000_000);
+            let (report, wall) = timed(|| run_serial(&config, seed));
+            println!(
+                "{:>8} {:>10} {:>14} {:>14} {:>12.0} {:>10}",
+                which.name(),
+                servers,
+                fmt_duration(wall),
+                report.events_fired,
+                report.events_per_second(),
+                report.converged,
+            );
+        }
+        println!();
+    }
+
+    println!("Expected shape (paper): wall time grows roughly linearly with the number");
+    println!("of servers (one order of magnitude per decade of servers), with the");
+    println!("workload shifting the curve but not its slope.");
+}

@@ -1,0 +1,116 @@
+//! Shared helpers for the BigHouse figure/table regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's experiment index); this library holds the small
+//! amount of shared scaffolding: wall-clock timing, duration formatting
+//! matching the paper's second/minute/hour axes, and the standard
+//! power-capping cluster configuration of §4.1.
+
+use std::time::Instant;
+
+use bighouse::prelude::*;
+
+/// Runs `f`, returning its result and the elapsed wall-clock seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64())
+}
+
+/// Formats a duration the way the paper's log axes read: seconds, minutes,
+/// or hours.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(bighouse_bench::fmt_duration(0.5), "0.50 s");
+/// assert_eq!(bighouse_bench::fmt_duration(90.0), "1.50 min");
+/// assert_eq!(bighouse_bench::fmt_duration(7200.0), "2.00 h");
+/// ```
+#[must_use]
+pub fn fmt_duration(seconds: f64) -> String {
+    if seconds < 60.0 {
+        format!("{seconds:.2} s")
+    } else if seconds < 3600.0 {
+        format!("{:.2} min", seconds / 60.0)
+    } else {
+        format!("{:.2} h", seconds / 3600.0)
+    }
+}
+
+/// The §4.1 power-capping cluster: quad-core servers with the typical
+/// 200 W / 100 W linear power model, idealized DVFS with α = 0.9, and a
+/// proportional-budget capper provisioned at `budget_fraction` of the
+/// cluster's peak.
+#[must_use]
+pub fn capping_cluster(
+    workload: &Workload,
+    servers: usize,
+    utilization: f64,
+    budget_fraction: f64,
+) -> ExperimentConfig {
+    let model = LinearPowerModel::typical_server();
+    let capper = PowerCapper::new(
+        model,
+        DvfsModel::new(0.9),
+        model.peak_watts() * servers as f64 * budget_fraction,
+    );
+    ExperimentConfig::new(workload.at_utilization(utilization, 4))
+        .with_servers(servers)
+        .with_cores(4)
+        .with_capper(capper)
+}
+
+/// Parses a `--flag value`-style positional argument list of the form
+/// `key=value`, returning the parsed value of `key` or `default`.
+///
+/// All figure binaries accept overrides this way, e.g.
+/// `cargo run --bin fig7_scaling -- max_servers=1000`.
+#[must_use]
+pub fn arg_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    for arg in std::env::args().skip(1) {
+        if let Some((k, v)) = arg.split_once('=') {
+            if k == key {
+                if let Ok(parsed) = v.parse() {
+                    return parsed;
+                }
+                eprintln!("warning: could not parse {key}={v}, using default");
+            }
+        }
+    }
+    default
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_format_like_paper_axes() {
+        assert_eq!(fmt_duration(1.0), "1.00 s");
+        assert_eq!(fmt_duration(59.9), "59.90 s");
+        assert_eq!(fmt_duration(60.0), "1.00 min");
+        assert_eq!(fmt_duration(3599.0), "59.98 min");
+        assert_eq!(fmt_duration(3600.0), "1.00 h");
+    }
+
+    #[test]
+    fn timed_measures_something() {
+        let (value, secs) = timed(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn capping_cluster_wires_everything() {
+        let w = Workload::standard(StandardWorkload::Dns);
+        let config = capping_cluster(&w, 4, 0.5, 0.7);
+        assert_eq!(config.servers(), 4);
+        assert_eq!(config.cores_per_server(), 4);
+    }
+
+    #[test]
+    fn arg_or_returns_default_without_args() {
+        assert_eq!(arg_or("nope", 7u32), 7);
+    }
+}

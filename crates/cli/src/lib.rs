@@ -1,0 +1,15 @@
+//! The BigHouse command-line front end.
+//!
+//! The paper's workflow drives BigHouse through "configuration files
+//! "that describe how BigHouse should instantiate and connect these
+//! objects and supply parameters such as number of cores, peak power,
+//! etc." (§2.1). This crate provides that interface for the Rust
+//! reproduction: an [`ExperimentSpec`] JSON schema that maps onto
+//! [`bighouse::sim::ExperimentConfig`], plus workload inspection/export
+//! helpers used by the `bighouse` binary.
+
+#![warn(missing_docs)]
+
+mod spec;
+
+pub use spec::{CappingSpec, ExperimentSpec, SpecError, WorkloadRef};

@@ -1,0 +1,172 @@
+//! The `bighouse` command-line tool.
+//!
+//! ```text
+//! bighouse run <experiment.json> [seed=N] [out=report.json]
+//! bighouse workloads
+//! bighouse export-workload <name> <path>
+//! bighouse example-config [path]
+//! ```
+
+use std::process::ExitCode;
+
+use bighouse::dists::Distribution;
+use bighouse::sim::{run_serial, ParallelRunner, SimulationReport};
+use bighouse::workloads::{StandardWorkload, Workload};
+use bighouse_cli::ExperimentSpec;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("workloads") => cmd_workloads(),
+        Some("export-workload") => cmd_export(&args[1..]),
+        Some("example-config") => cmd_example_config(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`; try `bighouse help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!("BigHouse: a simulation infrastructure for data center systems");
+    println!();
+    println!("USAGE:");
+    println!("  bighouse run <experiment.json> [seed=N] [out=report.json]");
+    println!("      Run the experiment described by a JSON configuration file;");
+    println!("      prints estimates, optionally writing the full report as JSON.");
+    println!("  bighouse workloads");
+    println!("      List the built-in Table 1 workload models and their moments.");
+    println!("  bighouse export-workload <name> <path>");
+    println!("      Write a built-in workload to a JSON file (editable/shareable).");
+    println!("  bighouse example-config [path]");
+    println!("      Print (or write) a template experiment configuration.");
+}
+
+fn kv_arg(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .filter_map(|a| a.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v.to_owned())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.contains('='))
+        .ok_or("usage: bighouse run <experiment.json> [seed=N] [out=report.json]")?;
+    let seed: u64 = kv_arg(args, "seed")
+        .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+        .transpose()?
+        .unwrap_or(2012);
+    let spec = ExperimentSpec::from_file(path).map_err(|e| e.to_string())?;
+    let config = spec.resolve().map_err(|e| e.to_string())?;
+
+    let report: SimulationReport = match spec.slaves {
+        Some(slaves) if slaves > 1 => {
+            eprintln!("running with {slaves} parallel slaves (master seed {seed})...");
+            let outcome = ParallelRunner::new(config, slaves).run(seed);
+            // Wrap the merged estimates in a report shell for printing.
+            SimulationReport {
+                converged: outcome.converged,
+                estimates: outcome.estimates.clone(),
+                events_fired: outcome.total_events(),
+                simulated_seconds: 0.0,
+                wall_seconds: outcome.wall_seconds,
+                cluster: bighouse::sim::ClusterSummary {
+                    servers: spec.servers,
+                    jobs_completed: 0,
+                    mean_full_idle_fraction: 0.0,
+                    mean_nap_fraction: 0.0,
+                    mean_utilization: 0.0,
+                    total_energy_joules: 0.0,
+                    average_power_watts: 0.0,
+                },
+            }
+        }
+        _ => {
+            eprintln!("running serially (seed {seed})...");
+            run_serial(&config, seed)
+        }
+    };
+
+    println!(
+        "converged: {}   events: {}   wall: {:.2}s",
+        report.converged, report.events_fired, report.wall_seconds
+    );
+    for est in &report.estimates {
+        print!(
+            "  {:<16} mean {:.6} (±{:.2}%)",
+            est.name,
+            est.mean,
+            est.relative_accuracy * 100.0
+        );
+        for q in &est.quantiles {
+            print!("   p{:.0} {:.6}", q.q * 100.0, q.value);
+        }
+        println!("   [n={}, lag={}]", est.samples_kept, est.lag);
+    }
+
+    if let Some(out) = kv_arg(args, "out") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(&out, json).map_err(|e| e.to_string())?;
+        eprintln!("report written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_workloads() -> Result<(), String> {
+    println!(
+        "{:<8} {:>16} {:>10} {:>14} {:>10}",
+        "name", "interarrival", "Cv", "service", "Cv"
+    );
+    for which in StandardWorkload::ALL {
+        let w = Workload::standard(which);
+        println!(
+            "{:<8} {:>13.6} s {:>10.2} {:>11.6} s {:>10.2}",
+            which.name(),
+            w.interarrival().mean(),
+            w.interarrival().cv(),
+            w.service().mean(),
+            w.service().cv(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let (name, path) = match args {
+        [name, path] => (name, path),
+        _ => return Err("usage: bighouse export-workload <name> <path>".into()),
+    };
+    let which = StandardWorkload::ALL
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown workload `{name}`"))?;
+    Workload::standard(which)
+        .save(path)
+        .map_err(|e| e.to_string())?;
+    eprintln!("workload `{}` written to {path}", which.name());
+    Ok(())
+}
+
+fn cmd_example_config(args: &[String]) -> Result<(), String> {
+    let json =
+        serde_json::to_string_pretty(&ExperimentSpec::template()).map_err(|e| e.to_string())?;
+    match args.first() {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| e.to_string())?;
+            eprintln!("template written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}

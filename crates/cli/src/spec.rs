@@ -1,0 +1,385 @@
+//! The JSON experiment schema.
+
+use serde::{Deserialize, Serialize};
+
+use bighouse::models::{DvfsModel, IdlePolicy, LinearPowerModel, PowerCapper};
+use bighouse::sim::{ExperimentConfig, MetricKind};
+use bighouse::workloads::{StandardWorkload, Workload};
+
+/// Error decoding or resolving an experiment specification.
+#[derive(Debug)]
+pub enum SpecError {
+    /// The JSON could not be parsed.
+    Format(serde_json::Error),
+    /// A referenced file could not be read.
+    Io(std::io::Error),
+    /// The spec referenced an unknown name or carried an invalid value.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Format(e) => write!(f, "experiment spec is malformed: {e}"),
+            SpecError::Io(e) => write!(f, "experiment spec I/O failed: {e}"),
+            SpecError::Invalid(msg) => write!(f, "experiment spec is invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<serde_json::Error> for SpecError {
+    fn from(e: serde_json::Error) -> Self {
+        SpecError::Format(e)
+    }
+}
+impl From<std::io::Error> for SpecError {
+    fn from(e: std::io::Error) -> Self {
+        SpecError::Io(e)
+    }
+}
+
+/// How the spec names its workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum WorkloadRef {
+    /// One of the five Table 1 workloads, by name (case-insensitive).
+    Standard(String),
+    /// A workload JSON file written by `Workload::save`.
+    File(String),
+}
+
+impl WorkloadRef {
+    /// Resolves the reference to a concrete workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown standard names or unreadable files.
+    pub fn resolve(&self) -> Result<Workload, SpecError> {
+        match self {
+            WorkloadRef::Standard(name) => {
+                let which = StandardWorkload::ALL
+                    .into_iter()
+                    .find(|w| w.name().eq_ignore_ascii_case(name))
+                    .ok_or_else(|| {
+                        SpecError::Invalid(format!(
+                            "unknown standard workload `{name}` (expected one of: {})",
+                            StandardWorkload::ALL.map(|w| w.name()).join(", ")
+                        ))
+                    })?;
+                Ok(Workload::standard(which))
+            }
+            WorkloadRef::File(path) => Workload::load(path)
+                .map_err(|e| SpecError::Invalid(format!("could not load workload {path}: {e}"))),
+        }
+    }
+}
+
+/// Optional power-capping block of the spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CappingSpec {
+    /// Cluster budget as a fraction of aggregate peak power.
+    pub budget_fraction: f64,
+    /// CPU-boundedness α of the DVFS model (default 0.9).
+    #[serde(default = "default_alpha")]
+    pub alpha: f64,
+}
+
+fn default_alpha() -> f64 {
+    DvfsModel::DEFAULT_ALPHA
+}
+
+fn default_servers() -> usize {
+    1
+}
+fn default_cores() -> usize {
+    4
+}
+fn default_accuracy() -> f64 {
+    0.05
+}
+fn default_confidence() -> f64 {
+    0.95
+}
+fn default_quantile() -> f64 {
+    0.95
+}
+fn default_warmup() -> u64 {
+    1000
+}
+fn default_calibration() -> usize {
+    5000
+}
+fn default_max_events() -> u64 {
+    u64::MAX
+}
+fn default_metrics() -> Vec<String> {
+    vec!["response_time".to_owned()]
+}
+
+/// A complete experiment description, decodable from JSON.
+///
+/// # Examples
+///
+/// ```
+/// use bighouse_cli::ExperimentSpec;
+///
+/// let json = r#"{
+///     "workload": { "standard": "Web" },
+///     "servers": 4,
+///     "utilization": 0.5,
+///     "metrics": ["response_time", "waiting_time"],
+///     "accuracy": 0.05
+/// }"#;
+/// let spec = ExperimentSpec::from_json(json)?;
+/// let config = spec.resolve()?;
+/// assert_eq!(config.servers(), 4);
+/// # Ok::<(), bighouse_cli::SpecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// The workload to simulate.
+    pub workload: WorkloadRef,
+    /// Number of servers (default 1).
+    #[serde(default = "default_servers")]
+    pub servers: usize,
+    /// Cores per server (default 4, the paper's quad-core).
+    #[serde(default = "default_cores")]
+    pub cores: usize,
+    /// Per-server load as a fraction of peak (omit to use the workload's
+    /// as-measured arrival process).
+    #[serde(default)]
+    pub utilization: Option<f64>,
+    /// Idle low-power policy (default always-on).
+    #[serde(default)]
+    pub idle_policy: Option<IdlePolicy>,
+    /// Optional global power capping.
+    #[serde(default)]
+    pub capping: Option<CappingSpec>,
+    /// Metrics to observe, by name (default: response_time).
+    #[serde(default = "default_metrics")]
+    pub metrics: Vec<String>,
+    /// Relative accuracy target E (default 0.05).
+    #[serde(default = "default_accuracy")]
+    pub accuracy: f64,
+    /// Confidence level (default 0.95).
+    #[serde(default = "default_confidence")]
+    pub confidence: f64,
+    /// Tracked quantile (default 0.95).
+    #[serde(default = "default_quantile")]
+    pub quantile: f64,
+    /// Warm-up observations per metric (default 1000).
+    #[serde(default = "default_warmup")]
+    pub warmup: u64,
+    /// Calibration sample size per metric (default 5000).
+    #[serde(default = "default_calibration")]
+    pub calibration: usize,
+    /// Event cap (default unlimited).
+    #[serde(default = "default_max_events")]
+    pub max_events: u64,
+    /// Run with this many parallel slaves instead of serially (optional).
+    #[serde(default)]
+    pub slaves: Option<usize>,
+}
+
+impl ExperimentSpec {
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Format`] for malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, SpecError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Loads a spec from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O or parse failure.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<Self, SpecError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// A template spec users can start from (`bighouse example-config`).
+    #[must_use]
+    pub fn template() -> Self {
+        ExperimentSpec {
+            workload: WorkloadRef::Standard("Web".into()),
+            servers: 16,
+            cores: 4,
+            utilization: Some(0.5),
+            idle_policy: None,
+            capping: Some(CappingSpec {
+                budget_fraction: 0.7,
+                alpha: DvfsModel::DEFAULT_ALPHA,
+            }),
+            metrics: vec!["response_time".into(), "capping_level".into()],
+            accuracy: 0.05,
+            confidence: 0.95,
+            quantile: 0.95,
+            warmup: 1000,
+            calibration: 5000,
+            max_events: 1_000_000_000,
+            slaves: None,
+        }
+    }
+
+    /// Resolves the spec into a runnable [`ExperimentConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown workloads or metric names, or values
+    /// outside their valid ranges.
+    pub fn resolve(&self) -> Result<ExperimentConfig, SpecError> {
+        let workload = self.workload.resolve()?;
+        if let Some(u) = self.utilization {
+            if !(0.0..1.0).contains(&u) || u == 0.0 {
+                return Err(SpecError::Invalid(format!(
+                    "utilization must be in (0, 1), got {u}"
+                )));
+            }
+        }
+        let mut config = ExperimentConfig::new(workload)
+            .with_servers(self.servers)
+            .with_cores(self.cores)
+            .with_target_accuracy(self.accuracy)
+            .with_confidence(self.confidence)
+            .with_quantile(self.quantile)
+            .with_warmup(self.warmup)
+            .with_calibration(self.calibration)
+            .with_max_events(self.max_events);
+        if let Some(u) = self.utilization {
+            config = config.with_utilization(u);
+        }
+        if let Some(policy) = self.idle_policy {
+            config = config.with_idle_policy(policy);
+        }
+        if let Some(capping) = &self.capping {
+            if capping.budget_fraction <= 0.0 || !capping.budget_fraction.is_finite() {
+                return Err(SpecError::Invalid(format!(
+                    "budget_fraction must be positive, got {}",
+                    capping.budget_fraction
+                )));
+            }
+            let model = LinearPowerModel::typical_server();
+            config = config.with_capper(PowerCapper::new(
+                model,
+                DvfsModel::new(capping.alpha),
+                model.peak_watts() * self.servers as f64 * capping.budget_fraction,
+            ));
+        }
+        for name in &self.metrics {
+            let kind = match name.as_str() {
+                "response_time" => MetricKind::ResponseTime,
+                "waiting_time" => MetricKind::WaitingTime,
+                "capping_level" => MetricKind::CappingLevel,
+                "server_power" => MetricKind::ServerPower,
+                other => {
+                    return Err(SpecError::Invalid(format!(
+                        "unknown metric `{other}` (expected response_time, waiting_time, \
+                         capping_level, or server_power)"
+                    )))
+                }
+            };
+            config = config.with_metric(kind);
+        }
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_spec_gets_defaults() {
+        let spec = ExperimentSpec::from_json(r#"{"workload": {"standard": "dns"}}"#).unwrap();
+        assert_eq!(spec.servers, 1);
+        assert_eq!(spec.cores, 4);
+        assert_eq!(spec.accuracy, 0.05);
+        assert_eq!(spec.metrics, vec!["response_time"]);
+        let config = spec.resolve().unwrap();
+        assert_eq!(config.servers(), 1);
+    }
+
+    #[test]
+    fn template_round_trips_and_resolves() {
+        let template = ExperimentSpec::template();
+        let json = serde_json::to_string_pretty(&template).unwrap();
+        let back = ExperimentSpec::from_json(&json).unwrap();
+        assert_eq!(template, back);
+        let config = back.resolve().unwrap();
+        assert_eq!(config.servers(), 16);
+    }
+
+    #[test]
+    fn standard_names_are_case_insensitive() {
+        for name in ["web", "WEB", "Web"] {
+            let r = WorkloadRef::Standard(name.into());
+            assert!(r.resolve().is_ok(), "{name} should resolve");
+        }
+    }
+
+    #[test]
+    fn unknown_workload_rejected() {
+        let r = WorkloadRef::Standard("nope".into());
+        assert!(matches!(r.resolve(), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn unknown_metric_rejected() {
+        let spec = ExperimentSpec::from_json(
+            r#"{"workload": {"standard": "web"}, "metrics": ["latency"]}"#,
+        )
+        .unwrap();
+        assert!(matches!(spec.resolve(), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn capping_metric_requires_capping_block() {
+        let spec = ExperimentSpec::from_json(
+            r#"{"workload": {"standard": "web"},
+                "capping": {"budget_fraction": 0.7},
+                "metrics": ["response_time", "capping_level"]}"#,
+        )
+        .unwrap();
+        assert!(spec.resolve().is_ok());
+    }
+
+    #[test]
+    fn bad_utilization_rejected() {
+        let spec = ExperimentSpec::from_json(
+            r#"{"workload": {"standard": "web"}, "utilization": 1.5}"#,
+        )
+        .unwrap();
+        assert!(matches!(spec.resolve(), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn idle_policy_decodes() {
+        let spec = ExperimentSpec::from_json(
+            r#"{"workload": {"standard": "google"},
+                "idle_policy": {"DreamWeaver": {"max_delay": 0.02, "wake_latency": 0.001}}}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            spec.idle_policy,
+            Some(IdlePolicy::DreamWeaver { .. })
+        ));
+        assert!(spec.resolve().is_ok());
+    }
+
+    #[test]
+    fn workload_file_reference_resolves() {
+        let dir = std::env::temp_dir().join("bighouse-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.json");
+        Workload::standard(StandardWorkload::Mail).save(&path).unwrap();
+        let r = WorkloadRef::File(path.to_string_lossy().into_owned());
+        let w = r.resolve().unwrap();
+        assert_eq!(w.name(), "Mail");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

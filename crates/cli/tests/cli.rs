@@ -1,0 +1,127 @@
+//! End-to-end tests of the `bighouse` binary.
+
+use std::process::Command;
+
+fn bighouse() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bighouse"))
+}
+
+fn temp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bighouse-cli-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = bighouse().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["run", "workloads", "export-workload", "example-config"] {
+        assert!(text.contains(cmd), "help is missing `{cmd}`");
+    }
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = bighouse().output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bighouse().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn workloads_lists_table1() {
+    let out = bighouse().arg("workloads").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["DNS", "Mail", "Shell", "Google", "Web"] {
+        assert!(text.contains(name), "missing workload {name}");
+    }
+}
+
+#[test]
+fn example_config_is_valid_json() {
+    let out = bighouse().arg("example-config").output().expect("spawn");
+    assert!(out.status.success());
+    let parsed: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("template must be valid JSON");
+    assert!(parsed.get("workload").is_some());
+}
+
+#[test]
+fn export_then_run_round_trip() {
+    let dir = temp_dir();
+    let workload_path = dir.join("dns.json");
+    let out = bighouse()
+        .args(["export-workload", "dns", workload_path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // A small, fast experiment referencing the exported file.
+    let spec = serde_json::json!({
+        "workload": { "file": workload_path.to_str().unwrap() },
+        "servers": 1,
+        "cores": 4,
+        "utilization": 0.4,
+        "accuracy": 0.2,
+        "warmup": 50,
+        "calibration": 500,
+        "max_events": 5_000_000u64,
+    });
+    let spec_path = dir.join("exp.json");
+    std::fs::write(&spec_path, spec.to_string()).expect("write spec");
+
+    let report_path = dir.join("report.json");
+    let out = bighouse()
+        .args([
+            "run",
+            spec_path.to_str().unwrap(),
+            "seed=3",
+            &format!("out={}", report_path.display()),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("converged: true"), "output: {text}");
+    assert!(text.contains("response_time"));
+
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report_path).expect("report written"))
+            .expect("report is JSON");
+    assert_eq!(report["converged"], serde_json::Value::Bool(true));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_rejects_missing_file() {
+    let out = bighouse()
+        .args(["run", "/nonexistent/exp.json"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn export_rejects_unknown_workload() {
+    let dir = temp_dir();
+    let out = bighouse()
+        .args([
+            "export-workload",
+            "nosuch",
+            dir.join("x.json").to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,334 @@
+//! The pending-event calendar.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::time::Time;
+
+/// A handle to a scheduled event, used to cancel it before it fires.
+///
+/// Handles are unique per [`Calendar`] for the lifetime of the calendar; a
+/// handle for an event that already fired (or was already cancelled) is
+/// simply stale, and cancelling it is a no-op that returns `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventHandle(u64);
+
+struct Scheduled<E> {
+    time: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Ties in time break by insertion order (seq), making the calendar
+        // deterministic: events scheduled first fire first.
+        self.time
+            .cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// A cancellable pending-event calendar ordered by simulated time.
+///
+/// The calendar is the heart of a discrete-event simulator: events are
+/// scheduled for future instants and popped in non-decreasing time order,
+/// advancing the simulation clock. Two properties matter for BigHouse:
+///
+/// - **Determinism** — events at equal timestamps fire in scheduling order,
+///   so a run is exactly reproducible from its seed.
+/// - **Cancellation** — DVFS transitions and DreamWeaver preemptions must
+///   reschedule in-flight job departures; [`Calendar::cancel`] makes the
+///   superseded event vanish (lazy deletion, O(1) amortized).
+///
+/// # Examples
+///
+/// ```
+/// use bighouse_des::{Calendar, Time};
+///
+/// let mut cal: Calendar<&str> = Calendar::new();
+/// cal.schedule(Time::from_seconds(2.0), "late");
+/// let h = cal.schedule(Time::from_seconds(1.0), "early");
+/// cal.cancel(h);
+/// assert_eq!(cal.pop(), Some((Time::from_seconds(2.0), "late")));
+/// assert_eq!(cal.pop(), None);
+/// ```
+pub struct Calendar<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    /// Seqs of events that are scheduled and neither fired nor cancelled.
+    /// An event in the heap whose seq is absent here was cancelled and is
+    /// skipped lazily on pop.
+    live: HashSet<u64>,
+    next_seq: u64,
+    now: Time,
+    fired: u64,
+    scheduled: u64,
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar with the clock at [`Time::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+            now: Time::ZERO,
+            fired: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the last popped event.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// Returns a handle usable with [`Calendar::cancel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulated time; a
+    /// discrete-event simulation must never schedule into its own past.
+    pub fn schedule(&mut self, at: Time, payload: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule event at {at} before current time {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.live.insert(seq);
+        self.heap.push(Reverse(Scheduled {
+            time: at,
+            seq,
+            payload,
+        }));
+        EventHandle(seq)
+    }
+
+    /// Schedules `payload` to fire `delay` seconds from the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative, NaN, or infinite.
+    pub fn schedule_in(&mut self, delay: f64, payload: E) -> EventHandle {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "event delay must be finite and non-negative, got {delay}"
+        );
+        self.schedule(self.now + delay, payload)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it already
+    /// fired or was already cancelled (stale handle).
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.live.remove(&handle.0)
+    }
+
+    /// Removes and returns the next event, advancing the clock to its time.
+    ///
+    /// Cancelled events are skipped transparently. Returns `None` when the
+    /// calendar is empty.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            if !self.live.remove(&ev.seq) {
+                continue; // cancelled
+            }
+            debug_assert!(ev.time >= self.now, "calendar produced out-of-order event");
+            self.now = ev.time;
+            self.fired += 1;
+            return Some((ev.time, ev.payload));
+        }
+        None
+    }
+
+    /// Returns the timestamp of the next (non-cancelled) pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap
+            .iter()
+            .filter(|Reverse(ev)| self.live.contains(&ev.seq))
+            .map(|Reverse(ev)| ev.time)
+            .min()
+    }
+
+    /// Number of pending (non-cancelled) events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no events remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Total events fired so far.
+    #[must_use]
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Total events ever scheduled.
+    #[must_use]
+    pub fn events_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Calendar::new()
+    }
+}
+
+impl<E> fmt::Debug for Calendar<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Calendar")
+            .field("now", &self.now)
+            .field("pending", &self.pending())
+            .field("fired", &self.fired)
+            .field("scheduled", &self.scheduled)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(Time::from_seconds(3.0), "c");
+        cal.schedule(Time::from_seconds(1.0), "a");
+        cal.schedule(Time::from_seconds(2.0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| cal.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut cal = Calendar::new();
+        let t = Time::from_seconds(1.0);
+        cal.schedule(t, 1);
+        cal.schedule(t, 2);
+        cal.schedule(t, 3);
+        let order: Vec<_> = std::iter::from_fn(|| cal.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pop_advances_clock() {
+        let mut cal = Calendar::new();
+        cal.schedule(Time::from_seconds(5.0), ());
+        assert_eq!(cal.now(), Time::ZERO);
+        cal.pop();
+        assert_eq!(cal.now(), Time::from_seconds(5.0));
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(Time::from_seconds(1.0), "x");
+        cal.schedule(Time::from_seconds(2.0), "y");
+        assert!(cal.cancel(h));
+        assert_eq!(cal.pending(), 1);
+        assert_eq!(cal.pop().map(|(_, e)| e), Some("y"));
+    }
+
+    #[test]
+    fn double_cancel_returns_false() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(Time::from_seconds(1.0), ());
+        assert!(cal.cancel(h));
+        assert!(!cal.cancel(h));
+    }
+
+    #[test]
+    fn cancelling_fired_event_returns_false() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(Time::from_seconds(1.0), ());
+        cal.pop();
+        assert!(!cal.cancel(h));
+    }
+
+    #[test]
+    fn schedule_in_uses_current_time() {
+        let mut cal = Calendar::new();
+        cal.schedule(Time::from_seconds(10.0), "first");
+        cal.pop();
+        cal.schedule_in(2.5, "second");
+        assert_eq!(cal.pop(), Some((Time::from_seconds(12.5), "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_the_past_panics() {
+        let mut cal = Calendar::new();
+        cal.schedule(Time::from_seconds(10.0), ());
+        cal.pop();
+        cal.schedule(Time::from_seconds(5.0), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn schedule_in_rejects_negative_delay() {
+        let mut cal: Calendar<()> = Calendar::new();
+        cal.schedule_in(-0.5, ());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(Time::from_seconds(1.0), ());
+        cal.schedule(Time::from_seconds(2.0), ());
+        cal.cancel(h);
+        assert_eq!(cal.peek_time(), Some(Time::from_seconds(2.0)));
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule(Time::from_seconds(1.0), ());
+        cal.schedule(Time::from_seconds(2.0), ());
+        cal.cancel(h);
+        cal.pop();
+        assert_eq!(cal.events_scheduled(), 2);
+        assert_eq!(cal.events_fired(), 1);
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn interleaved_cancel_and_reschedule() {
+        // Models a DVFS transition: departure rescheduled twice.
+        let mut cal = Calendar::new();
+        let h1 = cal.schedule(Time::from_seconds(10.0), "dep-v1");
+        cal.cancel(h1);
+        let h2 = cal.schedule(Time::from_seconds(8.0), "dep-v2");
+        cal.cancel(h2);
+        cal.schedule(Time::from_seconds(9.0), "dep-v3");
+        let order: Vec<_> = std::iter::from_fn(|| cal.pop()).collect();
+        assert_eq!(order, vec![(Time::from_seconds(9.0), "dep-v3")]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the discrete-event engine.
+
+use proptest::prelude::*;
+
+use bighouse_des::{Calendar, SeedStream, SimRng, Time};
+use rand::RngCore;
+
+proptest! {
+    /// Events pop in non-decreasing time order for any schedule.
+    #[test]
+    fn calendar_pops_sorted(times in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(Time::from_seconds(t), i);
+        }
+        let mut last = Time::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = cal.pop() {
+            prop_assert!(t >= last, "out of order: {t} after {last}");
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Equal-time events preserve scheduling order (determinism).
+    #[test]
+    fn calendar_fifo_at_equal_times(n in 1usize..100) {
+        let mut cal = Calendar::new();
+        let t = Time::from_seconds(1.0);
+        for i in 0..n {
+            cal.schedule(t, i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| cal.pop()).map(|(_, e)| e).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn calendar_cancellation_is_exact(
+        times in prop::collection::vec(0.0f64..1e3, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut cal = Calendar::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, cal.schedule(Time::from_seconds(t), i)))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, handle) in &handles {
+            let cancel = cancel_mask.get(*i).copied().unwrap_or(false);
+            if cancel {
+                prop_assert!(cal.cancel(*handle));
+            } else {
+                expected.push(*i);
+            }
+        }
+        let mut popped: Vec<usize> = std::iter::from_fn(|| cal.pop()).map(|(_, e)| e).collect();
+        popped.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// pending() always equals scheduled − fired − cancelled.
+    #[test]
+    fn calendar_counters_are_consistent(ops in prop::collection::vec(0u8..3, 1..300)) {
+        let mut cal = Calendar::new();
+        let mut live_handles: Vec<(usize, bighouse_des::EventHandle)> = Vec::new();
+        let mut fired: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut cancelled = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    live_handles.push((i, cal.schedule(Time::from_seconds(1e3 + i as f64), i)));
+                }
+                1 => {
+                    // Cancel the most recent handle whose event hasn't fired.
+                    while let Some((id, h)) = live_handles.pop() {
+                        if fired.contains(&id) {
+                            prop_assert!(!cal.cancel(h), "cancel of fired event must be a no-op");
+                            continue;
+                        }
+                        prop_assert!(cal.cancel(h));
+                        cancelled += 1;
+                        break;
+                    }
+                }
+                _ => {
+                    if let Some((_, id)) = cal.pop() {
+                        fired.insert(id);
+                    }
+                }
+            }
+            let expected = cal.events_scheduled() as i64
+                - cal.events_fired() as i64
+                - cancelled as i64;
+            prop_assert_eq!(cal.pending() as i64, expected);
+        }
+    }
+
+    /// Time arithmetic: (t + a) + b == t + (a + b) up to float assoc.
+    #[test]
+    fn time_addition_is_consistent(t in 0.0f64..1e9, a in 0.0f64..1e3, b in 0.0f64..1e3) {
+        let t0 = Time::from_seconds(t);
+        let lhs = (t0 + a) + b;
+        let rhs = t0 + (a + b);
+        prop_assert!((lhs - rhs).abs() < 1e-6);
+    }
+
+    /// SimRng streams are reproducible and open01 stays in (0, 1).
+    #[test]
+    fn rng_reproducible_and_bounded(seed in any::<u64>()) {
+        let mut a = SimRng::from_seed(seed);
+        let mut b = SimRng::from_seed(seed);
+        for _ in 0..100 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..100 {
+            let u = a.open01();
+            prop_assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    /// Seed streams never repeat within a reasonable horizon.
+    #[test]
+    fn seed_stream_unique(master in any::<u64>()) {
+        let mut stream = SeedStream::new(master);
+        let seeds: Vec<u64> = (0..64).map(|_| stream.next_seed()).collect();
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        prop_assert_eq!(unique.len(), seeds.len());
+    }
+}

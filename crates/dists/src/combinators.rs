@@ -1,0 +1,178 @@
+//! Distribution combinators: scaling and shifting.
+
+use rand::RngCore;
+
+use crate::error::{require_non_negative, require_positive, DistributionError};
+use crate::traits::{Distribution, DynDistribution};
+
+/// A distribution multiplied by a positive constant.
+///
+/// Two BigHouse operations are pure scalings:
+///
+/// - **Load scaling** — "Load can be varied by scaling the inter-arrival
+///   distribution" (§3.1): halving inter-arrival times doubles offered QPS.
+/// - **Performance scaling** — the Figure 4 experiment multiplies the
+///   service distribution by the CPU slowdown S_CPU.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use bighouse_dists::{Distribution, Exponential, Scaled};
+///
+/// let base = Arc::new(Exponential::from_mean(1.0)?);
+/// let scaled = Scaled::new(base as _, 1.3)?; // S_CPU = 1.3
+/// assert!((scaled.mean() - 1.3).abs() < 1e-12);
+/// assert!((scaled.cv() - 1.0).abs() < 1e-12); // shape preserved
+/// # Ok::<(), bighouse_dists::DistributionError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scaled {
+    inner: DynDistribution,
+    factor: f64,
+}
+
+impl Scaled {
+    /// Wraps `inner`, multiplying every sample by `factor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `factor` is finite and positive.
+    pub fn new(inner: DynDistribution, factor: f64) -> Result<Self, DistributionError> {
+        Ok(Scaled {
+            inner,
+            factor: require_positive("factor", factor)?,
+        })
+    }
+
+    /// The scale factor.
+    #[must_use]
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// The wrapped distribution.
+    #[must_use]
+    pub fn inner(&self) -> &DynDistribution {
+        &self.inner
+    }
+}
+
+impl Distribution for Scaled {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.inner.sample(rng) * self.factor
+    }
+
+    fn mean(&self) -> f64 {
+        self.inner.mean() * self.factor
+    }
+
+    fn variance(&self) -> f64 {
+        self.inner.variance() * self.factor * self.factor
+    }
+}
+
+/// A distribution shifted right by a non-negative constant.
+///
+/// Models a fixed overhead on top of a variable cost — e.g. a constant
+/// network round-trip added to a variable service time.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use bighouse_dists::{Distribution, Exponential, Shifted};
+///
+/// let service = Arc::new(Exponential::from_mean(0.004)?);
+/// let with_rtt = Shifted::new(service as _, 0.0002)?;
+/// assert!((with_rtt.mean() - 0.0042).abs() < 1e-12);
+/// # Ok::<(), bighouse_dists::DistributionError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Shifted {
+    inner: DynDistribution,
+    offset: f64,
+}
+
+impl Shifted {
+    /// Wraps `inner`, adding `offset` to every sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `offset` is finite and non-negative.
+    pub fn new(inner: DynDistribution, offset: f64) -> Result<Self, DistributionError> {
+        Ok(Shifted {
+            inner,
+            offset: require_non_negative("offset", offset)?,
+        })
+    }
+
+    /// The shift offset.
+    #[must_use]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// The wrapped distribution.
+    #[must_use]
+    pub fn inner(&self) -> &DynDistribution {
+        &self.inner
+    }
+}
+
+impl Distribution for Shifted {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.inner.sample(rng) + self.offset
+    }
+
+    fn mean(&self) -> f64 {
+        self.inner.mean() + self.offset
+    }
+
+    fn variance(&self) -> f64 {
+        self.inner.variance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::assert_moments_match;
+    use crate::Exponential;
+    use std::sync::Arc;
+
+    fn base() -> DynDistribution {
+        Arc::new(Exponential::from_mean(2.0).unwrap())
+    }
+
+    #[test]
+    fn scaled_moments() {
+        let d = Scaled::new(base(), 3.0).unwrap();
+        assert!((d.mean() - 6.0).abs() < 1e-12);
+        assert!((d.variance() - 36.0).abs() < 1e-12);
+        assert!((d.cv() - 1.0).abs() < 1e-12);
+        assert_moments_match(&d, 200_000, 101, 0.03);
+    }
+
+    #[test]
+    fn shifted_moments() {
+        let d = Shifted::new(base(), 1.0).unwrap();
+        assert!((d.mean() - 3.0).abs() < 1e-12);
+        assert!((d.variance() - 4.0).abs() < 1e-12);
+        assert!(d.cv() < 1.0, "shifting reduces Cv");
+        assert_moments_match(&d, 200_000, 102, 0.03);
+    }
+
+    #[test]
+    fn nesting_combinators() {
+        let d = Scaled::new(Arc::new(Shifted::new(base(), 1.0).unwrap()), 2.0).unwrap();
+        assert!((d.mean() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Scaled::new(base(), 0.0).is_err());
+        assert!(Scaled::new(base(), f64::NAN).is_err());
+        assert!(Shifted::new(base(), -1.0).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! The degenerate (constant) distribution.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{require_non_negative, DistributionError};
+use crate::traits::Distribution;
+
+/// A distribution that always produces the same value (C_v = 0).
+///
+/// Useful as the limiting "Low C_v" arrival process (many load testers issue
+/// requests at a metronomic rate — Figure 5's caption notes this does not
+/// reflect real traffic) and for fixed transition latencies in system
+/// models.
+///
+/// # Examples
+///
+/// ```
+/// use bighouse_dists::{Deterministic, Distribution};
+/// use rand::SeedableRng;
+///
+/// let d = Deterministic::new(0.25)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// assert_eq!(d.sample(&mut rng), 0.25);
+/// assert_eq!(d.cv(), 0.0);
+/// # Ok::<(), bighouse_dists::DistributionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// Creates a constant distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `value` is finite and non-negative.
+    pub fn new(value: f64) -> Result<Self, DistributionError> {
+        Ok(Deterministic {
+            value: require_non_negative("value", value)?,
+        })
+    }
+
+    /// The constant value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl Distribution for Deterministic {
+    fn sample(&self, _rng: &mut dyn RngCore) -> f64 {
+        self.value
+    }
+
+    fn mean(&self) -> f64 {
+        self.value
+    }
+
+    fn variance(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bighouse_des::SimRng;
+
+    #[test]
+    fn always_same_value() {
+        let d = Deterministic::new(1.5).unwrap();
+        let mut rng = SimRng::from_seed(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 1.5);
+        }
+    }
+
+    #[test]
+    fn moments() {
+        let d = Deterministic::new(3.0).unwrap();
+        assert_eq!(d.mean(), 3.0);
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.cv(), 0.0);
+    }
+
+    #[test]
+    fn zero_is_allowed() {
+        assert!(Deterministic::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_negative_and_nan() {
+        assert!(Deterministic::new(-1.0).is_err());
+        assert!(Deterministic::new(f64::NAN).is_err());
+    }
+}

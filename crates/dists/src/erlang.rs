@@ -1,0 +1,134 @@
+//! The Erlang-k distribution.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{require_positive, DistributionError};
+use crate::traits::{uniform_open01, Distribution};
+
+/// Erlang distribution: the sum of `k` i.i.d. exponentials (C_v = 1/√k).
+///
+/// With large `k` this is the paper's "Low C_v" arrival scenario (Figure 5):
+/// queries arriving "at a near-uniform rate with little variance", as many
+/// load testers generate.
+///
+/// # Examples
+///
+/// ```
+/// use bighouse_dists::{Distribution, Erlang};
+///
+/// // 16 stages: C_v = 0.25, a near-metronomic arrival process.
+/// let d = Erlang::from_mean(16, 0.01)?;
+/// assert!((d.mean() - 0.01).abs() < 1e-12);
+/// assert!((d.cv() - 0.25).abs() < 1e-12);
+/// # Ok::<(), bighouse_dists::DistributionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Erlang {
+    k: u32,
+    rate: f64,
+}
+
+impl Erlang {
+    /// Creates an Erlang distribution with `k` stages, each at rate `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `k` is zero or `rate` is not finite and positive.
+    pub fn new(k: u32, rate: f64) -> Result<Self, DistributionError> {
+        if k == 0 {
+            return Err(DistributionError::InvalidParameter {
+                name: "k",
+                value: 0.0,
+                requirement: "must be at least 1",
+            });
+        }
+        Ok(Erlang {
+            k,
+            rate: require_positive("rate", rate)?,
+        })
+    }
+
+    /// Creates an Erlang-`k` distribution with the given overall mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `k` is zero or `mean` is not finite and positive.
+    pub fn from_mean(k: u32, mean: f64) -> Result<Self, DistributionError> {
+        let mean = require_positive("mean", mean)?;
+        Self::new(k, f64::from(k) / mean)
+    }
+
+    /// Number of exponential stages.
+    #[must_use]
+    pub fn stages(&self) -> u32 {
+        self.k
+    }
+
+    /// Per-stage rate.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Distribution for Erlang {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Sum of k exponentials = -ln(∏ uᵢ)/λ; accumulate the log-sum to
+        // avoid underflowing the product for large k.
+        let mut log_sum = 0.0;
+        for _ in 0..self.k {
+            log_sum += uniform_open01(rng).ln();
+        }
+        -log_sum / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        f64::from(self.k) / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        f64::from(self.k) / (self.rate * self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{assert_moments_match, assert_samples_valid};
+
+    #[test]
+    fn k1_is_exponential() {
+        let d = Erlang::new(1, 2.0).unwrap();
+        assert_eq!(d.mean(), 0.5);
+        assert!((d.cv() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_shrinks_with_stages() {
+        for k in [1u32, 4, 16, 64] {
+            let d = Erlang::from_mean(k, 1.0).unwrap();
+            assert!((d.cv() - 1.0 / f64::from(k).sqrt()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moments_match_samples() {
+        let d = Erlang::from_mean(8, 2.0).unwrap();
+        assert_moments_match(&d, 100_000, 21, 0.02);
+        assert_samples_valid(&d, 10_000, 22);
+    }
+
+    #[test]
+    fn large_k_does_not_underflow() {
+        let d = Erlang::from_mean(1000, 1.0).unwrap();
+        assert_moments_match(&d, 20_000, 23, 0.02);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Erlang::new(0, 1.0).is_err());
+        assert!(Erlang::new(1, 0.0).is_err());
+        assert!(Erlang::from_mean(4, -1.0).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! The exponential distribution.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{require_positive, DistributionError};
+use crate::traits::{uniform_open01, Distribution};
+
+/// Exponential distribution with rate λ (mean 1/λ, C_v = 1).
+///
+/// This is the inter-arrival process "typically assumed in analytic
+/// modeling" that Figure 5 of the paper contrasts with empirically measured
+/// traffic — convenient, memoryless, and often wrong about tail latency.
+///
+/// # Examples
+///
+/// ```
+/// use bighouse_dists::{Distribution, Exponential};
+///
+/// let d = Exponential::new(2.0)?; // rate 2 per second
+/// assert_eq!(d.mean(), 0.5);
+/// assert_eq!(d.cv(), 1.0);
+/// # Ok::<(), bighouse_dists::DistributionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `rate` (events per
+    /// unit time).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `rate` is finite and positive.
+    pub fn new(rate: f64) -> Result<Self, DistributionError> {
+        Ok(Exponential {
+            rate: require_positive("rate", rate)?,
+        })
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `mean` is finite and positive.
+    pub fn from_mean(mean: f64) -> Result<Self, DistributionError> {
+        Self::new(1.0 / require_positive("mean", mean)?)
+    }
+
+    /// The rate parameter λ.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        -uniform_open01(rng).ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{assert_moments_match, assert_samples_valid};
+
+    #[test]
+    fn moments_match_samples() {
+        let d = Exponential::new(4.0).unwrap();
+        assert_moments_match(&d, 200_000, 1, 0.02);
+        assert_samples_valid(&d, 10_000, 2);
+    }
+
+    #[test]
+    fn cv_is_one() {
+        assert!((Exponential::new(0.37).unwrap().cv() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_mean_inverts_rate() {
+        let d = Exponential::from_mean(0.2).unwrap();
+        assert!((d.rate() - 5.0).abs() < 1e-12);
+        assert!((d.mean() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::from_mean(0.0).is_err());
+    }
+
+    #[test]
+    fn memoryless_tail() {
+        // P(X > mean) should be e^{-1} ≈ 0.368.
+        use bighouse_des::SimRng;
+        let d = Exponential::new(1.0).unwrap();
+        let mut rng = SimRng::from_seed(3);
+        let n = 100_000;
+        let above = (0..n).filter(|_| d.sample(&mut rng) > 1.0).count();
+        let frac = above as f64 / n as f64;
+        assert!((frac - (-1.0f64).exp()).abs() < 0.01, "tail fraction {frac}");
+    }
+}

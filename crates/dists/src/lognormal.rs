@@ -1,0 +1,127 @@
+//! The log-normal distribution.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{require_finite, require_positive, DistributionError};
+use crate::traits::{standard_normal, Distribution};
+
+/// Log-normal distribution: `exp(μ + σZ)` for standard normal `Z`.
+///
+/// A versatile heavy-tailed family that, like [`crate::HyperExponential`],
+/// can match any C_v > 0, and whose tail decays slower than any
+/// exponential — useful when synthesizing "empirical-like" service
+/// distributions with realistic skew.
+///
+/// # Examples
+///
+/// ```
+/// use bighouse_dists::{Distribution, LogNormal};
+///
+/// let d = LogNormal::from_mean_cv(0.092, 3.6)?; // Mail-like service
+/// assert!((d.mean() - 0.092).abs() < 1e-12);
+/// assert!((d.cv() - 3.6).abs() < 1e-9);
+/// # Ok::<(), bighouse_dists::DistributionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with log-space location `mu` and scale `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `mu` is finite and `sigma` is finite and
+    /// positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistributionError> {
+        Ok(LogNormal {
+            mu: require_finite("mu", mu)?,
+            sigma: require_positive("sigma", sigma)?,
+        })
+    }
+
+    /// Two-moment fit: σ² = ln(1 + C_v²), μ = ln(mean) − σ²/2.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `mean` and `cv` are finite and positive.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Result<Self, DistributionError> {
+        let mean = require_positive("mean", mean)?;
+        let cv = require_positive("cv", cv)?;
+        let sigma2 = (1.0 + cv * cv).ln();
+        Self::new(mean.ln() - sigma2 / 2.0, sigma2.sqrt())
+    }
+
+    /// Log-space location μ.
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Log-space scale σ.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{assert_moments_match, assert_samples_valid};
+
+    #[test]
+    fn from_mean_cv_is_exact() {
+        for (mean, cv) in [(1.0, 0.5), (0.186, 4.2), (10.0, 1.0)] {
+            let d = LogNormal::from_mean_cv(mean, cv).unwrap();
+            assert!((d.mean() - mean).abs() / mean < 1e-12);
+            assert!((d.cv() - cv).abs() / cv < 1e-9);
+        }
+    }
+
+    #[test]
+    fn moments_match_samples() {
+        let d = LogNormal::from_mean_cv(1.0, 0.8).unwrap();
+        assert_moments_match(&d, 400_000, 51, 0.03);
+        assert_samples_valid(&d, 10_000, 52);
+    }
+
+    #[test]
+    fn median_is_exp_mu() {
+        use bighouse_des::SimRng;
+        let d = LogNormal::new(0.5, 1.0).unwrap();
+        let mut rng = SimRng::from_seed(53);
+        let n = 100_000;
+        let below = (0..n)
+            .filter(|_| d.sample(&mut rng) < d.mu().exp())
+            .count();
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "median fraction {frac}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+        assert!(LogNormal::from_mean_cv(0.0, 1.0).is_err());
+        assert!(LogNormal::from_mean_cv(1.0, -1.0).is_err());
+    }
+}

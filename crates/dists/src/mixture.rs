@@ -1,0 +1,186 @@
+//! Probabilistic mixtures of distributions.
+
+use rand::RngCore;
+
+use crate::error::DistributionError;
+use crate::traits::{uniform_open01, Distribution, DynDistribution};
+
+/// A weighted mixture: each sample is drawn from one component, chosen with
+/// probability proportional to its weight.
+///
+/// Used to synthesize multi-modal "empirical-like" workloads (e.g. a search
+/// service where most queries hit the cache and a minority pay a disk
+/// access).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use bighouse_dists::{Distribution, Exponential, Mixture};
+///
+/// let fast = Arc::new(Exponential::from_mean(0.001)?);
+/// let slow = Arc::new(Exponential::from_mean(0.100)?);
+/// let d = Mixture::new(vec![(0.9, fast as _), (0.1, slow as _)])?;
+/// assert!((d.mean() - (0.9 * 0.001 + 0.1 * 0.100)).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mixture {
+    /// `(cumulative_probability, component)` pairs, cumulative ascending.
+    components: Vec<(f64, DynDistribution)>,
+    weights: Vec<f64>,
+    mean: f64,
+    variance: f64,
+}
+
+impl Mixture {
+    /// Creates a mixture from `(weight, component)` pairs. Weights need not
+    /// sum to one; they are normalized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError::InvalidMixture`] if no component has
+    /// positive weight, or an error if any weight is negative or non-finite.
+    pub fn new(parts: Vec<(f64, DynDistribution)>) -> Result<Self, DistributionError> {
+        let mut total = 0.0;
+        for (w, _) in &parts {
+            if !w.is_finite() || *w < 0.0 {
+                return Err(DistributionError::InvalidParameter {
+                    name: "weight",
+                    value: *w,
+                    requirement: "must be finite and non-negative",
+                });
+            }
+            total += w;
+        }
+        if parts.is_empty() || total <= 0.0 {
+            return Err(DistributionError::InvalidMixture);
+        }
+        let weights: Vec<f64> = parts.iter().map(|(w, _)| w / total).collect();
+        let mean: f64 = weights
+            .iter()
+            .zip(&parts)
+            .map(|(w, (_, d))| w * d.mean())
+            .sum();
+        let second_moment: f64 = weights
+            .iter()
+            .zip(&parts)
+            .map(|(w, (_, d))| w * (d.variance() + d.mean() * d.mean()))
+            .sum();
+        let mut cumulative = 0.0;
+        let components = weights
+            .iter()
+            .zip(parts)
+            .map(|(w, (_, d))| {
+                cumulative += w;
+                (cumulative, d)
+            })
+            .collect();
+        Ok(Mixture {
+            components,
+            weights,
+            mean,
+            variance: (second_moment - mean * mean).max(0.0),
+        })
+    }
+
+    /// Normalized component weights.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the mixture has no components (never true post-construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+impl Distribution for Mixture {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let pick = uniform_open01(rng);
+        let component = self
+            .components
+            .iter()
+            .find(|(cum, _)| pick <= *cum)
+            .map(|(_, d)| d)
+            .unwrap_or(&self.components.last().expect("non-empty").1);
+        component.sample(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.variance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{assert_moments_match, assert_samples_valid};
+    use crate::{Deterministic, Exponential};
+    use std::sync::Arc;
+
+    fn two_point() -> Mixture {
+        Mixture::new(vec![
+            (0.5, Arc::new(Deterministic::new(1.0).unwrap()) as _),
+            (0.5, Arc::new(Deterministic::new(3.0).unwrap()) as _),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn two_point_moments() {
+        let d = two_point();
+        assert_eq!(d.mean(), 2.0);
+        assert_eq!(d.variance(), 1.0);
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let d = Mixture::new(vec![
+            (2.0, Arc::new(Deterministic::new(1.0).unwrap()) as _),
+            (6.0, Arc::new(Deterministic::new(3.0).unwrap()) as _),
+        ])
+        .unwrap();
+        assert_eq!(d.weights(), &[0.25, 0.75]);
+        assert_eq!(d.mean(), 2.5);
+    }
+
+    #[test]
+    fn sampling_matches_declared_moments() {
+        let d = Mixture::new(vec![
+            (0.9, Arc::new(Exponential::from_mean(0.01).unwrap()) as _),
+            (0.1, Arc::new(Exponential::from_mean(1.0).unwrap()) as _),
+        ])
+        .unwrap();
+        assert!(d.cv() > 1.0, "bimodal exponential mixture is hyper-variable");
+        assert_moments_match(&d, 400_000, 91, 0.05);
+        assert_samples_valid(&d, 10_000, 92);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Mixture::new(vec![]).is_err());
+        assert!(Mixture::new(vec![(
+            0.0,
+            Arc::new(Deterministic::new(1.0).unwrap()) as _
+        )])
+        .is_err());
+        assert!(Mixture::new(vec![(
+            -1.0,
+            Arc::new(Deterministic::new(1.0).unwrap()) as _
+        )])
+        .is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! The Pareto distribution.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{require_positive, DistributionError};
+use crate::traits::{uniform_open01, Distribution};
+
+/// Pareto (power-law) distribution with minimum `x_m` and tail index `α`.
+///
+/// The canonical model for the very heavy tails observed in internet
+/// traffic. Note the moment structure: the mean is infinite for α ≤ 1 and
+/// the variance for α ≤ 2; construction requires α > 2 so that the
+/// [`Distribution`] moment contract holds (the moment-matching pipeline
+/// depends on finite first two moments).
+///
+/// # Examples
+///
+/// ```
+/// use bighouse_dists::{Distribution, Pareto};
+///
+/// let d = Pareto::new(1.0, 3.0)?;
+/// assert!((d.mean() - 1.5).abs() < 1e-12);
+/// # Ok::<(), bighouse_dists::DistributionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    minimum: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with minimum `minimum` and tail index
+    /// `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `minimum` is finite and positive and
+    /// `alpha > 2` (finite variance).
+    pub fn new(minimum: f64, alpha: f64) -> Result<Self, DistributionError> {
+        let minimum = require_positive("minimum", minimum)?;
+        if !alpha.is_finite() || alpha <= 2.0 {
+            return Err(DistributionError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                requirement: "must exceed 2 (finite variance)",
+            });
+        }
+        Ok(Pareto { minimum, alpha })
+    }
+
+    /// The minimum (scale) parameter x_m.
+    #[must_use]
+    pub fn minimum(&self) -> f64 {
+        self.minimum
+    }
+
+    /// The tail index α.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Distribution for Pareto {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.minimum * uniform_open01(rng).powf(-1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> f64 {
+        self.alpha * self.minimum / (self.alpha - 1.0)
+    }
+
+    fn variance(&self) -> f64 {
+        let a = self.alpha;
+        let m = self.minimum;
+        m * m * a / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{assert_moments_match, assert_samples_valid};
+    use bighouse_des::SimRng;
+
+    #[test]
+    fn samples_never_below_minimum() {
+        let d = Pareto::new(2.0, 3.0).unwrap();
+        let mut rng = SimRng::from_seed(71);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn moments_match_samples() {
+        let d = Pareto::new(1.0, 4.0).unwrap();
+        assert_moments_match(&d, 400_000, 72, 0.05);
+        assert_samples_valid(&d, 10_000, 73);
+    }
+
+    #[test]
+    fn tail_probability_is_power_law() {
+        // P(X > t) = (x_m/t)^α.
+        let d = Pareto::new(1.0, 3.0).unwrap();
+        let mut rng = SimRng::from_seed(74);
+        let n = 200_000;
+        let above2 = (0..n).filter(|_| d.sample(&mut rng) > 2.0).count();
+        let frac = above2 as f64 / n as f64;
+        assert!((frac - 0.125).abs() < 0.005, "tail fraction {frac}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Pareto::new(0.0, 3.0).is_err());
+        assert!(Pareto::new(1.0, 2.0).is_err());
+        assert!(Pareto::new(1.0, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! The continuous uniform distribution.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{require_finite, DistributionError};
+use crate::traits::Distribution;
+
+/// Uniform distribution on `[low, high)`.
+///
+/// # Examples
+///
+/// ```
+/// use bighouse_dists::{Distribution, Uniform};
+///
+/// let d = Uniform::new(1.0, 3.0)?;
+/// assert_eq!(d.mean(), 2.0);
+/// assert!((d.variance() - 4.0 / 12.0).abs() < 1e-12);
+/// # Ok::<(), bighouse_dists::DistributionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[low, high)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both bounds are finite, `low >= 0`, and
+    /// `low < high`.
+    pub fn new(low: f64, high: f64) -> Result<Self, DistributionError> {
+        let low = require_finite("low", low)?;
+        let high = require_finite("high", high)?;
+        if low < 0.0 {
+            return Err(DistributionError::InvalidParameter {
+                name: "low",
+                value: low,
+                requirement: "must be non-negative",
+            });
+        }
+        if low >= high {
+            return Err(DistributionError::InvalidParameter {
+                name: "high",
+                value: high,
+                requirement: "must exceed `low`",
+            });
+        }
+        Ok(Uniform { low, high })
+    }
+
+    /// Lower bound (inclusive).
+    #[must_use]
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper bound (exclusive).
+    #[must_use]
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.low + u * (self.high - self.low)
+    }
+
+    fn mean(&self) -> f64 {
+        (self.low + self.high) / 2.0
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.high - self.low;
+        w * w / 12.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{assert_moments_match, assert_samples_valid};
+    use bighouse_des::SimRng;
+
+    #[test]
+    fn moments_match_samples() {
+        let d = Uniform::new(0.5, 2.5).unwrap();
+        assert_moments_match(&d, 200_000, 5, 0.02);
+        assert_samples_valid(&d, 10_000, 6);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let d = Uniform::new(1.0, 2.0).unwrap();
+        let mut rng = SimRng::from_seed(7);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(-1.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NAN, 1.0).is_err());
+        assert!(Uniform::new(0.0, f64::INFINITY).is_err());
+    }
+}

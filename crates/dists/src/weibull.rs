@@ -1,0 +1,119 @@
+//! The Weibull distribution.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use bighouse_stats::math::ln_gamma;
+
+use crate::error::{require_positive, DistributionError};
+use crate::traits::{uniform_open01, Distribution};
+
+/// Weibull distribution with shape `k` and scale `λ`.
+///
+/// Spans light tails (k > 1) through exponential (k = 1) to heavy,
+/// stretched-exponential tails (k < 1); commonly fit to measured service
+/// times and component lifetimes.
+///
+/// # Examples
+///
+/// ```
+/// use bighouse_dists::{Distribution, Weibull};
+///
+/// let d = Weibull::new(1.0, 2.0)?; // k = 1 is exponential with mean 2
+/// assert!((d.mean() - 2.0).abs() < 1e-12);
+/// assert!((d.cv() - 1.0).abs() < 1e-9);
+/// # Ok::<(), bighouse_dists::DistributionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both parameters are finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, DistributionError> {
+        Ok(Weibull {
+            shape: require_positive("shape", shape)?,
+            scale: require_positive("scale", scale)?,
+        })
+    }
+
+    /// Shape parameter k.
+    #[must_use]
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter λ.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    fn gamma_fn(x: f64) -> f64 {
+        ln_gamma(x).exp()
+    }
+}
+
+impl Distribution for Weibull {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.scale * (-uniform_open01(rng).ln()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * Self::gamma_fn(1.0 + 1.0 / self.shape)
+    }
+
+    fn variance(&self) -> f64 {
+        let g1 = Self::gamma_fn(1.0 + 1.0 / self.shape);
+        let g2 = Self::gamma_fn(1.0 + 2.0 / self.shape);
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{assert_moments_match, assert_samples_valid};
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let d = Weibull::new(1.0, 3.0).unwrap();
+        assert!((d.mean() - 3.0).abs() < 1e-12);
+        assert!((d.variance() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shape_two_rayleigh_moments() {
+        // Rayleigh: mean = λ√(π)/2, var = λ²(1 - π/4).
+        let d = Weibull::new(2.0, 1.0).unwrap();
+        let pi = std::f64::consts::PI;
+        assert!((d.mean() - pi.sqrt() / 2.0).abs() < 1e-12);
+        assert!((d.variance() - (1.0 - pi / 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_match_samples() {
+        let d = Weibull::new(1.5, 0.5).unwrap();
+        assert_moments_match(&d, 200_000, 61, 0.02);
+        assert_samples_valid(&d, 10_000, 62);
+    }
+
+    #[test]
+    fn heavy_tail_shape_below_one() {
+        let d = Weibull::new(0.5, 1.0).unwrap();
+        assert!(d.cv() > 1.0, "k < 1 must be heavy-tailed, cv = {}", d.cv());
+        assert_moments_match(&d, 400_000, 63, 0.05);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the distribution library.
+
+use proptest::prelude::*;
+
+use bighouse_des::SimRng;
+use bighouse_dists::fit::{fit_mean_cv, fit_mean_sigma};
+use bighouse_dists::{
+    Deterministic, Distribution, Empirical, Erlang, Exponential, Gamma, HyperExponential,
+    LogNormal, Pareto, Scaled, Shifted, Uniform, Weibull,
+};
+use std::sync::Arc;
+
+fn assert_valid_samples(dist: &dyn Distribution, seed: u64) -> Result<(), TestCaseError> {
+    let mut rng = SimRng::from_seed(seed);
+    for _ in 0..200 {
+        let x = dist.sample(&mut rng);
+        prop_assert!(x.is_finite() && x >= 0.0, "bad sample {x} from {dist:?}");
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Every analytic family produces finite, non-negative samples and
+    /// declares finite, non-negative moments, across its parameter space.
+    #[test]
+    fn exponential_valid(rate in 1e-6f64..1e6, seed in any::<u64>()) {
+        let d = Exponential::new(rate).unwrap();
+        prop_assert!(d.mean() > 0.0 && d.variance() > 0.0);
+        assert_valid_samples(&d, seed)?;
+    }
+
+    #[test]
+    fn erlang_valid(k in 1u32..200, rate in 1e-3f64..1e3, seed in any::<u64>()) {
+        let d = Erlang::new(k, rate).unwrap();
+        prop_assert!((d.cv() - 1.0 / f64::from(k).sqrt()).abs() < 1e-9);
+        assert_valid_samples(&d, seed)?;
+    }
+
+    #[test]
+    fn gamma_valid(shape in 0.05f64..50.0, scale in 1e-3f64..1e3, seed in any::<u64>()) {
+        let d = Gamma::new(shape, scale).unwrap();
+        prop_assert!((d.mean() - shape * scale).abs() < 1e-9 * shape * scale);
+        assert_valid_samples(&d, seed)?;
+    }
+
+    #[test]
+    fn lognormal_valid(mu in -5.0f64..5.0, sigma in 0.01f64..2.0, seed in any::<u64>()) {
+        let d = LogNormal::new(mu, sigma).unwrap();
+        prop_assert!(d.mean() > 0.0 && d.variance() > 0.0);
+        assert_valid_samples(&d, seed)?;
+    }
+
+    #[test]
+    fn weibull_valid(shape in 0.3f64..10.0, scale in 1e-3f64..1e3, seed in any::<u64>()) {
+        let d = Weibull::new(shape, scale).unwrap();
+        prop_assert!(d.mean() > 0.0 && d.variance() >= 0.0);
+        assert_valid_samples(&d, seed)?;
+    }
+
+    #[test]
+    fn pareto_valid(min in 1e-3f64..1e3, alpha in 2.01f64..20.0, seed in any::<u64>()) {
+        let d = Pareto::new(min, alpha).unwrap();
+        prop_assert!(d.mean() >= min);
+        let mut rng = SimRng::from_seed(seed);
+        for _ in 0..200 {
+            prop_assert!(d.sample(&mut rng) >= min);
+        }
+    }
+
+    #[test]
+    fn uniform_valid(low in 0.0f64..100.0, width in 0.01f64..100.0, seed in any::<u64>()) {
+        let d = Uniform::new(low, low + width).unwrap();
+        let mut rng = SimRng::from_seed(seed);
+        for _ in 0..200 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= low && x < low + width);
+        }
+    }
+
+    /// Moment fitting hits the requested (mean, C_v) exactly across the
+    /// entire supported space — the Table 1 synthesis guarantee.
+    #[test]
+    fn fit_matches_moments(mean in 1e-6f64..1e3, cv in 0.0f64..20.0) {
+        let d = fit_mean_cv(mean, cv).unwrap();
+        prop_assert!((d.mean() - mean).abs() <= 1e-9 * mean, "mean {} != {mean}", d.mean());
+        prop_assert!((d.cv() - cv).abs() <= 1e-6 * cv.max(1.0), "cv {} != {cv}", d.cv());
+    }
+
+    #[test]
+    fn fit_by_sigma_matches(mean in 1e-3f64..1e3, ratio in 0.0f64..10.0) {
+        let sigma = mean * ratio;
+        let d = fit_mean_sigma(mean, sigma).unwrap();
+        prop_assert!((d.std_dev() - sigma).abs() <= 1e-6 * sigma.max(1e-9));
+    }
+
+    /// Hyperexponential balanced-means fit: phase means equal, moments hit.
+    #[test]
+    fn h2_balanced_fit(mean in 1e-3f64..1e3, cv in 1.001f64..30.0) {
+        let d = HyperExponential::from_mean_cv(mean, cv).unwrap();
+        let m1 = d.p1() / d.rate1();
+        let m2 = (1.0 - d.p1()) / d.rate2();
+        prop_assert!((m1 - m2).abs() <= 1e-9 * m1.max(m2));
+        prop_assert!((d.mean() - mean).abs() <= 1e-9 * mean);
+    }
+
+    /// Scaling is exactly linear in the factor for any inner distribution.
+    #[test]
+    fn scaled_linearity(mean in 1e-3f64..10.0, factor in 1e-3f64..1e3, seed in any::<u64>()) {
+        let inner = Arc::new(Exponential::from_mean(mean).unwrap());
+        let scaled = Scaled::new(inner.clone() as _, factor).unwrap();
+        let mut rng1 = SimRng::from_seed(seed);
+        let mut rng2 = SimRng::from_seed(seed);
+        for _ in 0..50 {
+            let raw = inner.sample(&mut rng1);
+            let s = scaled.sample(&mut rng2);
+            prop_assert!((s - raw * factor).abs() <= 1e-12 * s.abs().max(1.0));
+        }
+    }
+
+    /// Shifting adds exactly the offset to every sample.
+    #[test]
+    fn shifted_offset(mean in 1e-3f64..10.0, offset in 0.0f64..1e3, seed in any::<u64>()) {
+        let inner = Arc::new(Exponential::from_mean(mean).unwrap());
+        let shifted = Shifted::new(inner.clone() as _, offset).unwrap();
+        let mut rng1 = SimRng::from_seed(seed);
+        let mut rng2 = SimRng::from_seed(seed);
+        for _ in 0..50 {
+            let raw = inner.sample(&mut rng1);
+            let s = shifted.sample(&mut rng2);
+            prop_assert!((s - (raw + offset)).abs() <= 1e-9 * s.max(1.0));
+        }
+    }
+
+    /// Empirical distributions: quantile function is monotone, samples land
+    /// within [min, max] of the source, and scaling preserves C_v.
+    #[test]
+    fn empirical_invariants(
+        data in prop::collection::vec(0.0f64..1e4, 2..300),
+        factor in 0.01f64..100.0,
+        seed in any::<u64>(),
+    ) {
+        let d = Empirical::from_samples(&data).unwrap();
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = d.quantile(q);
+            prop_assert!(v >= last - 1e-12);
+            last = v;
+        }
+        let min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut rng = SimRng::from_seed(seed);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= min - 1e-9 && x <= max + 1e-9);
+        }
+        let scaled = d.scaled(factor).unwrap();
+        prop_assert!((scaled.mean() - d.mean() * factor).abs() <= 1e-9 * scaled.mean().max(1e-12));
+        prop_assert!((scaled.cv() - d.cv()).abs() <= 1e-6);
+    }
+
+    /// Deterministic is a fixed point of sampling.
+    #[test]
+    fn deterministic_constant(value in 0.0f64..1e6, seed in any::<u64>()) {
+        let d = Deterministic::new(value).unwrap();
+        let mut rng = SimRng::from_seed(seed);
+        prop_assert_eq!(d.sample(&mut rng), value);
+    }
+}

@@ -1,0 +1,141 @@
+//! Task placement across a cluster.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// The placement discipline used by a [`LoadBalancer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BalancerPolicy {
+    /// Uniformly random server choice.
+    Random,
+    /// Cyclic assignment.
+    RoundRobin,
+    /// Join-the-shortest-queue (ties broken by lowest index).
+    JoinShortestQueue,
+}
+
+/// A simple cluster front-end distributing arrivals over `n` servers.
+///
+/// # Examples
+///
+/// ```
+/// use bighouse_models::{BalancerPolicy, LoadBalancer};
+///
+/// let mut lb = LoadBalancer::new(BalancerPolicy::RoundRobin, 3);
+/// let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+/// let picks: Vec<usize> = (0..6).map(|_| lb.pick(&[0, 0, 0], &mut rng)).collect();
+/// assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    policy: BalancerPolicy,
+    servers: usize,
+    next_rr: usize,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer over `servers` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    #[must_use]
+    pub fn new(policy: BalancerPolicy, servers: usize) -> Self {
+        assert!(servers > 0, "load balancer needs at least one server");
+        LoadBalancer {
+            policy,
+            servers,
+            next_rr: 0,
+        }
+    }
+
+    /// The placement policy.
+    #[must_use]
+    pub fn policy(&self) -> BalancerPolicy {
+        self.policy
+    }
+
+    /// Number of servers balanced over.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Picks a server for the next arrival. `queue_lengths` must have one
+    /// entry per server (used by [`BalancerPolicy::JoinShortestQueue`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_lengths.len()` disagrees with the server count.
+    pub fn pick(&mut self, queue_lengths: &[usize], rng: &mut dyn RngCore) -> usize {
+        assert_eq!(
+            queue_lengths.len(),
+            self.servers,
+            "queue_lengths has wrong arity"
+        );
+        match self.policy {
+            BalancerPolicy::Random => (rng.next_u64() % self.servers as u64) as usize,
+            BalancerPolicy::RoundRobin => {
+                let pick = self.next_rr;
+                self.next_rr = (self.next_rr + 1) % self.servers;
+                pick
+            }
+            BalancerPolicy::JoinShortestQueue => queue_lengths
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &len)| len)
+                .map(|(i, _)| i)
+                .expect("at least one server"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::mock::StepRng;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut lb = LoadBalancer::new(BalancerPolicy::RoundRobin, 4);
+        let mut rng = StepRng::new(0, 1);
+        let picks: Vec<usize> = (0..8).map(|_| lb.pick(&[0; 4], &mut rng)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn jsq_picks_shortest() {
+        let mut lb = LoadBalancer::new(BalancerPolicy::JoinShortestQueue, 3);
+        let mut rng = StepRng::new(0, 1);
+        assert_eq!(lb.pick(&[3, 1, 2], &mut rng), 1);
+        assert_eq!(lb.pick(&[0, 0, 0], &mut rng), 0, "ties break low");
+    }
+
+    #[test]
+    fn random_covers_all_servers() {
+        use bighouse_des::SimRng;
+        let mut lb = LoadBalancer::new(BalancerPolicy::Random, 5);
+        let mut rng = SimRng::from_seed(7);
+        let mut seen = [0usize; 5];
+        for _ in 0..5000 {
+            seen[lb.pick(&[0; 5], &mut rng)] += 1;
+        }
+        for (i, &count) in seen.iter().enumerate() {
+            assert!(count > 800, "server {i} picked only {count} times");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn arity_mismatch_panics() {
+        let mut lb = LoadBalancer::new(BalancerPolicy::Random, 2);
+        let mut rng = StepRng::new(0, 1);
+        let _ = lb.pick(&[0], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = LoadBalancer::new(BalancerPolicy::Random, 0);
+    }
+}

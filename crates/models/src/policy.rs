@@ -1,0 +1,138 @@
+//! Idle low-power policies.
+
+use serde::{Deserialize, Serialize};
+
+/// How a server exploits idleness, selecting among the behaviors of the
+/// paper's case studies.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum IdlePolicy {
+    /// The server never sleeps (baseline queuing server).
+    #[default]
+    AlwaysOn,
+    /// PowerNap-style (paper ref. 23): enter a nap state whenever **no**
+    /// work is present; wake on arrival, paying `wake_latency` seconds
+    /// before service resumes.
+    PowerNap {
+        /// Transition latency from nap back to active, in seconds.
+        wake_latency: f64,
+    },
+    /// Classic ACPI-style timeout policy: nap only after the server has
+    /// been completely idle for `idle_timeout` seconds (hedging against
+    /// immediately paying a wake penalty on bursty traffic); wake on
+    /// arrival with `wake_latency`. The §2.1 "ACPI power modes" extension
+    /// point, realized as a policy.
+    TimeoutNap {
+        /// Continuous idle time required before napping, in seconds.
+        idle_timeout: f64,
+        /// Transition latency from nap back to active, in seconds.
+        wake_latency: f64,
+    },
+    /// DreamWeaver (paper ref. 26, §3.2): "preempt execution and enter
+    /// deep sleep if there are fewer outstanding tasks than cores. However,
+    /// if any task is delayed by more than a pre-specified threshold, the
+    /// system wakes up." Trades per-request latency for coalesced
+    /// full-system idleness.
+    DreamWeaver {
+        /// Maximum per-task delay before a forced wake, in seconds — the
+        /// tuning knob swept in Figure 6.
+        max_delay: f64,
+        /// Transition latency from nap back to active, in seconds.
+        wake_latency: f64,
+    },
+}
+
+impl IdlePolicy {
+    /// Whether this policy ever naps.
+    #[must_use]
+    pub fn can_nap(&self) -> bool {
+        !matches!(self, IdlePolicy::AlwaysOn)
+    }
+
+    /// The wake transition latency (0 for [`IdlePolicy::AlwaysOn`]).
+    #[must_use]
+    pub fn wake_latency(&self) -> f64 {
+        match self {
+            IdlePolicy::AlwaysOn => 0.0,
+            IdlePolicy::PowerNap { wake_latency }
+            | IdlePolicy::TimeoutNap { wake_latency, .. }
+            | IdlePolicy::DreamWeaver { wake_latency, .. } => *wake_latency,
+        }
+    }
+
+    /// Validates the policy's parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any latency or threshold is negative or non-finite.
+    pub(crate) fn validate(&self) {
+        match self {
+            IdlePolicy::AlwaysOn => {}
+            IdlePolicy::PowerNap { wake_latency } => {
+                assert!(
+                    wake_latency.is_finite() && *wake_latency >= 0.0,
+                    "wake latency must be finite and non-negative, got {wake_latency}"
+                );
+            }
+            IdlePolicy::TimeoutNap {
+                idle_timeout,
+                wake_latency,
+            } => {
+                assert!(
+                    idle_timeout.is_finite() && *idle_timeout >= 0.0,
+                    "idle timeout must be finite and non-negative, got {idle_timeout}"
+                );
+                assert!(
+                    wake_latency.is_finite() && *wake_latency >= 0.0,
+                    "wake latency must be finite and non-negative, got {wake_latency}"
+                );
+            }
+            IdlePolicy::DreamWeaver {
+                max_delay,
+                wake_latency,
+            } => {
+                assert!(
+                    max_delay.is_finite() && *max_delay >= 0.0,
+                    "max delay must be finite and non-negative, got {max_delay}"
+                );
+                assert!(
+                    wake_latency.is_finite() && *wake_latency >= 0.0,
+                    "wake latency must be finite and non-negative, got {wake_latency}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_predicates() {
+        assert!(!IdlePolicy::AlwaysOn.can_nap());
+        assert!(IdlePolicy::PowerNap { wake_latency: 0.001 }.can_nap());
+        assert!(IdlePolicy::DreamWeaver {
+            max_delay: 0.01,
+            wake_latency: 0.001
+        }
+        .can_nap());
+    }
+
+    #[test]
+    fn wake_latency_accessor() {
+        assert_eq!(IdlePolicy::AlwaysOn.wake_latency(), 0.0);
+        assert_eq!(
+            IdlePolicy::PowerNap { wake_latency: 0.005 }.wake_latency(),
+            0.005
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wake latency")]
+    fn validate_rejects_negative_latency() {
+        IdlePolicy::PowerNap {
+            wake_latency: -1.0,
+        }
+        .validate();
+    }
+}

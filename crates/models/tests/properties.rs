@@ -1,0 +1,197 @@
+//! Property-based tests for the data-center object model.
+
+use proptest::prelude::*;
+
+use bighouse_des::Time;
+use bighouse_models::{
+    DvfsModel, IdlePolicy, Job, JobId, LinearPowerModel, PowerCapper, Server,
+};
+
+/// An arbitrary arrival schedule: (inter-arrival gap, job size) pairs.
+fn schedule() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0f64..2.0, 0.001f64..2.0), 1..60)
+}
+
+/// Drains a server completely, returning all finished jobs.
+fn drain(server: &mut Server) -> Vec<bighouse_models::FinishedJob> {
+    let mut finished = Vec::new();
+    while let Some(eta) = server.next_event() {
+        finished.extend(server.sync(eta));
+        if server.outstanding() == 0 && server.next_event().is_none() {
+            break;
+        }
+    }
+    finished
+}
+
+proptest! {
+    /// Every job that enters a server eventually leaves, exactly once, with
+    /// sane timestamps (completion >= first_service >= arrival).
+    #[test]
+    fn jobs_are_conserved(arrivals in schedule(), cores in 1usize..8) {
+        let mut server = Server::new(cores);
+        let mut now = Time::ZERO;
+        let mut finished = Vec::new();
+        for (i, &(gap, size)) in arrivals.iter().enumerate() {
+            now += gap;
+            finished.extend(server.arrive(Job::new(JobId::new(i as u64), now, size), now));
+        }
+        finished.extend(drain(&mut server));
+        prop_assert_eq!(finished.len(), arrivals.len());
+        let mut ids: Vec<u64> = finished.iter().map(|f| f.id.raw()).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..arrivals.len() as u64).collect::<Vec<_>>());
+        for f in &finished {
+            prop_assert!(f.first_service >= f.arrival);
+            prop_assert!(f.completion >= f.first_service);
+            // At nominal speed, service span >= demand.
+            prop_assert!(f.service_span() >= f.size - 1e-9);
+        }
+    }
+
+    /// Single-core FCFS: completion order equals arrival order.
+    #[test]
+    fn single_core_is_fcfs(arrivals in schedule()) {
+        let mut server = Server::new(1);
+        let mut now = Time::ZERO;
+        let mut finished = Vec::new();
+        for (i, &(gap, size)) in arrivals.iter().enumerate() {
+            now += gap;
+            finished.extend(server.arrive(Job::new(JobId::new(i as u64), now, size), now));
+        }
+        finished.extend(drain(&mut server));
+        let order: Vec<u64> = finished.iter().map(|f| f.id.raw()).collect();
+        prop_assert_eq!(order, (0..arrivals.len() as u64).collect::<Vec<_>>());
+    }
+
+    /// Work conservation at nominal speed: total busy core-time equals
+    /// total service demand.
+    #[test]
+    fn work_is_conserved(arrivals in schedule(), cores in 1usize..8) {
+        let mut server = Server::new(cores);
+        let mut now = Time::ZERO;
+        for (i, &(gap, size)) in arrivals.iter().enumerate() {
+            now += gap;
+            server.arrive(Job::new(JobId::new(i as u64), now, size), now);
+        }
+        drain(&mut server);
+        let total_demand: f64 = arrivals.iter().map(|&(_, s)| s).sum();
+        let end = server.next_event().map_or(now + 1.0, |t| t);
+        let busy = server.average_utilization(end) * (end - Time::ZERO) * cores as f64;
+        prop_assert!(
+            (busy - total_demand).abs() <= 1e-6 * total_demand.max(1.0),
+            "busy {busy} vs demand {total_demand}"
+        );
+    }
+
+    /// DreamWeaver never violates its per-task delay bound by more than the
+    /// wake latency: waiting_time <= max_delay + wake_latency + epsilon for
+    /// jobs that start on a server with spare cores.
+    #[test]
+    fn dreamweaver_bounds_added_delay(
+        arrivals in prop::collection::vec((0.05f64..2.0, 0.001f64..0.05), 1..40),
+        max_delay in 0.01f64..0.5,
+    ) {
+        let wake_latency = 0.005;
+        let cores = 8; // ample: queueing from contention is negligible
+        let mut server = Server::new(cores).with_policy(IdlePolicy::DreamWeaver {
+            max_delay,
+            wake_latency,
+        });
+        let mut now = Time::ZERO;
+        let mut finished = Vec::new();
+        for (i, &(gap, size)) in arrivals.iter().enumerate() {
+            now += gap;
+            finished.extend(server.arrive(Job::new(JobId::new(i as u64), now, size), now));
+        }
+        finished.extend(drain(&mut server));
+        prop_assert_eq!(finished.len(), arrivals.len());
+        for f in &finished {
+            prop_assert!(
+                f.waiting_time() <= max_delay + wake_latency + 1e-6,
+                "job waited {} > bound {}",
+                f.waiting_time(),
+                max_delay + wake_latency
+            );
+        }
+    }
+
+    /// The power capper always exhausts exactly its budget pool, assigns
+    /// frequencies within [F_MIN, 1], and reports non-negative capping.
+    #[test]
+    fn capper_invariants(
+        utilizations in prop::collection::vec(0.0f64..1.0, 1..100),
+        budget in 50.0f64..100_000.0,
+    ) {
+        let capper = PowerCapper::new(
+            LinearPowerModel::typical_server(),
+            DvfsModel::default(),
+            budget,
+        );
+        let outcome = capper.rebudget(&utilizations);
+        let total: f64 = outcome.budgets.iter().sum();
+        prop_assert!((total - budget).abs() <= 1e-6 * budget);
+        for &f in &outcome.frequencies {
+            prop_assert!((DvfsModel::F_MIN..=1.0).contains(&f));
+        }
+        for &level in &outcome.capping_levels {
+            prop_assert!(level >= 0.0);
+        }
+        // Monotone fairness: a busier server never gets a smaller budget.
+        for i in 0..utilizations.len() {
+            for j in 0..utilizations.len() {
+                if utilizations[i] > utilizations[j] {
+                    prop_assert!(outcome.budgets[i] >= outcome.budgets[j] - 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Power model inversion: the frequency chosen for a budget never
+    /// exceeds the budget's power (when above the floor).
+    #[test]
+    fn budget_inversion_is_safe(u in 0.0f64..1.0, budget in 0.0f64..300.0) {
+        let m = LinearPowerModel::typical_server();
+        let f = m.frequency_for_budget(u, budget, 0.5);
+        prop_assert!((0.5..=1.0).contains(&f));
+        if f > 0.5 && f < 1.0 {
+            // Interior solution: power at f equals the budget.
+            prop_assert!((m.power(u, f) - budget).abs() <= 1e-6 * budget.max(1.0));
+        }
+    }
+
+    /// Energy accounting is additive in time: never decreases, and awake
+    /// power is bounded by [idle, peak].
+    #[test]
+    fn energy_is_monotone(arrivals in schedule()) {
+        let model = LinearPowerModel::typical_server();
+        let mut server = Server::new(2).with_power_model(model);
+        let mut now = Time::ZERO;
+        let mut last_energy = 0.0;
+        for (i, &(gap, size)) in arrivals.iter().enumerate() {
+            now += gap;
+            server.arrive(Job::new(JobId::new(i as u64), now, size), now);
+            let e = server.energy_joules();
+            prop_assert!(e >= last_energy);
+            last_energy = e;
+        }
+        drain(&mut server);
+        // Past any possible completion: last arrival + total backlog.
+        let backlog: f64 = arrivals.iter().map(|&(_, s)| s).sum();
+        let end = now + backlog + 10.0;
+        server.sync(end);
+        let avg_power = server.energy_joules() / (end - Time::ZERO);
+        prop_assert!(avg_power >= model.idle_watts() * 0.99 - 1e-9);
+        prop_assert!(avg_power <= model.peak_watts() * 1.01);
+    }
+
+    /// DVFS speedup is monotone in frequency and bounded by (1-α, 1].
+    #[test]
+    fn dvfs_speedup_monotone(alpha in 0.0f64..1.0, f1 in 0.01f64..1.0, f2 in 0.01f64..1.0) {
+        let d = DvfsModel::new(alpha);
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(d.speedup(lo) <= d.speedup(hi) + 1e-12);
+        prop_assert!(d.speedup(lo) >= 1.0 - alpha - 1e-12);
+        prop_assert!(d.speedup(hi) <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,576 @@
+//! The cluster simulation: the queuing network exercised by the engine.
+
+use std::collections::HashMap;
+
+use bighouse_des::{Calendar, Control, EventHandle, SimRng, Simulation, Time};
+use bighouse_dists::Distribution;
+use bighouse_models::{Job, JobId, LoadBalancer, PowerCapper, Server};
+use bighouse_stats::{HistogramSpec, MetricId, Phase, StatsCollection};
+
+use crate::config::{ArrivalMode, ExperimentConfig, MetricKind};
+use crate::report::ClusterSummary;
+
+/// Events dispatched by a [`ClusterSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// A new task arrives at a specific server (per-server streams).
+    Arrival {
+        /// Target server index.
+        server: usize,
+    },
+    /// A new task arrives at the cluster front-end (load-balanced mode).
+    BalancedArrival,
+    /// A server's own next event (completion, wake, threshold) is due.
+    Attention {
+        /// Server index.
+        server: usize,
+    },
+    /// A power-capping budgeting epoch boundary (§4.1: every second).
+    CappingEpoch,
+    /// A plain observation epoch (power metric without capping).
+    ObservationEpoch,
+}
+
+/// The simulated cluster: servers, arrival processes, the optional global
+/// power capper, and the statistics engine observing it all.
+///
+/// Implements [`Simulation`] for the discrete-event [`bighouse_des::Engine`];
+/// use [`crate::run_serial`] unless you need custom control.
+#[derive(Debug)]
+pub struct ClusterSim {
+    config: ExperimentConfig,
+    servers: Vec<Server>,
+    attention: Vec<Option<EventHandle>>,
+    balancer: Option<LoadBalancer>,
+    capper: Option<PowerCapper>,
+    rng: SimRng,
+    stats: StatsCollection,
+    response_id: MetricId,
+    waiting_id: Option<MetricId>,
+    capping_id: Option<MetricId>,
+    power_id: Option<MetricId>,
+    energy_marks: Vec<f64>,
+    job_counter: u64,
+    stop_on_convergence: bool,
+}
+
+impl ClusterSim {
+    /// Builds the simulation from a validated config and an RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (see
+    /// [`ExperimentConfig`]).
+    #[must_use]
+    pub fn new(config: ExperimentConfig, seed: u64) -> Self {
+        Self::build(config, seed, &HashMap::new())
+    }
+
+    /// Builds a *slave* simulation: histogram bin schemes are forced to the
+    /// master's broadcast values (Figure 3) and the simulation does not
+    /// stop on its own convergence — the master decides when the aggregate
+    /// sample suffices.
+    #[must_use]
+    pub fn new_slave(
+        config: ExperimentConfig,
+        seed: u64,
+        histogram_specs: &HashMap<String, HistogramSpec>,
+    ) -> Self {
+        let mut sim = Self::build(config, seed, histogram_specs);
+        sim.stop_on_convergence = false;
+        sim
+    }
+
+    fn build(
+        config: ExperimentConfig,
+        seed: u64,
+        forced_histograms: &HashMap<String, HistogramSpec>,
+    ) -> Self {
+        config.validate();
+        let mut servers = Vec::with_capacity(config.servers);
+        for _ in 0..config.servers {
+            let mut server = Server::new(config.cores_per_server)
+                .with_policy(config.idle_policy)
+                .with_dvfs(config.dvfs);
+            if let Some(model) = config.power_model {
+                server = server.with_power_model(model);
+            }
+            servers.push(server);
+        }
+        let balancer = match config.arrival_mode {
+            ArrivalMode::PerServer => None,
+            ArrivalMode::LoadBalanced(policy) => {
+                Some(LoadBalancer::new(policy, config.servers))
+            }
+        };
+        let mut stats = StatsCollection::new();
+        let mut response_id = None;
+        let mut waiting_id = None;
+        let mut capping_id = None;
+        let mut power_id = None;
+        for (kind, spec) in config.metric_specs() {
+            let id = match forced_histograms.get(spec.name()) {
+                Some(&hist) => stats.add_metric_with_histogram(spec, hist),
+                None => stats.add_metric(spec),
+            };
+            match kind {
+                MetricKind::ResponseTime => response_id = Some(id),
+                MetricKind::WaitingTime => waiting_id = Some(id),
+                MetricKind::CappingLevel => capping_id = Some(id),
+                MetricKind::ServerPower => power_id = Some(id),
+            }
+        }
+        let n = config.servers;
+        ClusterSim {
+            capper: config.capper.clone(),
+            servers,
+            attention: vec![None; n],
+            balancer,
+            rng: SimRng::from_seed(seed),
+            stats,
+            response_id: response_id.expect("response time is always tracked"),
+            waiting_id,
+            capping_id,
+            power_id,
+            energy_marks: vec![0.0; n],
+            job_counter: 0,
+            stop_on_convergence: true,
+            config,
+        }
+    }
+
+    /// Schedules the initial events: first arrivals and, if configured, the
+    /// first budgeting/observation epoch. Call exactly once before running.
+    pub fn prime(&mut self, cal: &mut Calendar<ClusterEvent>) {
+        match self.config.arrival_mode {
+            ArrivalMode::PerServer => {
+                for s in 0..self.servers.len() {
+                    let dt = self.config.workload.interarrival().sample(&mut self.rng);
+                    cal.schedule_in(dt, ClusterEvent::Arrival { server: s });
+                }
+            }
+            ArrivalMode::LoadBalanced(_) => {
+                let dt = self.config.workload.interarrival().sample(&mut self.rng);
+                cal.schedule_in(dt, ClusterEvent::BalancedArrival);
+            }
+        }
+        if let Some(capper) = &self.capper {
+            cal.schedule_in(capper.epoch_seconds(), ClusterEvent::CappingEpoch);
+        } else if self.power_id.is_some() {
+            cal.schedule_in(
+                PowerCapper::DEFAULT_EPOCH_SECONDS,
+                ClusterEvent::ObservationEpoch,
+            );
+        }
+    }
+
+    /// The statistics engine (read access).
+    #[must_use]
+    pub fn stats(&self) -> &StatsCollection {
+        &self.stats
+    }
+
+    /// Whether every metric has finished calibration (reached measurement
+    /// or convergence) — the master's hand-off point in Figure 3.
+    #[must_use]
+    pub fn all_calibrated(&self) -> bool {
+        self.stats
+            .iter()
+            .all(|m| matches!(m.phase(), Phase::Measurement | Phase::Converged))
+    }
+
+    /// The histogram bin schemes chosen during calibration, keyed by metric
+    /// name — the payload the master broadcasts to slaves.
+    #[must_use]
+    pub fn histogram_specs(&self) -> HashMap<String, HistogramSpec> {
+        self.stats
+            .iter()
+            .filter_map(|m| {
+                m.histogram()
+                    .map(|h| (m.spec().name().to_owned(), *h.spec()))
+            })
+            .collect()
+    }
+
+    /// Jobs injected so far.
+    #[must_use]
+    pub fn jobs_injected(&self) -> u64 {
+        self.job_counter
+    }
+
+    /// Builds the cluster-level summary at time `now`.
+    #[must_use]
+    pub fn summary(&self, now: Time) -> ClusterSummary {
+        let n = self.servers.len() as f64;
+        let total_energy: f64 = self.servers.iter().map(Server::energy_joules).sum();
+        let sim_seconds = now.as_seconds();
+        ClusterSummary {
+            servers: self.servers.len(),
+            jobs_completed: self.servers.iter().map(Server::completed_jobs).sum(),
+            mean_full_idle_fraction: self
+                .servers
+                .iter()
+                .map(|s| s.full_idle_fraction(now))
+                .sum::<f64>()
+                / n,
+            mean_nap_fraction: self
+                .servers
+                .iter()
+                .map(|s| s.nap_fraction(now))
+                .sum::<f64>()
+                / n,
+            mean_utilization: self
+                .servers
+                .iter()
+                .map(|s| s.average_utilization(now))
+                .sum::<f64>()
+                / n,
+            total_energy_joules: total_energy,
+            average_power_watts: if sim_seconds > 0.0 {
+                total_energy / sim_seconds
+            } else {
+                0.0
+            },
+        }
+    }
+
+    fn record_finished(&mut self, finished: &[bighouse_models::FinishedJob]) {
+        for f in finished {
+            self.stats.record(self.response_id, f.response_time());
+            if let Some(id) = self.waiting_id {
+                let wait = f.waiting_time();
+                // Waiting observations exist only for tasks that queued —
+                // the rarity driving Figure 9's "+Waiting" runtimes.
+                if wait > 0.0 {
+                    self.stats.record(id, wait);
+                }
+            }
+        }
+    }
+
+    fn inject(&mut self, server: usize, now: Time) {
+        let size = self.config.workload.service().sample(&mut self.rng);
+        let job = Job::new(JobId::new(self.job_counter), now, size.max(1e-12));
+        self.job_counter += 1;
+        let finished = self.servers[server].arrive(job, now);
+        self.record_finished(&finished);
+    }
+
+    fn reschedule_attention(&mut self, server: usize, now: Time, cal: &mut Calendar<ClusterEvent>) {
+        if let Some(handle) = self.attention[server].take() {
+            cal.cancel(handle);
+        }
+        if let Some(t) = self.servers[server].next_event() {
+            // Guard against sub-nanosecond floating-point drift below `now`.
+            let at = t.max(now);
+            self.attention[server] = Some(cal.schedule(at, ClusterEvent::Attention { server }));
+        }
+    }
+
+    fn epoch_tick(&mut self, now: Time, rebudget: bool, cal: &mut Calendar<ClusterEvent>) {
+        let mut utilizations = Vec::with_capacity(self.servers.len());
+        for s in 0..self.servers.len() {
+            let finished = self.servers[s].sync(now);
+            self.record_finished(&finished);
+            utilizations.push(self.servers[s].take_epoch_utilization(now));
+        }
+        if rebudget {
+            let capper = self.capper.as_ref().expect("capping epoch requires capper");
+            let outcome = capper.rebudget(&utilizations);
+            let total_capping = outcome.total_capping_level();
+            for s in 0..self.servers.len() {
+                let finished = self.servers[s].set_frequency(outcome.frequencies[s], now);
+                self.record_finished(&finished);
+            }
+            if let Some(id) = self.capping_id {
+                // One cluster-level observation per budgeting epoch: the
+                // metric's pace is set by simulated time, not request rate.
+                self.stats.record(id, total_capping);
+            }
+        }
+        if let Some(id) = self.power_id {
+            let epoch = self
+                .capper
+                .as_ref()
+                .map_or(PowerCapper::DEFAULT_EPOCH_SECONDS, PowerCapper::epoch_seconds);
+            for s in 0..self.servers.len() {
+                let energy = self.servers[s].energy_joules();
+                let watts = (energy - self.energy_marks[s]) / epoch;
+                self.energy_marks[s] = energy;
+                self.stats.record(id, watts);
+            }
+        }
+        for s in 0..self.servers.len() {
+            self.reschedule_attention(s, now, cal);
+        }
+    }
+}
+
+impl Simulation for ClusterSim {
+    type Event = ClusterEvent;
+
+    fn handle(
+        &mut self,
+        now: Time,
+        event: ClusterEvent,
+        cal: &mut Calendar<ClusterEvent>,
+    ) -> Control {
+        match event {
+            ClusterEvent::Arrival { server } => {
+                self.inject(server, now);
+                let dt = self.config.workload.interarrival().sample(&mut self.rng);
+                cal.schedule_in(dt, ClusterEvent::Arrival { server });
+                self.reschedule_attention(server, now, cal);
+            }
+            ClusterEvent::BalancedArrival => {
+                let queue_lengths: Vec<usize> =
+                    self.servers.iter().map(Server::outstanding).collect();
+                let balancer = self.balancer.as_mut().expect("balanced mode has balancer");
+                let server = balancer.pick(&queue_lengths, &mut self.rng);
+                self.inject(server, now);
+                let dt = self.config.workload.interarrival().sample(&mut self.rng);
+                cal.schedule_in(dt, ClusterEvent::BalancedArrival);
+                self.reschedule_attention(server, now, cal);
+            }
+            ClusterEvent::Attention { server } => {
+                self.attention[server] = None;
+                let finished = self.servers[server].sync(now);
+                self.record_finished(&finished);
+                self.reschedule_attention(server, now, cal);
+            }
+            ClusterEvent::CappingEpoch => {
+                self.epoch_tick(now, true, cal);
+                let epoch = self.capper.as_ref().expect("capper present").epoch_seconds();
+                cal.schedule_in(epoch, ClusterEvent::CappingEpoch);
+            }
+            ClusterEvent::ObservationEpoch => {
+                self.epoch_tick(now, false, cal);
+                cal.schedule_in(
+                    PowerCapper::DEFAULT_EPOCH_SECONDS,
+                    ClusterEvent::ObservationEpoch,
+                );
+            }
+        }
+        if self.stop_on_convergence && self.stats.all_converged() {
+            Control::Stop
+        } else {
+            Control::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bighouse_des::Engine;
+    use bighouse_workloads::{StandardWorkload, Workload};
+
+    fn quick_config() -> ExperimentConfig {
+        ExperimentConfig::new(Workload::standard(StandardWorkload::Web))
+            .with_utilization(0.5)
+            .with_target_accuracy(0.2)
+            .with_warmup(50)
+            .with_calibration(500)
+    }
+
+    fn run(config: ExperimentConfig, seed: u64) -> (ClusterSim, Time, u64) {
+        let mut sim = ClusterSim::new(config, seed);
+        let mut cal = Calendar::new();
+        sim.prime(&mut cal);
+        let mut engine = Engine::from_parts(sim, cal);
+        let stats = engine.run_with_limit(20_000_000);
+        let now = engine.now();
+        (engine.into_simulation(), now, stats.events_fired)
+    }
+
+    #[test]
+    fn single_server_run_converges() {
+        let (sim, now, events) = run(quick_config(), 1);
+        assert!(sim.stats().all_converged(), "did not converge in event budget");
+        assert!(events > 1000);
+        let summary = sim.summary(now);
+        assert!(summary.jobs_completed > 1000);
+        // Utilization should be near the configured 50%.
+        assert!(
+            (summary.mean_utilization - 0.5).abs() < 0.1,
+            "utilization {}",
+            summary.mean_utilization
+        );
+    }
+
+    #[test]
+    fn response_estimate_exceeds_service_mean() {
+        // Tight accuracy: with the Web workload's Cv = 3.4 service times, a
+        // coarse sample's mean fluctuates far too much for this check.
+        let (sim, _, _) = run(quick_config().with_target_accuracy(0.05), 2);
+        let est = sim
+            .stats()
+            .metric_by_name("response_time")
+            .unwrap()
+            .estimate()
+            .unwrap();
+        let service_mean = Workload::standard(StandardWorkload::Web).service().mean();
+        assert!(
+            est.mean >= service_mean * 0.9,
+            "response {} cannot be below service mean {service_mean}",
+            est.mean
+        );
+    }
+
+    #[test]
+    fn multi_server_per_stream_mode() {
+        let (sim, now, _) = run(quick_config().with_servers(4), 3);
+        assert!(sim.stats().all_converged());
+        let summary = sim.summary(now);
+        assert_eq!(summary.servers, 4);
+    }
+
+    #[test]
+    fn load_balanced_mode_distributes_work() {
+        use bighouse_models::BalancerPolicy;
+        let config = quick_config()
+            .with_servers(4)
+            .with_arrival_mode(ArrivalMode::LoadBalanced(BalancerPolicy::JoinShortestQueue));
+        // Balanced mode shares one arrival stream; rescale it so the whole
+        // cluster (not each server) sees 50% load: the per-server stream is
+        // already at 0.5 for 4 cores, so divide inter-arrivals by 4.
+        let config = ExperimentConfig::new(
+            config
+                .workload()
+                .with_interarrival_scale(0.25)
+                .unwrap(),
+        )
+        .with_servers(4)
+        .with_arrival_mode(ArrivalMode::LoadBalanced(BalancerPolicy::JoinShortestQueue))
+        .with_target_accuracy(0.2)
+        .with_warmup(50)
+        .with_calibration(500);
+        let (sim, now, _) = run(config, 4);
+        assert!(sim.stats().all_converged());
+        let summary = sim.summary(now);
+        for s in &sim.servers {
+            assert!(s.completed_jobs() > 100, "server starved: {}", s.completed_jobs());
+        }
+        assert!((summary.mean_utilization - 0.5).abs() < 0.15);
+    }
+
+    #[test]
+    fn capping_epoch_throttles_overloaded_cluster() {
+        use bighouse_models::{DvfsModel, LinearPowerModel};
+        // Budget below what two busy servers want: capping must engage.
+        let capper = PowerCapper::new(
+            LinearPowerModel::typical_server(),
+            DvfsModel::default(),
+            250.0,
+        );
+        let config = quick_config()
+            .with_servers(2)
+            .with_utilization(0.8)
+            .with_capper(capper)
+            .with_metric(MetricKind::CappingLevel)
+            .with_warmup(100)
+            .with_calibration(300)
+            .with_max_events(5_000_000);
+        let (sim, _, _) = run(config, 5);
+        let capping = sim.stats().metric_by_name("capping_level").unwrap();
+        let est = capping.estimate().expect("capping metric observed");
+        assert!(est.mean > 0.0, "tight budget must produce capping");
+    }
+
+    #[test]
+    fn power_metric_without_capper_uses_observation_epochs() {
+        use bighouse_models::LinearPowerModel;
+        let config = quick_config()
+            .with_power_model(LinearPowerModel::typical_server())
+            .with_metric(MetricKind::ServerPower)
+            .with_warmup(20)
+            .with_calibration(200)
+            .with_max_events(10_000_000);
+        let (sim, now, _) = run(config, 6);
+        let power = sim.stats().metric_by_name("server_power").unwrap();
+        assert!(power.total_observed() > 0, "power epochs must fire");
+        let summary = sim.summary(now);
+        assert!(summary.average_power_watts > 100.0);
+        assert!(summary.average_power_watts < 200.0);
+    }
+
+    #[test]
+    fn timeout_nap_policy_accumulates_nap_time() {
+        use bighouse_models::IdlePolicy;
+        // Light load on a big server: long idle gaps exceed the timeout.
+        let config = quick_config()
+            .with_cores(8)
+            .with_utilization(0.1)
+            .with_idle_policy(IdlePolicy::TimeoutNap {
+                idle_timeout: 0.02,
+                wake_latency: 0.001,
+            });
+        let (sim, now, _) = run(config, 12);
+        let summary = sim.summary(now);
+        assert!(
+            summary.mean_nap_fraction > 0.1,
+            "timeout policy should nap at 10% load, got {}",
+            summary.mean_nap_fraction
+        );
+        // Napping never exceeds full idleness.
+        assert!(summary.mean_nap_fraction <= summary.mean_full_idle_fraction + 1e-9);
+    }
+
+    #[test]
+    fn quantile_value_ci_is_reported() {
+        let (sim, _, _) = run(quick_config(), 13);
+        let est = sim
+            .stats()
+            .metric_by_name("response_time")
+            .unwrap()
+            .estimate()
+            .unwrap();
+        let p95 = est.quantiles.iter().find(|q| q.q == 0.95).unwrap();
+        let hv = p95.half_width_value.expect("density is estimable");
+        assert!(hv > 0.0 && hv < p95.value, "value CI {hv} vs p95 {}", p95.value);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, now_a, ev_a) = run(quick_config(), 7);
+        let (b, now_b, ev_b) = run(quick_config(), 7);
+        assert_eq!(now_a, now_b);
+        assert_eq!(ev_a, ev_b);
+        let ea = a.stats().metric_by_name("response_time").unwrap().estimate().unwrap();
+        let eb = b.stats().metric_by_name("response_time").unwrap().estimate().unwrap();
+        assert_eq!(ea.mean, eb.mean);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, ..) = run(quick_config(), 8);
+        let (b, ..) = run(quick_config(), 9);
+        let ea = a.stats().metric_by_name("response_time").unwrap().estimate().unwrap();
+        let eb = b.stats().metric_by_name("response_time").unwrap().estimate().unwrap();
+        assert_ne!(ea.mean, eb.mean);
+    }
+
+    #[test]
+    fn slave_does_not_stop_on_convergence() {
+        let mut master = ClusterSim::new(quick_config(), 10);
+        let mut cal = Calendar::new();
+        master.prime(&mut cal);
+        let mut engine = Engine::from_parts(master, cal);
+        engine.run_with_limit(20_000_000);
+        let specs = engine.simulation().histogram_specs();
+        assert!(!specs.is_empty());
+
+        let mut slave = ClusterSim::new_slave(quick_config(), 11, &specs);
+        let mut cal = Calendar::new();
+        slave.prime(&mut cal);
+        let mut engine = Engine::from_parts(slave, cal);
+        let stats = engine.run_with_limit(2_000_000);
+        assert!(
+            !stats.stopped_by_simulation,
+            "slaves must keep simulating until told to stop"
+        );
+        // The slave adopted the master's bin scheme.
+        let slave_specs = engine.simulation().histogram_specs();
+        assert_eq!(slave_specs["response_time"], specs["response_time"]);
+    }
+}

@@ -1,0 +1,408 @@
+//! Experiment configuration.
+
+use bighouse_models::{BalancerPolicy, DvfsModel, IdlePolicy, LinearPowerModel, PowerCapper};
+use bighouse_stats::MetricSpec;
+use bighouse_workloads::Workload;
+
+/// How arrivals reach the cluster's servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalMode {
+    /// Every server has its own independent arrival stream drawn from the
+    /// workload (the paper's cluster-scaling experiments, where each
+    /// server's load is statistically identical).
+    PerServer,
+    /// One central arrival stream dispatched by a load balancer.
+    LoadBalanced(BalancerPolicy),
+}
+
+/// The built-in observables an experiment can track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Per-task sojourn time (always tracked).
+    ResponseTime,
+    /// Per-task queueing delay, recorded **only when a task actually
+    /// waited** — which is why Figure 9's "+Waiting" runs take so much
+    /// longer: "wait events are much less frequent than request completion
+    /// events".
+    WaitingTime,
+    /// Cluster-total capping level in watts, one observation per budgeting
+    /// epoch (requires a capper) — Figure 9's "+Capping" observable, rarer
+    /// still than waiting since "capping epochs occur less frequently than
+    /// request completions". Being epoch-paced, this metric pins the
+    /// *simulated duration* regardless of cluster size, which is what makes
+    /// Figure 7's runtime grow linearly with the number of servers.
+    CappingLevel,
+    /// Per-server, per-epoch average power in watts (requires a power
+    /// model).
+    ServerPower,
+}
+
+impl MetricKind {
+    /// The metric's registered name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetricKind::ResponseTime => "response_time",
+            MetricKind::WaitingTime => "waiting_time",
+            MetricKind::CappingLevel => "capping_level",
+            MetricKind::ServerPower => "server_power",
+        }
+    }
+}
+
+/// Everything needed to run one BigHouse experiment.
+///
+/// Construct with [`ExperimentConfig::new`] and refine with the builder
+/// methods; all defaults mirror the paper (§4: quad-core servers, 95%
+/// confidence, E = 0.05 on the mean and the 95th percentile).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    pub(crate) workload: Workload,
+    pub(crate) servers: usize,
+    pub(crate) cores_per_server: usize,
+    pub(crate) idle_policy: IdlePolicy,
+    pub(crate) dvfs: DvfsModel,
+    pub(crate) power_model: Option<LinearPowerModel>,
+    pub(crate) capper: Option<PowerCapper>,
+    pub(crate) arrival_mode: ArrivalMode,
+    /// Tracked metrics; `None` means "inherit the experiment-wide targets",
+    /// `Some(spec)` is used verbatim.
+    pub(crate) metrics: Vec<(MetricKind, Option<MetricSpec>)>,
+    pub(crate) target_accuracy: f64,
+    pub(crate) confidence: f64,
+    pub(crate) quantile: f64,
+    pub(crate) warmup: u64,
+    pub(crate) calibration: usize,
+    pub(crate) max_events: u64,
+}
+
+impl ExperimentConfig {
+    /// Creates a single quad-core-server experiment at the workload's
+    /// as-measured load, observing response time.
+    #[must_use]
+    pub fn new(workload: Workload) -> Self {
+        ExperimentConfig {
+            workload,
+            servers: 1,
+            cores_per_server: 4,
+            idle_policy: IdlePolicy::AlwaysOn,
+            dvfs: DvfsModel::default(),
+            power_model: None,
+            capper: None,
+            arrival_mode: ArrivalMode::PerServer,
+            metrics: vec![(MetricKind::ResponseTime, None)],
+            target_accuracy: 0.05,
+            confidence: 0.95,
+            quantile: 0.95,
+            warmup: 1000,
+            calibration: MetricSpec::DEFAULT_CALIBRATION,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Sets the number of servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    #[must_use]
+    pub fn with_servers(mut self, servers: usize) -> Self {
+        assert!(servers > 0, "cluster needs at least one server");
+        self.servers = servers;
+        self
+    }
+
+    /// Sets cores per server (paper default: quad-core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    #[must_use]
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        assert!(cores > 0, "server needs at least one core");
+        self.cores_per_server = cores;
+        self
+    }
+
+    /// Scales the workload's arrival process so each server runs at the
+    /// given fraction of peak load.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < utilization < 1`.
+    #[must_use]
+    pub fn with_utilization(mut self, utilization: f64) -> Self {
+        self.workload = self
+            .workload
+            .at_utilization(utilization, self.cores_per_server as u32);
+        self
+    }
+
+    /// Sets the idle low-power policy for every server.
+    #[must_use]
+    pub fn with_idle_policy(mut self, policy: IdlePolicy) -> Self {
+        self.idle_policy = policy;
+        self
+    }
+
+    /// Sets the DVFS performance model.
+    #[must_use]
+    pub fn with_dvfs(mut self, dvfs: DvfsModel) -> Self {
+        self.dvfs = dvfs;
+        self
+    }
+
+    /// Attaches a power model to every server (enables energy accounting
+    /// and the [`MetricKind::ServerPower`] observable).
+    #[must_use]
+    pub fn with_power_model(mut self, model: LinearPowerModel) -> Self {
+        self.power_model = Some(model);
+        self
+    }
+
+    /// Enables global power capping (§4.1). Implies the power model used by
+    /// the capper.
+    #[must_use]
+    pub fn with_capper(mut self, capper: PowerCapper) -> Self {
+        self.power_model = Some(*capper.power_model());
+        self.dvfs = *capper.dvfs();
+        self.capper = Some(capper);
+        self
+    }
+
+    /// Sets the arrival mode (per-server streams or load-balanced).
+    #[must_use]
+    pub fn with_arrival_mode(mut self, mode: ArrivalMode) -> Self {
+        self.arrival_mode = mode;
+        self
+    }
+
+    /// Adds an observable with the experiment-wide targets.
+    ///
+    /// Response time is always present; adding it again is a no-op.
+    #[must_use]
+    pub fn with_metric(mut self, kind: MetricKind) -> Self {
+        if !self.metrics.iter().any(|(k, _)| *k == kind) {
+            self.metrics.push((kind, None));
+        }
+        self
+    }
+
+    /// Adds (or replaces) an observable with a fully custom [`MetricSpec`]
+    /// that overrides the experiment-wide targets — e.g. a looser accuracy
+    /// or a shorter calibration for a rare, epoch-paced metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's name differs from `kind.name()`; the simulation
+    /// wires observations by that name.
+    #[must_use]
+    pub fn with_metric_spec(mut self, kind: MetricKind, spec: MetricSpec) -> Self {
+        assert_eq!(
+            spec.name(),
+            kind.name(),
+            "metric spec must be named after its kind"
+        );
+        if let Some(entry) = self.metrics.iter_mut().find(|(k, _)| *k == kind) {
+            entry.1 = Some(spec);
+        } else {
+            self.metrics.push((kind, Some(spec)));
+        }
+        self
+    }
+
+    /// Sets the relative accuracy target E for **all** metrics (Eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < e < 1`.
+    #[must_use]
+    pub fn with_target_accuracy(mut self, e: f64) -> Self {
+        assert!(e > 0.0 && e < 1.0, "accuracy must be in (0, 1), got {e}");
+        self.target_accuracy = e;
+        self
+    }
+
+    /// Sets the confidence level for all metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < confidence < 1`.
+    #[must_use]
+    pub fn with_confidence(mut self, confidence: f64) -> Self {
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0, 1), got {confidence}"
+        );
+        self.confidence = confidence;
+        self
+    }
+
+    /// Sets the quantile tracked by every metric (default: 0.95).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q < 1`.
+    #[must_use]
+    pub fn with_quantile(mut self, q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1), got {q}");
+        self.quantile = q;
+        self
+    }
+
+    /// Sets the warm-up observation count N_w per metric.
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the calibration sample size per metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    #[must_use]
+    pub fn with_calibration(mut self, calibration: usize) -> Self {
+        assert!(calibration > 0, "calibration sample must be non-empty");
+        self.calibration = calibration;
+        self
+    }
+
+    /// Caps total simulated events (safety valve for unstable configs).
+    #[must_use]
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// The configured workload.
+    #[must_use]
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Number of servers.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Cores per server.
+    #[must_use]
+    pub fn cores_per_server(&self) -> usize {
+        self.cores_per_server
+    }
+
+    /// The metric specs this experiment will register, with experiment-wide
+    /// targets applied.
+    #[must_use]
+    pub fn metric_specs(&self) -> Vec<(MetricKind, MetricSpec)> {
+        self.metrics
+            .iter()
+            .map(|(kind, custom)| {
+                let spec = match custom {
+                    Some(spec) => spec.clone(),
+                    None => MetricSpec::new(kind.name())
+                        .with_target_accuracy(self.target_accuracy)
+                        .with_confidence(self.confidence)
+                        .with_quantiles(&[self.quantile])
+                        .with_warmup(self.warmup)
+                        .with_calibration(self.calibration),
+                };
+                (*kind, spec)
+            })
+            .collect()
+    }
+
+    /// Validates cross-field constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a metric requires a model that is not configured
+    /// (capping level without a capper, power without a power model).
+    pub(crate) fn validate(&self) {
+        for (kind, _) in &self.metrics {
+            match kind {
+                MetricKind::CappingLevel => assert!(
+                    self.capper.is_some(),
+                    "capping_level metric requires a PowerCapper"
+                ),
+                MetricKind::ServerPower => assert!(
+                    self.power_model.is_some(),
+                    "server_power metric requires a power model"
+                ),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bighouse_dists::Distribution;
+    use bighouse_workloads::StandardWorkload;
+
+    fn base() -> ExperimentConfig {
+        ExperimentConfig::new(Workload::standard(StandardWorkload::Web))
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = base();
+        assert_eq!(c.servers(), 1);
+        assert_eq!(c.cores_per_server(), 4);
+        assert_eq!(c.target_accuracy, 0.05);
+        assert_eq!(c.confidence, 0.95);
+        assert_eq!(c.quantile, 0.95);
+        assert_eq!(c.calibration, 5000);
+    }
+
+    #[test]
+    fn metric_specs_inherit_targets() {
+        let c = base()
+            .with_metric(MetricKind::WaitingTime)
+            .with_target_accuracy(0.01)
+            .with_quantile(0.99);
+        let specs = c.metric_specs();
+        assert_eq!(specs.len(), 2);
+        for (_, spec) in &specs {
+            assert_eq!(spec.target_accuracy(), 0.01);
+            assert_eq!(spec.quantiles(), &[0.99]);
+        }
+    }
+
+    #[test]
+    fn duplicate_metric_is_noop() {
+        let c = base().with_metric(MetricKind::ResponseTime);
+        assert_eq!(c.metric_specs().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a PowerCapper")]
+    fn capping_metric_without_capper_rejected() {
+        base().with_metric(MetricKind::CappingLevel).validate();
+    }
+
+    #[test]
+    fn capper_implies_power_model() {
+        use bighouse_models::{DvfsModel, LinearPowerModel, PowerCapper};
+        let c = base().with_capper(PowerCapper::new(
+            LinearPowerModel::typical_server(),
+            DvfsModel::default(),
+            500.0,
+        ));
+        assert!(c.power_model.is_some());
+        c.with_metric(MetricKind::CappingLevel).validate();
+    }
+
+    #[test]
+    fn utilization_rescales_workload() {
+        let c = base();
+        let scaled = base().with_utilization(0.5);
+        assert!(
+            scaled.workload().interarrival().mean() != c.workload().interarrival().mean()
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! BigHouse simulation orchestration.
+//!
+//! This crate assembles the substrates — the discrete-event engine, the
+//! statistics package, workloads, and the data-center object model — into
+//! runnable experiments:
+//!
+//! - [`ExperimentConfig`] describes a simulated cluster, its workload, and
+//!   the output metrics (with accuracy/confidence targets) to observe,
+//! - [`run_serial`] executes the Figure 2 phase sequence on one thread and
+//!   terminates at convergence,
+//! - [`ParallelRunner`] executes the Figure 3 master/slave protocol across
+//!   threads: the master calibrates and broadcasts the histogram bin
+//!   scheme, each slave simulates with a unique seed, and the master
+//!   monitors aggregate sample size, merges slave histograms, and reports.
+//!
+//! # Examples
+//!
+//! Estimate the 95th-percentile response time of a Web server at 50% load:
+//!
+//! ```
+//! use bighouse_sim::{ExperimentConfig, MetricKind, run_serial};
+//! use bighouse_workloads::{StandardWorkload, Workload};
+//!
+//! let config = ExperimentConfig::new(Workload::standard(StandardWorkload::Web))
+//!     .with_utilization(0.5)
+//!     .with_target_accuracy(0.10); // coarse target: fast doc-test
+//! let report = run_serial(&config, 42);
+//! let response = report.metric(MetricKind::ResponseTime.name()).unwrap();
+//! assert!(response.mean > 0.0);
+//! assert!(report.converged);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster;
+mod config;
+mod multitier;
+mod parallel;
+mod report;
+mod runner;
+mod trace;
+
+pub use cluster::ClusterSim;
+pub use config::{ArrivalMode, ExperimentConfig, MetricKind};
+pub use multitier::{run_multi_tier, MultiTierConfig, TierConfig};
+pub use parallel::{ParallelOutcome, ParallelRunner};
+pub use report::{ClusterSummary, SimulationReport};
+pub use runner::{run_serial, run_until_calibrated};
+pub use trace::{replay_trace, Trace, TraceEntry, TraceError, TraceReplayReport};

@@ -1,0 +1,387 @@
+//! The master/slave parallel runner (Figure 3).
+//!
+//! "First, the simulation undergoes a warm-up and calibration phase on the
+//! master. A histogram is generated from the calibration sample and the bin
+//! scheme is sent to the slaves. Each slave then executes its own BigHouse
+//! instance … using a unique random seed … Samples are collected at each
+//! slave until their aggregate size is sufficient to achieve the desired
+//! accuracy. Finally, in the merge phase, each slave sends its histogram to
+//! the master, which aggregates the histograms and reports estimates."
+//!
+//! Slaves here are OS threads; the protocol (bin-scheme broadcast, unique
+//! seeds, per-slave warm-up/calibration, aggregate-size monitoring,
+//! histogram merge) is exactly the paper's. The paper's hosts were separate
+//! machines — see DESIGN.md substitution 3.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use crossbeam::channel;
+
+use bighouse_des::{Calendar, Engine, SeedStream};
+use bighouse_stats::{
+    required_samples_mean, required_samples_quantile, Histogram, MetricEstimate, MetricSpec,
+    RunningStats,
+};
+
+use crate::cluster::ClusterSim;
+use crate::config::ExperimentConfig;
+use crate::runner::run_until_calibrated;
+
+/// How many events each slave simulates between progress reports to the
+/// master.
+const CHUNK_EVENTS: u64 = 20_000;
+
+/// The result of a parallel run.
+#[derive(Debug, Clone)]
+pub struct ParallelOutcome {
+    /// Merged estimates, one per metric that collected data.
+    pub estimates: Vec<MetricEstimate>,
+    /// Whether the aggregate sample reached the required size (as opposed
+    /// to slaves exhausting their event caps).
+    pub converged: bool,
+    /// Events the master consumed for its warm-up + calibration phase —
+    /// the serial fraction (Figure 10's Amdahl bottleneck, together with
+    /// each slave's own calibration).
+    pub master_calibration_events: u64,
+    /// Events simulated by each slave.
+    pub slave_events: Vec<u64>,
+    /// Wall-clock runtime of the whole parallel run in seconds.
+    pub wall_seconds: f64,
+}
+
+impl ParallelOutcome {
+    /// Looks up a merged estimate by metric name.
+    #[must_use]
+    pub fn metric(&self, name: &str) -> Option<&MetricEstimate> {
+        self.estimates.iter().find(|e| e.name == name)
+    }
+
+    /// Total events across master calibration and all slaves.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.master_calibration_events + self.slave_events.iter().sum::<u64>()
+    }
+}
+
+/// Messages slaves send the master.
+enum SlaveMessage {
+    Progress {
+        slave: usize,
+        moments: Vec<Option<RunningStats>>,
+    },
+    Final {
+        slave: usize,
+        histograms: Vec<Option<Histogram>>,
+        lags: Vec<usize>,
+        total_observed: Vec<u64>,
+        events: u64,
+    },
+}
+
+/// The distributed-simulation coordinator.
+///
+/// # Examples
+///
+/// ```no_run
+/// use bighouse_sim::{ExperimentConfig, ParallelRunner};
+/// use bighouse_workloads::{StandardWorkload, Workload};
+///
+/// let config = ExperimentConfig::new(Workload::standard(StandardWorkload::Web))
+///     .with_utilization(0.5);
+/// let outcome = ParallelRunner::new(config, 4).run(1234);
+/// println!("p95 = {:?}", outcome.metric("response_time"));
+/// ```
+#[derive(Debug)]
+pub struct ParallelRunner {
+    config: ExperimentConfig,
+    slaves: usize,
+}
+
+impl ParallelRunner {
+    /// Creates a runner with `slaves` slave simulations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slaves` is zero.
+    #[must_use]
+    pub fn new(config: ExperimentConfig, slaves: usize) -> Self {
+        assert!(slaves > 0, "parallel run needs at least one slave");
+        ParallelRunner { config, slaves }
+    }
+
+    /// Executes the full Figure 3 protocol and returns merged estimates.
+    #[must_use]
+    pub fn run(&self, master_seed: u64) -> ParallelOutcome {
+        let start = Instant::now();
+
+        // Phase 1–2: master warm-up + calibration fixes the bin schemes.
+        let (bin_schemes, master_events) = run_until_calibrated(&self.config, master_seed);
+
+        // Derive the merged-estimate bookkeeping order from the config.
+        let specs: Vec<MetricSpec> = self
+            .config
+            .metric_specs()
+            .into_iter()
+            .map(|(_, spec)| spec)
+            .collect();
+
+        // Phases 3–6: slaves with unique seeds, aggregate monitoring, merge.
+        let stop = AtomicBool::new(false);
+        let (tx, rx) = channel::unbounded::<SlaveMessage>();
+        let mut seeds = SeedStream::new(master_seed ^ 0x5A5A_5A5A_5A5A_5A5A);
+        let slave_seeds: Vec<u64> = (0..self.slaves).map(|_| seeds.next_seed()).collect();
+
+        let mut outcome = ParallelOutcome {
+            estimates: Vec::new(),
+            converged: false,
+            master_calibration_events: master_events,
+            slave_events: vec![0; self.slaves],
+            wall_seconds: 0.0,
+        };
+
+        std::thread::scope(|scope| {
+            for (slave, &seed) in slave_seeds.iter().enumerate() {
+                let tx = tx.clone();
+                let stop = &stop;
+                let config = &self.config;
+                let bin_schemes = &bin_schemes;
+                scope.spawn(move || {
+                    run_slave(slave, seed, config, bin_schemes, stop, &tx);
+                });
+            }
+            drop(tx);
+
+            // Master: monitor aggregate sample size; declare convergence
+            // when every metric's merged sample reaches its requirement.
+            let mut latest: Vec<Vec<Option<RunningStats>>> =
+                vec![vec![None; specs.len()]; self.slaves];
+            let mut finals: Vec<Option<SlaveMessage>> = (0..self.slaves).map(|_| None).collect();
+            let mut finals_seen = 0;
+            while finals_seen < self.slaves {
+                let Ok(msg) = rx.recv() else { break };
+                match msg {
+                    SlaveMessage::Progress { slave, moments } => {
+                        latest[slave] = moments;
+                        if !stop.load(Ordering::Relaxed)
+                            && aggregate_sufficient(&specs, &latest)
+                        {
+                            outcome.converged = true;
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    final_msg @ SlaveMessage::Final { .. } => {
+                        let SlaveMessage::Final { slave, .. } = &final_msg else {
+                            unreachable!("matched Final above");
+                        };
+                        let slave = *slave;
+                        finals[slave] = Some(final_msg);
+                        finals_seen += 1;
+                    }
+                }
+            }
+
+            // Merge phase: combine slave histograms bin-wise.
+            outcome.estimates = merge_finals(&specs, &finals, &mut outcome.slave_events);
+        });
+
+        outcome.wall_seconds = start.elapsed().as_secs_f64();
+        outcome
+    }
+}
+
+fn run_slave(
+    slave: usize,
+    seed: u64,
+    config: &ExperimentConfig,
+    bin_schemes: &HashMap<String, bighouse_stats::HistogramSpec>,
+    stop: &AtomicBool,
+    tx: &channel::Sender<SlaveMessage>,
+) {
+    let mut sim = ClusterSim::new_slave(config.clone(), seed, bin_schemes);
+    let mut cal = Calendar::new();
+    sim.prime(&mut cal);
+    let mut engine = Engine::from_parts(sim, cal);
+    let mut events = 0u64;
+    while !stop.load(Ordering::Relaxed) && events < config.max_events {
+        let run = engine.run_with_limit(CHUNK_EVENTS);
+        events += run.events_fired;
+        if run.events_fired == 0 {
+            break; // calendar drained (cannot happen with open arrivals)
+        }
+        let moments: Vec<Option<RunningStats>> = engine
+            .simulation()
+            .stats()
+            .iter()
+            .map(|m| m.histogram().map(|h| *h.moments()))
+            .collect();
+        let _ = tx.send(SlaveMessage::Progress { slave, moments });
+    }
+    let sim = engine.simulation();
+    let _ = tx.send(SlaveMessage::Final {
+        slave,
+        histograms: sim.stats().iter().map(|m| m.histogram().cloned()).collect(),
+        lags: sim.stats().iter().map(|m| m.lag()).collect(),
+        total_observed: sim.stats().iter().map(|m| m.total_observed()).collect(),
+        events,
+    });
+}
+
+/// Whether the merged sample across slaves satisfies every metric's
+/// requirement (paper Eqs. 2–3 applied to the aggregate).
+fn aggregate_sufficient(specs: &[MetricSpec], latest: &[Vec<Option<RunningStats>>]) -> bool {
+    for (idx, spec) in specs.iter().enumerate() {
+        let mut merged = RunningStats::new();
+        for slave in latest {
+            if let Some(Some(m)) = slave.get(idx) {
+                merged.merge(m);
+            }
+        }
+        if merged.count() < 30 {
+            return false;
+        }
+        let mut required = 2u64;
+        if spec.tracks_mean() {
+            let mean = merged.mean().abs();
+            let eps = if mean > 0.0 {
+                spec.target_accuracy() * mean
+            } else {
+                spec.target_accuracy()
+            };
+            required = required.max(required_samples_mean(
+                spec.confidence(),
+                merged.std_dev(),
+                eps,
+            ));
+        }
+        for &q in spec.quantiles() {
+            required = required.max(required_samples_quantile(
+                spec.confidence(),
+                q,
+                spec.target_accuracy(),
+            ));
+        }
+        if merged.count() < required {
+            return false;
+        }
+    }
+    true
+}
+
+fn merge_finals(
+    specs: &[MetricSpec],
+    finals: &[Option<SlaveMessage>],
+    slave_events: &mut [u64],
+) -> Vec<MetricEstimate> {
+    let mut merged_hists: Vec<Option<Histogram>> = vec![None; specs.len()];
+    let mut lags: Vec<usize> = vec![1; specs.len()];
+    let mut observed: Vec<u64> = vec![0; specs.len()];
+    for message in finals.iter().flatten() {
+        let SlaveMessage::Final {
+            slave,
+            histograms,
+            lags: slave_lags,
+            total_observed,
+            events,
+        } = message
+        else {
+            continue;
+        };
+        slave_events[*slave] = *events;
+        for (idx, hist) in histograms.iter().enumerate() {
+            let Some(hist) = hist else { continue };
+            observed[idx] += total_observed[idx];
+            lags[idx] = lags[idx].max(slave_lags[idx]);
+            match &mut merged_hists[idx] {
+                Some(acc) => acc.merge(hist),
+                slot @ None => *slot = Some(hist.clone()),
+            }
+        }
+    }
+    specs
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, spec)| {
+            let hist = merged_hists[idx].as_ref()?;
+            if hist.count() == 0 {
+                return None;
+            }
+            Some(MetricEstimate::from_histogram(
+                spec.name(),
+                hist,
+                spec.confidence(),
+                spec.quantiles(),
+                lags[idx],
+                observed[idx],
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bighouse_workloads::{StandardWorkload, Workload};
+
+    fn quick_config() -> ExperimentConfig {
+        ExperimentConfig::new(Workload::standard(StandardWorkload::Web))
+            .with_utilization(0.5)
+            .with_target_accuracy(0.1)
+            .with_warmup(50)
+            .with_calibration(500)
+            .with_max_events(20_000_000)
+    }
+
+    #[test]
+    fn parallel_run_converges_and_merges() {
+        let outcome = ParallelRunner::new(quick_config(), 2).run(99);
+        assert!(outcome.converged);
+        assert_eq!(outcome.slave_events.len(), 2);
+        assert!(outcome.slave_events.iter().all(|&e| e > 0));
+        let est = outcome.metric("response_time").expect("merged estimate");
+        assert!(est.samples_kept >= 30);
+        assert!(est.mean > 0.0);
+    }
+
+    #[test]
+    fn parallel_agrees_with_tight_serial_reference() {
+        // Compare the merged parallel estimate against a high-accuracy
+        // serial reference (E = 0.01), not against another equally noisy
+        // estimate: with a heavy-tailed, autocorrelated metric, two E=0.05
+        // estimators can legitimately disagree by more than 2E.
+        let reference = crate::run_serial(&quick_config().with_target_accuracy(0.01), 101);
+        let parallel = ParallelRunner::new(quick_config().with_target_accuracy(0.05), 3).run(101);
+        let r = reference.metric("response_time").unwrap();
+        let p = parallel.metric("response_time").unwrap();
+        let rel = (r.mean - p.mean).abs() / r.mean;
+        assert!(
+            rel < 0.15,
+            "reference mean {} vs parallel mean {} differ by {rel}",
+            r.mean,
+            p.mean
+        );
+    }
+
+    #[test]
+    fn single_slave_works() {
+        let outcome = ParallelRunner::new(quick_config(), 1).run(77);
+        assert!(outcome.converged);
+        assert!(outcome.metric("response_time").is_some());
+    }
+
+    #[test]
+    fn event_capped_run_reports_unconverged() {
+        let config = quick_config()
+            .with_target_accuracy(0.01)
+            .with_max_events(60_000);
+        let outcome = ParallelRunner::new(config, 2).run(55);
+        assert!(!outcome.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slave")]
+    fn zero_slaves_rejected() {
+        let _ = ParallelRunner::new(quick_config(), 0);
+    }
+}

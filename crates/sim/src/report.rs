@@ -1,0 +1,137 @@
+//! Simulation output reports.
+
+use serde::{Deserialize, Serialize};
+
+use bighouse_stats::MetricEstimate;
+
+/// Cluster-level facts accumulated outside the statistics engine: ratios
+/// and totals that are exact functions of the run rather than sampled
+/// estimates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSummary {
+    /// Number of servers simulated.
+    pub servers: usize,
+    /// Jobs completed across the cluster.
+    pub jobs_completed: u64,
+    /// Mean over servers of the fraction of time the entire server was
+    /// idle (the Figure 6 y-axis).
+    pub mean_full_idle_fraction: f64,
+    /// Mean over servers of the fraction of time spent napping.
+    pub mean_nap_fraction: f64,
+    /// Mean over servers of lifetime utilization.
+    pub mean_utilization: f64,
+    /// Total energy consumed in joules (0 without a power model).
+    pub total_energy_joules: f64,
+    /// Cluster-average power in watts (0 without a power model).
+    pub average_power_watts: f64,
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Whether every metric reached its accuracy/confidence target (as
+    /// opposed to hitting the event cap).
+    pub converged: bool,
+    /// Final estimates for each registered metric.
+    pub estimates: Vec<MetricEstimate>,
+    /// Total discrete events dispatched.
+    pub events_fired: u64,
+    /// Final simulated time in seconds.
+    pub simulated_seconds: f64,
+    /// Wall-clock runtime of the run in seconds.
+    pub wall_seconds: f64,
+    /// Cluster-level summary facts.
+    pub cluster: ClusterSummary,
+}
+
+impl SimulationReport {
+    /// Looks up a metric estimate by name.
+    #[must_use]
+    pub fn metric(&self, name: &str) -> Option<&MetricEstimate> {
+        self.estimates.iter().find(|e| e.name == name)
+    }
+
+    /// The estimate of quantile `q` for metric `name`, if tracked.
+    #[must_use]
+    pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        self.metric(name)?
+            .quantiles
+            .iter()
+            .find(|e| (e.q - q).abs() < 1e-12)
+            .map(|e| e.value)
+    }
+
+    /// Simulated events per wall-clock second — the engine-throughput
+    /// figure of merit behind Figure 7's runtime scaling.
+    #[must_use]
+    pub fn events_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events_fired as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bighouse_stats::QuantileEstimate;
+
+    fn report() -> SimulationReport {
+        SimulationReport {
+            converged: true,
+            estimates: vec![MetricEstimate {
+                name: "response_time".into(),
+                mean: 0.1,
+                std_dev: 0.05,
+                mean_half_width: 0.004,
+                relative_accuracy: 0.04,
+                quantiles: vec![QuantileEstimate {
+                    q: 0.95,
+                    value: 0.2,
+                    half_width_probability: 0.01,
+                    half_width_value: Some(0.02),
+                }],
+                samples_kept: 1000,
+                lag: 2,
+                total_observed: 10_000,
+            }],
+            events_fired: 50_000,
+            simulated_seconds: 1234.5,
+            wall_seconds: 0.5,
+            cluster: ClusterSummary {
+                servers: 4,
+                jobs_completed: 10_000,
+                mean_full_idle_fraction: 0.3,
+                mean_nap_fraction: 0.1,
+                mean_utilization: 0.5,
+                total_energy_joules: 100.0,
+                average_power_watts: 80.0,
+            },
+        }
+    }
+
+    #[test]
+    fn metric_lookup() {
+        let r = report();
+        assert!(r.metric("response_time").is_some());
+        assert!(r.metric("nope").is_none());
+        assert_eq!(r.quantile("response_time", 0.95), Some(0.2));
+        assert_eq!(r.quantile("response_time", 0.99), None);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let r = report();
+        assert_eq!(r.events_per_second(), 100_000.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimulationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,138 @@
+//! The serial simulation runner (Figure 2's phase sequence, end to end).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use bighouse_des::{Calendar, Engine};
+use bighouse_stats::HistogramSpec;
+
+use crate::cluster::ClusterSim;
+use crate::config::ExperimentConfig;
+use crate::report::SimulationReport;
+
+/// Runs a complete serial simulation: warm-up, calibration, measurement,
+/// and convergence, terminating when every metric meets its target (or the
+/// configured event cap is hit).
+///
+/// # Panics
+///
+/// Panics if the configuration is internally inconsistent.
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate).
+#[must_use]
+pub fn run_serial(config: &ExperimentConfig, seed: u64) -> SimulationReport {
+    let start = Instant::now();
+    let mut sim = ClusterSim::new(config.clone(), seed);
+    let mut cal = Calendar::new();
+    sim.prime(&mut cal);
+    let mut engine = Engine::from_parts(sim, cal);
+    let run = engine.run_with_limit(config.max_events);
+    let now = engine.now();
+    let sim = engine.into_simulation();
+    SimulationReport {
+        converged: sim.stats().all_converged(),
+        estimates: sim.stats().estimates(),
+        events_fired: run.events_fired,
+        simulated_seconds: now.as_seconds(),
+        wall_seconds: start.elapsed().as_secs_f64(),
+        cluster: sim.summary(now),
+    }
+}
+
+/// Runs the **master's** portion of a parallel simulation (Figure 3): just
+/// warm-up and calibration, returning the histogram bin schemes to
+/// broadcast to slaves, plus the number of events the master consumed (the
+/// serial fraction behind Figure 10's Amdahl bottleneck).
+///
+/// # Panics
+///
+/// Panics if the configuration is internally inconsistent, or if
+/// calibration cannot complete within the configured event cap.
+#[must_use]
+pub fn run_until_calibrated(
+    config: &ExperimentConfig,
+    seed: u64,
+) -> (HashMap<String, HistogramSpec>, u64) {
+    let mut sim = ClusterSim::new(config.clone(), seed);
+    let mut cal = Calendar::new();
+    sim.prime(&mut cal);
+    let mut engine = Engine::from_parts(sim, cal);
+    const CHUNK: u64 = 1_000;
+    let mut events = 0u64;
+    while !engine.simulation().all_calibrated() {
+        let run = engine.run_with_limit(CHUNK);
+        events += run.events_fired;
+        assert!(
+            run.events_fired > 0,
+            "calendar drained before calibration completed"
+        );
+        assert!(
+            events < config.max_events,
+            "event cap reached before calibration completed"
+        );
+    }
+    (engine.simulation().histogram_specs(), events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MetricKind;
+    use bighouse_workloads::{StandardWorkload, Workload};
+
+    fn quick_config() -> ExperimentConfig {
+        ExperimentConfig::new(Workload::standard(StandardWorkload::Web))
+            .with_utilization(0.5)
+            .with_target_accuracy(0.2)
+            .with_warmup(50)
+            .with_calibration(500)
+    }
+
+    #[test]
+    fn serial_run_produces_full_report() {
+        let report = run_serial(&quick_config(), 21);
+        assert!(report.converged);
+        assert!(report.wall_seconds > 0.0);
+        assert!(report.simulated_seconds > 0.0);
+        assert!(report.events_fired > 0);
+        let est = report.metric(MetricKind::ResponseTime.name()).unwrap();
+        assert!(est.relative_accuracy <= 0.2 * 1.05);
+        assert!(report.quantile("response_time", 0.95).unwrap() > est.mean);
+    }
+
+    #[test]
+    fn event_cap_reports_unconverged() {
+        let config = quick_config().with_max_events(5_000);
+        let report = run_serial(&config, 22);
+        assert!(!report.converged);
+        assert_eq!(report.events_fired, 5_000);
+    }
+
+    #[test]
+    fn tighter_accuracy_needs_more_events() {
+        let coarse = run_serial(&quick_config().with_target_accuracy(0.2), 23);
+        let fine = run_serial(&quick_config().with_target_accuracy(0.05), 23);
+        assert!(
+            fine.events_fired > coarse.events_fired,
+            "E=0.05 ({}) should outlast E=0.2 ({})",
+            fine.events_fired,
+            coarse.events_fired
+        );
+    }
+
+    #[test]
+    fn calibration_only_run_stops_early() {
+        // Demand a tight full run so measurement dominates calibration.
+        let config = quick_config().with_target_accuracy(0.02);
+        let (specs, events) = run_until_calibrated(&config, 24);
+        assert!(specs.contains_key("response_time"));
+        let full = run_serial(&config, 24);
+        assert!(
+            events < full.events_fired,
+            "calibration ({events}) must cost less than the full run ({})",
+            full.events_fired
+        );
+    }
+}

@@ -1,0 +1,455 @@
+//! Trace replay.
+//!
+//! "It is possible to exercise the BigHouse discrete-event simulator by
+//! replaying traces directly (which eliminates some sampling difficulties,
+//! such as sample auto-correlation)" (§2.2). This module provides that
+//! mode: a [`Trace`] is an explicit, ordered list of (arrival time, service
+//! demand) pairs, and [`replay_trace`] drives the cluster with it verbatim
+//! — no random draws, no warm-up/convergence machinery. As the paper
+//! cautions, replay yields the *exact empirical* result for that one trace
+//! rather than a statistically rigorous steady-state estimate, so the
+//! report exposes full-sample statistics with exact (sorted) quantiles.
+
+use serde::{Deserialize, Serialize};
+
+use bighouse_des::{Calendar, Control, Engine, EventHandle, SimRng, Simulation, Time};
+use bighouse_dists::Distribution;
+use bighouse_models::{BalancerPolicy, IdlePolicy, Job, JobId, LoadBalancer, Server};
+use bighouse_stats::RunningStats;
+use bighouse_workloads::Workload;
+
+/// One traced request: absolute arrival time and service demand (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Arrival time, seconds from trace start.
+    pub arrival: f64,
+    /// Service demand at nominal speed, seconds.
+    pub size: f64,
+}
+
+/// An explicit request trace, ordered by arrival time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+/// Error constructing or loading a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Entries were empty, unsorted, or contained invalid values.
+    Invalid(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON parse failure.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Invalid(msg) => write!(f, "invalid trace: {msg}"),
+            TraceError::Io(e) => write!(f, "trace file I/O failed: {e}"),
+            TraceError::Format(e) => write!(f, "trace file is malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Format(e)
+    }
+}
+
+impl Trace {
+    /// Creates a trace from entries, validating order and values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Invalid`] if the trace is empty, arrival times
+    /// are not non-decreasing and non-negative, or any size is not positive
+    /// and finite.
+    pub fn new(entries: Vec<TraceEntry>) -> Result<Self, TraceError> {
+        if entries.is_empty() {
+            return Err(TraceError::Invalid("trace has no entries".into()));
+        }
+        let mut last = 0.0f64;
+        for (i, e) in entries.iter().enumerate() {
+            if !e.arrival.is_finite() || e.arrival < last {
+                return Err(TraceError::Invalid(format!(
+                    "arrival at index {i} ({}) is not non-decreasing",
+                    e.arrival
+                )));
+            }
+            if !e.size.is_finite() || e.size <= 0.0 {
+                return Err(TraceError::Invalid(format!(
+                    "size at index {i} ({}) must be finite and positive",
+                    e.size
+                )));
+            }
+            last = e.arrival;
+        }
+        Ok(Trace { entries })
+    }
+
+    /// Synthesizes a trace of `n` requests by random draw from a workload —
+    /// the bridge between the two modes (and a convenient test fixture for
+    /// the replay path itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn synthesize(workload: &Workload, n: usize, seed: u64) -> Self {
+        assert!(n > 0, "a trace needs at least one request");
+        let mut rng = SimRng::from_seed(seed);
+        let mut now = 0.0;
+        let entries = (0..n)
+            .map(|_| {
+                now += workload.interarrival().sample(&mut rng).max(1e-12);
+                TraceEntry {
+                    arrival: now,
+                    size: workload.service().sample(&mut rng).max(1e-12),
+                }
+            })
+            .collect();
+        Trace { entries }
+    }
+
+    /// The trace entries, ordered by arrival.
+    #[must_use]
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace has no requests (never true post-construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Time of the last arrival (seconds from trace start).
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.entries.last().map_or(0.0, |e| e.arrival)
+    }
+
+    /// Serializes the trace to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O or serialization failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), TraceError> {
+        std::fs::write(path, serde_json::to_string(self)?)?;
+        Ok(())
+    }
+
+    /// Loads a trace from a JSON file written by [`Trace::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O or parse failure, or if the decoded trace is
+    /// invalid.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, TraceError> {
+        let raw: Trace = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+        Trace::new(raw.entries)
+    }
+}
+
+/// The exact, full-sample result of replaying one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceReplayReport {
+    /// Requests completed (always the full trace).
+    pub jobs_completed: u64,
+    /// Full-sample response-time moments.
+    pub response: RunningStats,
+    /// Full-sample waiting-time moments (zero-wait requests included).
+    pub waiting: RunningStats,
+    /// Exact response-time percentiles (sorted-sample): (q, value).
+    pub response_quantiles: Vec<(f64, f64)>,
+    /// Simulated seconds from first arrival to last completion.
+    pub simulated_seconds: f64,
+    /// Mean utilization across servers over the replay.
+    pub mean_utilization: f64,
+}
+
+impl TraceReplayReport {
+    /// The exact `q`-percentile of response time, if tabulated.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.response_quantiles
+            .iter()
+            .find(|(pq, _)| (pq - q).abs() < 1e-12)
+            .map(|&(_, v)| v)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplayEvent {
+    Arrival { index: usize },
+    Attention { server: usize },
+}
+
+struct ReplaySim {
+    trace: Trace,
+    servers: Vec<Server>,
+    attention: Vec<Option<EventHandle>>,
+    balancer: LoadBalancer,
+    rng: SimRng,
+    responses: Vec<f64>,
+    waiting: RunningStats,
+    last_completion: Time,
+}
+
+impl Simulation for ReplaySim {
+    type Event = ReplayEvent;
+
+    fn handle(&mut self, now: Time, event: ReplayEvent, cal: &mut Calendar<ReplayEvent>) -> Control {
+        match event {
+            ReplayEvent::Arrival { index } => {
+                let entry = self.trace.entries[index];
+                let queue_lengths: Vec<usize> =
+                    self.servers.iter().map(Server::outstanding).collect();
+                let server = self.balancer.pick(&queue_lengths, &mut self.rng);
+                let finished = self.servers[server]
+                    .arrive(Job::new(JobId::new(index as u64), now, entry.size), now);
+                self.record(&finished, now);
+                if index + 1 < self.trace.entries.len() {
+                    cal.schedule(
+                        Time::from_seconds(self.trace.entries[index + 1].arrival),
+                        ReplayEvent::Arrival { index: index + 1 },
+                    );
+                }
+                self.reschedule(server, now, cal);
+            }
+            ReplayEvent::Attention { server } => {
+                self.attention[server] = None;
+                let finished = self.servers[server].sync(now);
+                self.record(&finished, now);
+                self.reschedule(server, now, cal);
+            }
+        }
+        Control::Continue
+    }
+}
+
+impl ReplaySim {
+    fn record(&mut self, finished: &[bighouse_models::FinishedJob], now: Time) {
+        for f in finished {
+            self.responses.push(f.response_time());
+            self.waiting.push(f.waiting_time());
+            self.last_completion = now;
+        }
+    }
+
+    fn reschedule(&mut self, server: usize, now: Time, cal: &mut Calendar<ReplayEvent>) {
+        if let Some(handle) = self.attention[server].take() {
+            cal.cancel(handle);
+        }
+        if let Some(t) = self.servers[server].next_event() {
+            self.attention[server] =
+                Some(cal.schedule(t.max(now), ReplayEvent::Attention { server }));
+        }
+    }
+}
+
+/// Replays a trace through a cluster of `servers` servers with `cores`
+/// cores each, returning exact full-sample statistics.
+///
+/// # Panics
+///
+/// Panics if `servers` or `cores` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use bighouse_sim::{replay_trace, Trace};
+/// use bighouse_models::IdlePolicy;
+/// use bighouse_workloads::{StandardWorkload, Workload};
+///
+/// let workload = Workload::standard(StandardWorkload::Web).at_utilization(0.5, 4);
+/// let trace = Trace::synthesize(&workload, 5000, 1);
+/// let report = replay_trace(&trace, 1, 4, IdlePolicy::AlwaysOn, 1);
+/// assert_eq!(report.jobs_completed, 5000);
+/// assert!(report.quantile(0.95).unwrap() >= report.response.mean());
+/// ```
+#[must_use]
+pub fn replay_trace(
+    trace: &Trace,
+    servers: usize,
+    cores: usize,
+    policy: IdlePolicy,
+    seed: u64,
+) -> TraceReplayReport {
+    assert!(servers > 0, "replay needs at least one server");
+    assert!(cores > 0, "servers need at least one core");
+    let sim = ReplaySim {
+        trace: trace.clone(),
+        servers: (0..servers)
+            .map(|_| Server::new(cores).with_policy(policy))
+            .collect(),
+        attention: vec![None; servers],
+        balancer: LoadBalancer::new(BalancerPolicy::JoinShortestQueue, servers),
+        rng: SimRng::from_seed(seed),
+        responses: Vec::with_capacity(trace.len()),
+        waiting: RunningStats::new(),
+        last_completion: Time::ZERO,
+    };
+    let mut cal = Calendar::new();
+    cal.schedule(
+        Time::from_seconds(trace.entries[0].arrival),
+        ReplayEvent::Arrival { index: 0 },
+    );
+    let mut engine = Engine::from_parts(sim, cal);
+    engine.run();
+    let now = engine.now();
+    let sim = engine.into_simulation();
+
+    let mut sorted = sim.responses.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite responses"));
+    let exact_quantile = |q: f64| -> f64 {
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let frac = pos - lo as f64;
+        if lo + 1 < sorted.len() {
+            sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac
+        } else {
+            sorted[lo]
+        }
+    };
+    let response: RunningStats = sim.responses.iter().copied().collect();
+    let mean_utilization = sim
+        .servers
+        .iter()
+        .map(|s| s.average_utilization(now))
+        .sum::<f64>()
+        / servers as f64;
+    TraceReplayReport {
+        jobs_completed: sorted.len() as u64,
+        response,
+        waiting: sim.waiting,
+        response_quantiles: [0.5, 0.9, 0.95, 0.99, 0.999]
+            .into_iter()
+            .map(|q| (q, exact_quantile(q)))
+            .collect(),
+        simulated_seconds: now.as_seconds(),
+        mean_utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bighouse_workloads::StandardWorkload;
+
+    fn web_trace(n: usize) -> Trace {
+        let w = Workload::standard(StandardWorkload::Web).at_utilization(0.5, 4);
+        Trace::synthesize(&w, n, 42)
+    }
+
+    #[test]
+    fn synthesized_trace_is_valid() {
+        let trace = web_trace(1000);
+        assert_eq!(trace.len(), 1000);
+        assert!(trace.duration() > 0.0);
+        assert!(Trace::new(trace.entries().to_vec()).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_traces() {
+        assert!(Trace::new(vec![]).is_err());
+        assert!(Trace::new(vec![TraceEntry {
+            arrival: -1.0,
+            size: 1.0
+        }])
+        .is_err());
+        assert!(Trace::new(vec![
+            TraceEntry {
+                arrival: 2.0,
+                size: 1.0
+            },
+            TraceEntry {
+                arrival: 1.0,
+                size: 1.0
+            },
+        ])
+        .is_err());
+        assert!(Trace::new(vec![TraceEntry {
+            arrival: 0.0,
+            size: 0.0
+        }])
+        .is_err());
+    }
+
+    #[test]
+    fn replay_completes_every_request() {
+        let trace = web_trace(5000);
+        let report = replay_trace(&trace, 2, 4, IdlePolicy::AlwaysOn, 1);
+        assert_eq!(report.jobs_completed, 5000);
+        assert!(report.simulated_seconds >= trace.duration());
+        assert!(report.response.mean() > 0.0);
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_seed_free_for_jsq() {
+        // With a deterministic balancer, the replay has no randomness at
+        // all: seeds must not matter.
+        let trace = web_trace(2000);
+        let a = replay_trace(&trace, 2, 4, IdlePolicy::AlwaysOn, 1);
+        let b = replay_trace(&trace, 2, 4, IdlePolicy::AlwaysOn, 999);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replay_agrees_with_synthetic_mode_on_the_same_workload() {
+        // A long trace synthesized from the workload should produce a mean
+        // response close to the converged synthetic-mode estimate.
+        use crate::{run_serial, ExperimentConfig};
+        let workload = Workload::standard(StandardWorkload::Web).at_utilization(0.5, 4);
+        let trace = Trace::synthesize(&workload, 200_000, 7);
+        let replay = replay_trace(&trace, 1, 4, IdlePolicy::AlwaysOn, 1);
+        let config = ExperimentConfig::new(workload)
+            .with_cores(4)
+            .with_target_accuracy(0.02)
+            .with_max_events(50_000_000);
+        let synthetic = run_serial(&config, 7);
+        let s = synthetic.metric("response_time").unwrap().mean;
+        let r = replay.response.mean();
+        let rel = (s - r).abs() / s;
+        assert!(rel < 0.15, "replay {r} vs synthetic {s} (err {rel})");
+    }
+
+    #[test]
+    fn exact_quantiles_are_monotone() {
+        let report = replay_trace(&web_trace(10_000), 1, 4, IdlePolicy::AlwaysOn, 1);
+        let mut last = 0.0;
+        for &(q, v) in &report.response_quantiles {
+            assert!(v >= last, "quantile {q} not monotone");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("bighouse-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let trace = web_trace(100);
+        trace.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        assert_eq!(trace, back);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

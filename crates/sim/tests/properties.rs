@@ -1,0 +1,56 @@
+//! Property-based tests for the simulation orchestration layer.
+
+use proptest::prelude::*;
+
+use bighouse_sim::{run_serial, ExperimentConfig};
+use bighouse_workloads::{StandardWorkload, Workload};
+
+fn capped_config(utilization: f64, servers: usize, cores: usize) -> ExperimentConfig {
+    ExperimentConfig::new(Workload::standard(StandardWorkload::Web))
+        .with_servers(servers)
+        .with_cores(cores)
+        .with_utilization(utilization)
+        .with_target_accuracy(0.2)
+        .with_warmup(20)
+        .with_calibration(200)
+        .with_max_events(200_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any seed and any reasonable configuration, a (possibly
+    /// event-capped) run yields internally consistent results: response
+    /// times above the service floor, utilization in range, counters sane.
+    #[test]
+    fn reports_are_internally_consistent(
+        seed in any::<u64>(),
+        utilization in 0.1f64..0.8,
+        servers in 1usize..4,
+        cores in 1usize..8,
+    ) {
+        let report = run_serial(&capped_config(utilization, servers, cores), seed);
+        prop_assert!(report.events_fired > 0);
+        prop_assert!(report.simulated_seconds > 0.0);
+        prop_assert!(report.cluster.mean_utilization >= 0.0);
+        prop_assert!(report.cluster.mean_utilization <= 1.0 + 1e-9);
+        prop_assert!(report.cluster.jobs_completed > 0);
+        if let Some(est) = report.metric("response_time") {
+            prop_assert!(est.mean > 0.0);
+            for q in &est.quantiles {
+                prop_assert!(q.value >= 0.0);
+            }
+        }
+    }
+
+    /// Determinism holds for arbitrary seeds and configurations.
+    #[test]
+    fn determinism_for_any_seed(seed in any::<u64>(), utilization in 0.1f64..0.8) {
+        let config = capped_config(utilization, 2, 4);
+        let a = run_serial(&config, seed);
+        let b = run_serial(&config, seed);
+        prop_assert_eq!(a.events_fired, b.events_fired);
+        prop_assert_eq!(a.simulated_seconds, b.simulated_seconds);
+        prop_assert_eq!(a.estimates, b.estimates);
+    }
+}

@@ -1,0 +1,166 @@
+//! Sample autocorrelation diagnostics.
+//!
+//! The paper's calibration phase exists because "observations tend to be
+//! autocorrelated" in queuing simulations (§2.3, citing Chen & Kelton).
+//! These helpers quantify that dependence directly: the sample
+//! autocorrelation function and the effective sample size (the i.i.d.
+//! equivalent of an autocorrelated sample), useful for diagnosing a chosen
+//! lag spacing or batch size.
+
+/// The sample autocorrelation function at lags `1..=max_lag`.
+///
+/// Returns an empty vector when the data is too short or has zero variance
+/// (a constant series has no meaningful autocorrelation).
+///
+/// # Examples
+///
+/// ```
+/// use bighouse_stats::autocorrelation;
+///
+/// // An alternating series is perfectly negatively correlated at lag 1.
+/// let data: Vec<f64> = (0..100).map(|i| f64::from(i % 2)).collect();
+/// let acf = autocorrelation(&data, 2);
+/// assert!(acf[0] < -0.9);
+/// assert!(acf[1] > 0.9);
+/// ```
+#[must_use]
+pub fn autocorrelation(data: &[f64], max_lag: usize) -> Vec<f64> {
+    if data.len() < 2 || max_lag == 0 {
+        return Vec::new();
+    }
+    let n = data.len();
+    let mean = data.iter().sum::<f64>() / n as f64;
+    let variance: f64 = data.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if variance <= 0.0 {
+        return Vec::new();
+    }
+    (1..=max_lag.min(n - 1))
+        .map(|lag| {
+            let covariance: f64 = data
+                .windows(lag + 1)
+                .map(|w| (w[0] - mean) * (w[lag] - mean))
+                .sum();
+            covariance / variance
+        })
+        .collect()
+}
+
+/// The effective sample size of an autocorrelated series:
+/// `n / (1 + 2·Σ ρ_k)`, truncating the ACF sum at the first non-positive
+/// term (the "initial positive sequence" rule).
+///
+/// For i.i.d. data this is ≈ n; for strongly autocorrelated data it is the
+/// number of *independent-equivalent* observations — the quantity BigHouse's
+/// lag spacing tries to recover by thinning.
+///
+/// # Examples
+///
+/// ```
+/// use bighouse_stats::effective_sample_size;
+///
+/// let mut state = 1u64;
+/// let iid: Vec<f64> = (0..1000)
+///     .map(|_| {
+///         state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+///         (state >> 11) as f64
+///     })
+///     .collect();
+/// let ess = effective_sample_size(&iid);
+/// assert!(ess > 500.0, "i.i.d.-like data should keep most of its size, got {ess}");
+/// ```
+#[must_use]
+pub fn effective_sample_size(data: &[f64]) -> f64 {
+    let n = data.len();
+    if n < 2 {
+        return n as f64;
+    }
+    let max_lag = (n / 4).max(1);
+    let acf = autocorrelation(data, max_lag);
+    let mut rho_sum = 0.0;
+    for &rho in &acf {
+        if rho <= 0.0 {
+            break;
+        }
+        rho_sum += rho;
+    }
+    (n as f64 / (1.0 + 2.0 * rho_sum)).min(n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    fn ar1_stream(seed: u64, n: usize, rho: f64) -> Vec<f64> {
+        let noise = lcg_stream(seed, n);
+        let mut x = 0.5;
+        noise
+            .iter()
+            .map(|&e| {
+                x = rho * x + (1.0 - rho) * e;
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn iid_acf_is_near_zero() {
+        let acf = autocorrelation(&lcg_stream(1, 10_000), 5);
+        for (lag, &rho) in acf.iter().enumerate() {
+            assert!(rho.abs() < 0.05, "lag {} has rho {rho}", lag + 1);
+        }
+    }
+
+    #[test]
+    fn ar1_acf_decays_geometrically() {
+        let acf = autocorrelation(&ar1_stream(2, 50_000, 0.8), 3);
+        assert!((acf[0] - 0.8).abs() < 0.05, "lag-1 acf {}", acf[0]);
+        assert!((acf[1] - 0.64).abs() < 0.07, "lag-2 acf {}", acf[1]);
+        assert!(acf[0] > acf[1] && acf[1] > acf[2]);
+    }
+
+    #[test]
+    fn constant_series_has_no_acf() {
+        assert!(autocorrelation(&[5.0; 100], 3).is_empty());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(autocorrelation(&[], 3).is_empty());
+        assert!(autocorrelation(&[1.0], 3).is_empty());
+        assert!(autocorrelation(&[1.0, 2.0], 0).is_empty());
+        assert_eq!(effective_sample_size(&[]), 0.0);
+        assert_eq!(effective_sample_size(&[1.0]), 1.0);
+    }
+
+    #[test]
+    fn ess_shrinks_with_autocorrelation() {
+        let n = 20_000;
+        let ess_iid = effective_sample_size(&lcg_stream(3, n));
+        let ess_ar = effective_sample_size(&ar1_stream(3, n, 0.9));
+        assert!(ess_iid > 0.5 * n as f64, "i.i.d. ESS {ess_iid}");
+        // AR(1) with rho=0.9: ESS/n ~ (1-rho)/(1+rho) ≈ 0.053.
+        assert!(
+            ess_ar < 0.15 * n as f64,
+            "AR(1) ESS {ess_ar} should collapse"
+        );
+    }
+
+    #[test]
+    fn ess_never_exceeds_n() {
+        // Negative autocorrelation would naively give ESS > n; we clamp.
+        let alternating: Vec<f64> = (0..1000).map(|i| f64::from(i % 2)).collect();
+        assert!(effective_sample_size(&alternating) <= 1000.0);
+    }
+}

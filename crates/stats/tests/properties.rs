@@ -1,0 +1,153 @@
+//! Property-based tests for the statistics package.
+
+use proptest::prelude::*;
+
+use bighouse_stats::{
+    math, required_samples_mean, required_samples_quantile, Histogram, HistogramSpec,
+    MetricSpec, OutputMetric, RunningStats, RunsUpTest,
+};
+
+fn observations() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1e6, 1..500)
+}
+
+proptest! {
+    /// Welford merge equals sequential accumulation for any split point.
+    #[test]
+    fn welford_merge_equals_sequential(data in observations(), split_frac in 0.0f64..1.0) {
+        let split = ((data.len() as f64) * split_frac) as usize;
+        let (left, right) = data.split_at(split.min(data.len()));
+        let mut merged: RunningStats = left.iter().copied().collect();
+        let other: RunningStats = right.iter().copied().collect();
+        merged.merge(&other);
+        let direct: RunningStats = data.iter().copied().collect();
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert!((merged.mean() - direct.mean()).abs() <= 1e-6 * direct.mean().abs().max(1.0));
+        prop_assert!(
+            (merged.sample_variance() - direct.sample_variance()).abs()
+                <= 1e-4 * direct.sample_variance().max(1.0)
+        );
+    }
+
+    /// Welford min/max are exact under merging.
+    #[test]
+    fn welford_extremes_exact(data in observations()) {
+        let stats: RunningStats = data.iter().copied().collect();
+        let min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(stats.min(), Some(min));
+        prop_assert_eq!(stats.max(), Some(max));
+    }
+
+    /// Histogram quantiles are monotone in q and bounded by observed range.
+    #[test]
+    fn histogram_quantiles_monotone(data in observations()) {
+        let spec = HistogramSpec::from_calibration_sample(&data).unwrap();
+        let mut hist = Histogram::new(spec);
+        for &x in &data {
+            hist.record(x);
+        }
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = hist.quantile(q).unwrap();
+            prop_assert!(v >= last - 1e-9, "quantile not monotone at q={q}");
+            last = v;
+        }
+        let min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(hist.quantile(0.0).unwrap() >= min - spec.width() - 1e-9);
+        prop_assert!(hist.quantile(1.0).unwrap() <= max + spec.width() + 1e-9);
+    }
+
+    /// Histogram merge is equivalent to recording the union, for any split.
+    #[test]
+    fn histogram_merge_equals_union(data in observations(), split_frac in 0.0f64..1.0) {
+        let spec = HistogramSpec::from_calibration_sample(&data).unwrap();
+        let split = ((data.len() as f64) * split_frac) as usize;
+        let (left, right) = data.split_at(split.min(data.len()));
+        let mut a = Histogram::new(spec);
+        let mut b = Histogram::new(spec);
+        let mut whole = Histogram::new(spec);
+        for &x in left {
+            a.record(x);
+            whole.record(x);
+        }
+        for &x in right {
+            b.record(x);
+            whole.record(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            prop_assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    /// Run counts always total the number of runs: sum == number of
+    /// descents + 1.
+    #[test]
+    fn run_counts_sum_matches_descents(data in prop::collection::vec(0.0f64..1.0, 2..500)) {
+        let counts = RunsUpTest::run_counts(&data);
+        let runs: u64 = counts.iter().sum();
+        let descents = data.windows(2).filter(|w| w[0] >= w[1]).count() as u64;
+        prop_assert_eq!(runs, descents + 1);
+    }
+
+    /// Required sample sizes are monotone: tighter accuracy or higher
+    /// variance can never need fewer samples.
+    #[test]
+    fn required_samples_monotone(
+        sigma in 0.01f64..100.0,
+        eps in 0.001f64..1.0,
+        factor in 1.0f64..10.0,
+    ) {
+        let base = required_samples_mean(0.95, sigma, eps);
+        prop_assert!(required_samples_mean(0.95, sigma * factor, eps) >= base);
+        prop_assert!(required_samples_mean(0.95, sigma, eps / factor) >= base);
+    }
+
+    /// Quantile sample sizes peak at the median and are symmetric.
+    #[test]
+    fn quantile_samples_symmetric(q in 0.01f64..0.5) {
+        let lo = required_samples_quantile(0.95, q, 0.01);
+        let hi = required_samples_quantile(0.95, 1.0 - q, 0.01);
+        let median = required_samples_quantile(0.95, 0.5, 0.01);
+        prop_assert_eq!(lo, hi);
+        prop_assert!(median >= lo);
+    }
+
+    /// Φ and Φ⁻¹ are inverse over the full open interval.
+    #[test]
+    fn normal_round_trip(p in 0.0001f64..0.9999) {
+        let x = math::normal_inverse_cdf(p);
+        prop_assert!((math::normal_cdf(x) - p).abs() < 1e-9);
+    }
+
+    /// Chi-square CDF is a valid CDF: monotone, in [0, 1].
+    #[test]
+    fn chi_square_cdf_valid(k in 1u32..50, x in 0.0f64..200.0) {
+        let c = math::chi_square_cdf(k, x);
+        prop_assert!((0.0..=1.0).contains(&c));
+        let c2 = math::chi_square_cdf(k, x + 1.0);
+        prop_assert!(c2 >= c - 1e-12);
+    }
+
+    /// The metric phase machine never loses observations: total observed
+    /// equals the number of records.
+    #[test]
+    fn metric_conserves_observations(data in prop::collection::vec(0.0f64..100.0, 1..2000)) {
+        let spec = MetricSpec::new("prop")
+            .with_warmup(10)
+            .with_calibration(100);
+        let mut metric = OutputMetric::new(spec);
+        for &x in &data {
+            metric.record(x);
+        }
+        prop_assert_eq!(metric.total_observed(), data.len() as u64);
+        // Kept observations can never exceed post-calibration observations.
+        let measured = data.len().saturating_sub(110) as u64;
+        prop_assert!(metric.kept_count() <= measured + 1);
+    }
+}

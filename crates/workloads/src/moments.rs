@@ -1,0 +1,89 @@
+//! First- and second-moment summaries of task properties.
+
+use serde::{Deserialize, Serialize};
+
+/// The `(avg, σ)` pair Table 1 publishes for each distribution.
+///
+/// # Examples
+///
+/// ```
+/// use bighouse_workloads::TaskMoments;
+///
+/// // Table 1, Google service time: avg 4.2 ms, σ 4.8 ms, Cv ≈ 1.1.
+/// let m = TaskMoments::new(4.2e-3, 4.8e-3);
+/// assert!((m.cv() - 1.14).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskMoments {
+    mean: f64,
+    sigma: f64,
+}
+
+impl TaskMoments {
+    /// Creates a moment pair (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean` is positive and `sigma` non-negative (both
+    /// finite).
+    #[must_use]
+    pub fn new(mean: f64, sigma: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be finite and positive, got {mean}"
+        );
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be finite and non-negative, got {sigma}"
+        );
+        TaskMoments { mean, sigma }
+    }
+
+    /// Mean in seconds.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation in seconds.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Coefficient of variation C_v = σ/μ.
+    #[must_use]
+    pub fn cv(&self) -> f64 {
+        self.sigma / self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_cv() {
+        let m = TaskMoments::new(2.0, 1.0);
+        assert_eq!(m.mean(), 2.0);
+        assert_eq!(m.sigma(), 1.0);
+        assert_eq!(m.cv(), 0.5);
+    }
+
+    #[test]
+    fn zero_sigma_allowed() {
+        assert_eq!(TaskMoments::new(1.0, 0.0).cv(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be finite and positive")]
+    fn rejects_zero_mean() {
+        let _ = TaskMoments::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be finite and non-negative")]
+    fn rejects_negative_sigma() {
+        let _ = TaskMoments::new(1.0, -1.0);
+    }
+}

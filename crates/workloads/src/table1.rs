@@ -1,0 +1,137 @@
+//! The five example workloads of Table 1.
+
+use crate::moments::TaskMoments;
+
+/// The workload models shipped with BigHouse (paper, Table 1).
+///
+/// Each variant carries the published inter-arrival and service moments;
+/// [`crate::Workload::standard`] synthesizes matching empirical
+/// distributions from them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StandardWorkload {
+    /// Departmental DNS and DHCP server under live traffic.
+    Dns,
+    /// Departmental POP and SMTP server under live traffic.
+    Mail,
+    /// Shell login server under live traffic, executing a variety of
+    /// interactive tasks.
+    Shell,
+    /// Leaf node in a Google Web Search cluster (see the paper's ref. 24).
+    Google,
+    /// Departmental HTTP server under live traffic.
+    Web,
+}
+
+impl StandardWorkload {
+    /// All five workloads, in Table 1 order.
+    pub const ALL: [StandardWorkload; 5] = [
+        StandardWorkload::Dns,
+        StandardWorkload::Mail,
+        StandardWorkload::Shell,
+        StandardWorkload::Google,
+        StandardWorkload::Web,
+    ];
+
+    /// The workload's name as printed in Table 1.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            StandardWorkload::Dns => "DNS",
+            StandardWorkload::Mail => "Mail",
+            StandardWorkload::Shell => "Shell",
+            StandardWorkload::Google => "Google",
+            StandardWorkload::Web => "Web",
+        }
+    }
+
+    /// Table 1's description column.
+    #[must_use]
+    pub fn description(&self) -> &'static str {
+        match self {
+            StandardWorkload::Dns => "Departmental DNS and DHCP server under live traffic.",
+            StandardWorkload::Mail => "Departmental POP and SMTP server under live traffic.",
+            StandardWorkload::Shell => {
+                "Shell login server under live traffic, executing a variety of interactive tasks."
+            }
+            StandardWorkload::Google => "Leaf node in a Google Web Search cluster.",
+            StandardWorkload::Web => "Departmental HTTP server under live traffic.",
+        }
+    }
+
+    /// Published inter-arrival moments (avg, σ), in seconds.
+    #[must_use]
+    pub fn interarrival_moments(&self) -> TaskMoments {
+        match self {
+            StandardWorkload::Dns => TaskMoments::new(1.1, 1.2),
+            StandardWorkload::Mail => TaskMoments::new(0.206, 0.397),
+            StandardWorkload::Shell => TaskMoments::new(0.186, 0.796),
+            StandardWorkload::Google => TaskMoments::new(319e-6, 376e-6),
+            StandardWorkload::Web => TaskMoments::new(0.186, 0.380),
+        }
+    }
+
+    /// Published service-time moments (avg, σ), in seconds.
+    #[must_use]
+    pub fn service_moments(&self) -> TaskMoments {
+        match self {
+            StandardWorkload::Dns => TaskMoments::new(0.194, 0.198),
+            StandardWorkload::Mail => TaskMoments::new(0.092, 0.335),
+            StandardWorkload::Shell => TaskMoments::new(0.046, 0.725),
+            StandardWorkload::Google => TaskMoments::new(4.2e-3, 4.8e-3),
+            StandardWorkload::Web => TaskMoments::new(0.075, 0.263),
+        }
+    }
+}
+
+impl std::fmt::Display for StandardWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_cv_values_match_paper() {
+        // Table 1 prints Cv for each distribution; check ours agree to the
+        // paper's (rounded) precision.
+        let cases: [(StandardWorkload, f64, f64); 5] = [
+            (StandardWorkload::Dns, 1.1, 1.0),
+            (StandardWorkload::Mail, 1.9, 3.6),
+            (StandardWorkload::Shell, 4.2, 15.0),
+            (StandardWorkload::Google, 1.2, 1.1),
+            (StandardWorkload::Web, 2.0, 3.4),
+        ];
+        for (w, inter_cv, svc_cv) in cases {
+            // The paper rounds Cv to two significant figures; allow the
+            // corresponding relative slack.
+            let inter_err = (w.interarrival_moments().cv() - inter_cv).abs() / inter_cv;
+            assert!(inter_err < 0.08, "{w}: interarrival Cv {}", w.interarrival_moments().cv());
+            let svc_err = (w.service_moments().cv() - svc_cv).abs() / svc_cv;
+            assert!(svc_err < 0.08, "{w}: service Cv {}", w.service_moments().cv());
+        }
+    }
+
+    #[test]
+    fn all_lists_five_distinct_workloads() {
+        let names: std::collections::HashSet<_> =
+            StandardWorkload::ALL.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn google_is_microsecond_scale() {
+        let google = StandardWorkload::Google;
+        assert!(google.interarrival_moments().mean() < 1e-3);
+        assert!(google.service_moments().mean() < 1e-2);
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for w in StandardWorkload::ALL {
+            assert!(!w.description().is_empty());
+        }
+    }
+}

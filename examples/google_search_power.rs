@@ -1,0 +1,91 @@
+//! Case study 1 (§3.1): power management for Google Web search.
+//!
+//! Reproduces the *simulation* side of Figures 4 and 5:
+//!
+//! - Figure 4: 95th-percentile latency vs load (QPS as % of peak) for CPU
+//!   slowdown factors S_CPU ∈ {1.0, 1.1, 1.3, 1.6, 2.0}. Slower processor
+//!   settings stretch the service distribution, and the latency penalty
+//!   explodes as load grows.
+//! - Figure 5: the inter-arrival distribution matters — an exponential
+//!   arrival assumption (common in pen-and-paper queueing) and a low-Cv
+//!   load-tester-style arrival process both underestimate the tail latency
+//!   produced by real, bursty traffic.
+//!
+//! Run with: `cargo run --release --example google_search_power`
+
+use bighouse::prelude::*;
+
+fn main() {
+    let google = Workload::standard(StandardWorkload::Google);
+    let cores = 4;
+
+    println!("== Figure 4: latency vs QPS under CPU slowdown (Google search) ==");
+    println!("{:>6} {:>8} {:>12} {:>12}", "S_CPU", "QPS(%)", "p95 (ms)", "mean (ms)");
+    for s_cpu in [1.0, 1.1, 1.3, 1.6, 2.0] {
+        let slowed = google.with_service_scale(s_cpu).expect("positive scale");
+        for qps in [0.2, 0.3, 0.4, 0.5, 0.6, 0.7] {
+            // QPS% is relative to the *nominal* (unslowed) peak, as in the
+            // paper: the same offered load hits a slower server.
+            let utilization = qps * s_cpu;
+            if utilization >= 0.95 {
+                continue; // unstable operating point
+            }
+            let config = ExperimentConfig::new(slowed.clone().at_utilization(
+                utilization,
+                cores as u32,
+            ))
+            .with_cores(cores)
+            .with_target_accuracy(0.05);
+            let report = run_serial(&config, 7);
+            println!(
+                "{:>6.1} {:>8.0} {:>12.2} {:>12.2}",
+                s_cpu,
+                qps * 100.0,
+                report.quantile("response_time", 0.95).unwrap() * 1e3,
+                report.metric("response_time").unwrap().mean * 1e3,
+            );
+        }
+        println!();
+    }
+
+    println!("== Figure 5: arrival-process assumptions vs tail latency ==");
+    let service_mean = google.service().mean();
+    println!("{:>12} {:>8} {:>24}", "arrivals", "QPS(%)", "p95 (normalized to 1/mu)");
+    for qps in [0.65, 0.70, 0.75, 0.80] {
+        let interarrival_mean = service_mean / (qps * cores as f64);
+        // Three arrival processes with identical means, different shapes.
+        let scenarios: Vec<(&str, Workload)> = vec![
+            ("Low Cv", {
+                let erlang = Erlang::from_mean(16, interarrival_mean).unwrap();
+                synth_workload("lowcv", &erlang, &google)
+            }),
+            ("Exponential", {
+                let exp = Exponential::from_mean(interarrival_mean).unwrap();
+                synth_workload("exp", &exp, &google)
+            }),
+            ("Empirical", google.at_utilization(qps, cores as u32)),
+        ];
+        for (name, workload) in scenarios {
+            let config = ExperimentConfig::new(workload)
+                .with_cores(cores)
+                .with_target_accuracy(0.05);
+            let report = run_serial(&config, 11);
+            let p95 = report.quantile("response_time", 0.95).unwrap();
+            println!("{:>12} {:>8.0} {:>24.2}", name, qps * 100.0, p95 / service_mean);
+        }
+        println!();
+    }
+    println!("Real (empirical) traffic is burstier than either synthetic assumption,");
+    println!("so its tail latency is strictly worse — the paper's Figure 5 lesson.");
+}
+
+/// Builds a workload with a synthetic arrival process and the Google
+/// service distribution.
+fn synth_workload(name: &str, arrivals: &dyn Distribution, base: &Workload) -> Workload {
+    let mut rng = SimRng::from_seed(0xF165);
+    let samples: Vec<f64> = (0..100_000)
+        .map(|_| arrivals.sample(&mut rng).max(1e-12))
+        .collect();
+    let empirical = Empirical::from_samples(&samples).expect("non-empty");
+    Workload::new(name, empirical, base.service().clone())
+}

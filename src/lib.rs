@@ -1,0 +1,7 @@
+//! Top-level helper library for the BigHouse reproduction repository.
+//!
+//! The real public API lives in the [`bighouse`] crate; this package exists so
+//! that `examples/` and `tests/` can live at the repository root as the
+//! canonical entry points. It re-exports the umbrella crate for convenience.
+
+pub use bighouse;

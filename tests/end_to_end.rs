@@ -1,0 +1,194 @@
+//! Cross-crate integration tests: whole-pipeline behaviors that no single
+//! crate can check in isolation.
+
+use bighouse::prelude::*;
+
+fn quick(workload: Workload) -> ExperimentConfig {
+    ExperimentConfig::new(workload)
+        .with_target_accuracy(0.1)
+        .with_warmup(100)
+        .with_calibration(1000)
+        .with_max_events(50_000_000)
+}
+
+/// The Figure 1 flow end to end: characterize (synthesize a workload from
+/// moments), persist it, reload it, simulate it, and get a sane estimate.
+#[test]
+fn characterize_save_load_simulate() {
+    let dir = std::env::temp_dir().join("bighouse-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("custom.json");
+
+    let workload = Workload::synthesize(
+        "custom-service",
+        TaskMoments::new(0.010, 0.012),
+        TaskMoments::new(0.004, 0.006),
+        99,
+    )
+    .unwrap();
+    workload.save(&path).unwrap();
+    let loaded = Workload::load(&path).unwrap();
+    assert_eq!(workload, loaded);
+
+    let report = run_serial(&quick(loaded.at_utilization(0.5, 4)), 1);
+    assert!(report.converged);
+    let response = report.metric("response_time").unwrap();
+    assert!(response.mean >= 0.004 * 0.9, "response below service mean");
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Figure 5's headline claim as an assertion: bursty (empirical) arrivals
+/// produce a worse tail than exponential arrivals at the same mean load.
+#[test]
+fn bursty_arrivals_hurt_the_tail() {
+    let google = Workload::standard(StandardWorkload::Google);
+    let qps = 0.75;
+    let cores = 4u32;
+    let interarrival_mean = google.service().mean() / (qps * f64::from(cores));
+
+    let mut rng = SimRng::from_seed(3);
+    let exp = Exponential::from_mean(interarrival_mean).unwrap();
+    let samples: Vec<f64> = (0..200_000).map(|_| exp.sample(&mut rng).max(1e-12)).collect();
+    let exp_workload = Workload::new(
+        "exp",
+        Empirical::from_samples(&samples).unwrap(),
+        google.service().clone(),
+    );
+
+    let config = |w: Workload| {
+        ExperimentConfig::new(w)
+            .with_cores(cores as usize)
+            .with_target_accuracy(0.05)
+            .with_max_events(100_000_000)
+    };
+    let exponential = run_serial(&config(exp_workload), 4);
+    let empirical = run_serial(&config(google.at_utilization(qps, cores)), 4);
+    let p95_exp = exponential.quantile("response_time", 0.95).unwrap();
+    let p95_emp = empirical.quantile("response_time", 0.95).unwrap();
+    assert!(
+        p95_emp > p95_exp * 0.95,
+        "empirical tail ({p95_emp}) should not beat exponential ({p95_exp}) meaningfully"
+    );
+}
+
+/// DreamWeaver end to end: compared with always-on at the same load, it
+/// must deliver strictly more full-system idleness at strictly higher p99.
+#[test]
+fn dreamweaver_trades_latency_for_idleness() {
+    let workload = Workload::standard(StandardWorkload::Google);
+    let base = ExperimentConfig::new(workload.at_utilization(0.3, 16))
+        .with_cores(16)
+        .with_quantile(0.99)
+        .with_target_accuracy(0.1)
+        .with_max_events(50_000_000);
+    let always_on = run_serial(&base, 5);
+
+    let dw = base.clone().with_idle_policy(IdlePolicy::DreamWeaver {
+        max_delay: 8.0 * workload.service().mean(),
+        wake_latency: 0.001,
+    });
+    let dreamweaver = run_serial(&dw, 5);
+
+    assert!(
+        dreamweaver.cluster.mean_full_idle_fraction
+            > always_on.cluster.mean_full_idle_fraction + 0.1,
+        "DreamWeaver idleness {} vs always-on {}",
+        dreamweaver.cluster.mean_full_idle_fraction,
+        always_on.cluster.mean_full_idle_fraction
+    );
+    let p99_dw = dreamweaver.quantile("response_time", 0.99).unwrap();
+    let p99_on = always_on.quantile("response_time", 0.99).unwrap();
+    assert!(p99_dw > p99_on, "DreamWeaver p99 {p99_dw} vs always-on {p99_on}");
+}
+
+/// Power capping end to end: a capped cluster must consume less energy per
+/// simulated second and exhibit a positive capping level.
+#[test]
+fn power_capping_reduces_power() {
+    let workload = Workload::standard(StandardWorkload::Web);
+    let model = LinearPowerModel::typical_server();
+    let servers = 8;
+
+    let uncapped_config = quick(workload.at_utilization(0.6, 4))
+        .with_servers(servers)
+        .with_power_model(model);
+    let uncapped = run_serial(&uncapped_config, 6);
+
+    let capper = PowerCapper::new(
+        model,
+        DvfsModel::new(0.9),
+        model.peak_watts() * servers as f64 * 0.6,
+    );
+    let capped_config = quick(workload.at_utilization(0.6, 4))
+        .with_servers(servers)
+        .with_capper(capper)
+        .with_metric_spec(
+            MetricKind::CappingLevel,
+            MetricSpec::new("capping_level")
+                .with_target_accuracy(0.15)
+                .with_warmup(100)
+                .with_calibration(500)
+                .with_max_lag(8),
+        );
+    let capped = run_serial(&capped_config, 6);
+
+    assert!(
+        capped.cluster.average_power_watts < uncapped.cluster.average_power_watts,
+        "capped {} W vs uncapped {} W",
+        capped.cluster.average_power_watts,
+        uncapped.cluster.average_power_watts
+    );
+    assert!(capped.metric("capping_level").unwrap().mean > 0.0);
+    let p95_capped = capped.quantile("response_time", 0.95).unwrap();
+    let p95_uncapped = uncapped.quantile("response_time", 0.95).unwrap();
+    assert!(
+        p95_capped > p95_uncapped,
+        "throttling must cost latency: {p95_capped} vs {p95_uncapped}"
+    );
+}
+
+/// The parallel runner agrees with a tight serial reference on a standard
+/// workload (the Figure 3 protocol end to end, via the umbrella crate).
+#[test]
+fn parallel_protocol_end_to_end() {
+    let workload = Workload::standard(StandardWorkload::Dns);
+    let config = ExperimentConfig::new(workload.at_utilization(0.5, 4))
+        .with_target_accuracy(0.05)
+        .with_warmup(100)
+        .with_calibration(1000)
+        .with_max_events(50_000_000);
+    let reference = run_serial(&config.clone().with_target_accuracy(0.01), 7);
+    let outcome = ParallelRunner::new(config, 4).run(7);
+    assert!(outcome.converged);
+    let r = reference.metric("response_time").unwrap().mean;
+    let p = outcome.metric("response_time").unwrap().mean;
+    let err = (r - p).abs() / r;
+    assert!(err < 0.1, "parallel {p} vs reference {r} (err {err})");
+}
+
+/// Determinism across the whole stack: identical seeds give identical
+/// reports (modulo wall-clock).
+#[test]
+fn full_stack_determinism() {
+    let config = quick(Workload::standard(StandardWorkload::Mail).at_utilization(0.5, 4));
+    let a = run_serial(&config, 8);
+    let b = run_serial(&config, 8);
+    assert_eq!(a.estimates, b.estimates);
+    assert_eq!(a.events_fired, b.events_fired);
+    assert_eq!(a.simulated_seconds, b.simulated_seconds);
+    assert_eq!(a.cluster, b.cluster);
+}
+
+/// All five Table 1 workloads run to convergence through the public API.
+#[test]
+fn all_standard_workloads_simulate() {
+    for which in StandardWorkload::ALL {
+        let workload = Workload::standard(which);
+        let report = run_serial(&quick(workload.at_utilization(0.4, 4)), 9);
+        assert!(report.converged, "{which} did not converge");
+        assert!(
+            report.metric("response_time").unwrap().mean > 0.0,
+            "{which} produced nonsense"
+        );
+    }
+}
