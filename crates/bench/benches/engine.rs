@@ -75,7 +75,7 @@ fn simulation_event_throughput(c: &mut Criterion) {
                         .with_servers(servers)
                         .with_cores(4)
                         .with_max_events(100_000);
-                    run_serial(&config, 3)
+                    run_serial(&config, 3).expect("valid config")
                 })
             },
         );

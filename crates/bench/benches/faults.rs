@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the fault-injection machinery.
+//!
+//! The headline claim: a fault-free simulation pays essentially nothing for
+//! the existence of the fault subsystem (one predictable branch per
+//! arrival/completion), and even a retry-armed run's timeout bookkeeping —
+//! arming a calendar entry per attempt and lazily cancelling it on
+//! completion — is a small constant on top of the event loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bighouse::prelude::*;
+
+fn base_config() -> ExperimentConfig {
+    ExperimentConfig::new(Workload::standard(StandardWorkload::Web).at_utilization(0.5, 4))
+        .with_cores(4)
+        .with_max_events(100_000)
+}
+
+/// Fault-free baseline vs the same run with a retry policy whose timeout is
+/// generous enough that (almost) nothing fires: the delta is the pure
+/// arm/cancel overhead of per-request timeout handles.
+fn fault_machinery_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faults");
+    group.sample_size(20);
+
+    group.bench_function("events_100k/fault_free", |b| {
+        b.iter(|| run_serial(&base_config(), 3).expect("valid config"))
+    });
+
+    let service_mean = Workload::standard(StandardWorkload::Web).service().mean();
+    group.bench_function("events_100k/timeouts_armed_never_fire", |b| {
+        b.iter(|| {
+            let config = base_config().with_retry(RetryPolicy::new(service_mean * 1e6));
+            run_serial(&config, 3).expect("valid config")
+        })
+    });
+
+    group.bench_function("events_100k/failures_and_retries", |b| {
+        b.iter(|| {
+            let config = base_config()
+                .with_faults(FaultProcess::exponential(20.0, 2.0).unwrap())
+                .with_retry(RetryPolicy::new(service_mean * 20.0));
+            run_serial(&config, 3).expect("valid config")
+        })
+    });
+
+    group.finish();
+}
+
+/// The calendar-level cost of the timeout pattern in isolation: schedule an
+/// event far in the future and cancel it before it fires, at simulation
+/// churn rates.
+fn timeout_arm_cancel(c: &mut Criterion) {
+    c.bench_function("faults/arm_cancel_10k", |b| {
+        b.iter(|| {
+            let mut cal: Calendar<u64> = Calendar::new();
+            for i in 0..10_000u64 {
+                let h = cal.schedule(Time::from_seconds(1e6 + i as f64), i);
+                cal.cancel(h);
+            }
+            assert!(cal.pop().is_none());
+        })
+    });
+}
+
+criterion_group!(benches, fault_machinery_overhead, timeout_arm_cancel);
+criterion_main!(benches);

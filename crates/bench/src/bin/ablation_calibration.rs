@@ -26,7 +26,8 @@ fn main() {
             .with_target_accuracy(0.01)
             .with_max_events(500_000_000),
         seed + 1000,
-    );
+    )
+    .expect("valid config");
     let truth = reference.metric("response_time").unwrap().mean;
     println!(
         "Ablation: calibration sample size (Web @ {:.0}%, E = {accuracy}); reference mean {:.2} ms",
@@ -45,7 +46,7 @@ fn main() {
             .with_target_accuracy(accuracy)
             .with_calibration(calibration)
             .with_max_events(500_000_000);
-        let report = run_serial(&config, seed);
+        let report = run_serial(&config, seed).expect("valid config");
         let est = report.metric("response_time").unwrap();
         println!(
             "{:>8} {:>6} {:>12} {:>12} {:>12.2} {:>10}",

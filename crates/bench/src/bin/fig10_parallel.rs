@@ -35,7 +35,7 @@ fn main() {
 
     println!("Figure 10: parallel speedup vs number of slaves (E = {accuracy})");
     println!();
-    let (serial, serial_wall) = timed(|| run_serial(&config(), seed));
+    let (serial, serial_wall) = timed(|| run_serial(&config(), seed).expect("valid config"));
     println!(
         "serial baseline: {} , {} events",
         fmt_duration(serial_wall),
@@ -49,7 +49,11 @@ fn main() {
 
     let mut slaves = 1usize;
     while slaves <= max_slaves {
-        let (outcome, wall) = timed(|| ParallelRunner::new(config(), slaves).run(seed));
+        let (outcome, wall) = timed(|| {
+            ParallelRunner::new(config(), slaves)
+                .run(seed)
+                .expect("valid config")
+        });
         let slowest = outcome.slave_events.iter().copied().max().unwrap_or(0);
         let critical = outcome.master_calibration_events + slowest;
         let work_speedup = serial.events_fired as f64 / critical as f64;

@@ -42,7 +42,7 @@ fn main() {
             let config = ExperimentConfig::new(slowed.at_utilization(utilization, cores))
                 .with_cores(cores as usize)
                 .with_target_accuracy(accuracy);
-            let report = run_serial(&config, seed);
+            let report = run_serial(&config, seed).expect("valid config");
             let p95 = report.quantile("response_time", 0.95).unwrap();
             print!("{:>12.2}", p95 * 1e3);
         }

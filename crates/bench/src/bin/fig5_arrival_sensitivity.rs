@@ -60,7 +60,7 @@ fn main() {
             let config = ExperimentConfig::new(workload)
                 .with_cores(cores as usize)
                 .with_target_accuracy(accuracy);
-            let report = run_serial(&config, seed);
+            let report = run_serial(&config, seed).expect("valid config");
             row.push(report.quantile("response_time", 0.95).unwrap() / service_mean);
         }
         println!(

@@ -41,7 +41,7 @@ fn main() {
             .with_idle_policy(policy)
             .with_quantile(0.99)
             .with_target_accuracy(accuracy);
-        run_serial(&config, seed)
+        run_serial(&config, seed).expect("valid config")
     };
 
     let base = run_point(IdlePolicy::AlwaysOn);

@@ -56,7 +56,7 @@ fn main() {
                         .with_max_lag(8),
                 )
                 .with_max_events(4_000_000_000);
-            let (report, wall) = timed(|| run_serial(&config, seed));
+            let (report, wall) = timed(|| run_serial(&config, seed).expect("valid config"));
             println!(
                 "{:>8} {:>10} {:>14} {:>14} {:>12.0} {:>10}",
                 which.name(),

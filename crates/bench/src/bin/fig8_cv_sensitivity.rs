@@ -61,7 +61,7 @@ fn main() {
                     .with_quantiles(&[]),
             )
             .with_max_events(2_000_000_000);
-        let mut sim = ClusterSim::new(config, seed);
+        let mut sim = ClusterSim::new(config, seed).expect("valid config");
         let mut cal = Calendar::new();
         sim.prime(&mut cal);
         let mut engine = Engine::from_parts(sim, cal);

@@ -65,7 +65,7 @@ fn main() {
                     .with_metric(MetricKind::WaitingTime)
                     .with_metric(MetricKind::CappingLevel),
             };
-            let (report, wall) = timed(|| run_serial(&config, seed));
+            let (report, wall) = timed(|| run_serial(&config, seed).expect("valid config"));
             println!(
                 "{:>10} {:>8.2} {:>12} {:>14} {:>10}",
                 set.label(),

@@ -22,6 +22,7 @@
 //! | [`dists`] | analytic + empirical distributions, moment fitters |
 //! | [`workloads`] | the five Table 1 workloads, load scaling, file I/O |
 //! | [`models`] | servers, sleep states, DreamWeaver, DVFS, power capping |
+//! | [`faults`] | failure/repair processes, request timeout + retry policies |
 //! | [`sim`] | experiments, serial runner, master/slave parallel runner |
 //! | [`analytic`] | closed-form M/M/1, M/M/k, M/G/1, Erlang B/C baselines |
 //!
@@ -37,7 +38,7 @@
 //!     .with_cores(4)
 //!     .with_utilization(0.3)
 //!     .with_target_accuracy(0.1); // keep the doc test quick
-//! let report = run_serial(&config, 1);
+//! let report = run_serial(&config, 1).unwrap();
 //! assert!(report.converged);
 //! let response = report.metric("response_time").unwrap();
 //! println!(
@@ -53,6 +54,7 @@
 pub use bighouse_analytic as analytic;
 pub use bighouse_des as des;
 pub use bighouse_dists as dists;
+pub use bighouse_faults as faults;
 pub use bighouse_models as models;
 pub use bighouse_sim as sim;
 pub use bighouse_stats as stats;
@@ -71,9 +73,10 @@ pub mod prelude {
         BalancerPolicy, CappingOutcome, DvfsModel, FinishedJob, IdlePolicy, Job, JobId,
         LinearPowerModel, LoadBalancer, PowerCapper, Server, SleepState,
     };
+    pub use bighouse_faults::{FaultProcess, RetryPolicy};
     pub use bighouse_sim::{
-        run_serial, run_until_calibrated, ArrivalMode, ClusterSim, ExperimentConfig, MetricKind,
-        ParallelOutcome, ParallelRunner, SimulationReport,
+        run_serial, run_until_calibrated, ArrivalMode, ClusterSim, ExperimentConfig,
+        FaultSummary, MetricKind, ParallelOutcome, ParallelRunner, SimError, SimulationReport,
     };
     pub use bighouse_stats::{
         Histogram, HistogramSpec, MetricEstimate, MetricSpec, OutputMetric, Phase, RunningStats,

@@ -73,7 +73,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let report: SimulationReport = match spec.slaves {
         Some(slaves) if slaves > 1 => {
             eprintln!("running with {slaves} parallel slaves (master seed {seed})...");
-            let outcome = ParallelRunner::new(config, slaves).run(seed);
+            let outcome = ParallelRunner::new(config, slaves)
+                .run(seed)
+                .map_err(|e| e.to_string())?;
+            if !outcome.dead_slaves.is_empty() {
+                eprintln!(
+                    "warning: slaves {:?} died; estimates merged from survivors",
+                    outcome.dead_slaves
+                );
+            }
             // Wrap the merged estimates in a report shell for printing.
             SimulationReport {
                 converged: outcome.converged,
@@ -89,12 +97,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     mean_utilization: 0.0,
                     total_energy_joules: 0.0,
                     average_power_watts: 0.0,
+                    faults: None,
                 },
             }
         }
         _ => {
             eprintln!("running serially (seed {seed})...");
-            run_serial(&config, seed)
+            run_serial(&config, seed).map_err(|e| e.to_string())?
         }
     };
 
@@ -113,6 +122,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             print!("   p{:.0} {:.6}", q.q * 100.0, q.value);
         }
         println!("   [n={}, lag={}]", est.samples_kept, est.lag);
+    }
+    if let Some(fs) = &report.cluster.faults {
+        println!(
+            "  faults: {} server failures, goodput {}/{} admitted, {} timed out, {} retries",
+            fs.server_failures, fs.goodput, fs.admitted, fs.timed_out, fs.retries
+        );
     }
 
     if let Some(out) = kv_arg(args, "out") {

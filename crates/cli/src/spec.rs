@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use bighouse::faults::{FaultSpec, RetrySpec};
 use bighouse::models::{DvfsModel, IdlePolicy, LinearPowerModel, PowerCapper};
 use bighouse::sim::{ExperimentConfig, MetricKind};
 use bighouse::workloads::{StandardWorkload, Workload};
@@ -157,6 +158,12 @@ pub struct ExperimentSpec {
     /// Optional global power capping.
     #[serde(default)]
     pub capping: Option<CappingSpec>,
+    /// Optional server fault injection (MTBF/MTTR in seconds).
+    #[serde(default)]
+    pub faults: Option<FaultSpec>,
+    /// Optional request timeout + retry policy (seconds).
+    #[serde(default)]
+    pub retry: Option<RetrySpec>,
     /// Metrics to observe, by name (default: response_time).
     #[serde(default = "default_metrics")]
     pub metrics: Vec<String>,
@@ -215,6 +222,8 @@ impl ExperimentSpec {
                 budget_fraction: 0.7,
                 alpha: DvfsModel::DEFAULT_ALPHA,
             }),
+            faults: None,
+            retry: None,
             metrics: vec!["response_time".into(), "capping_level".into()],
             accuracy: 0.05,
             confidence: 0.95,
@@ -270,16 +279,29 @@ impl ExperimentSpec {
                 model.peak_watts() * self.servers as f64 * capping.budget_fraction,
             ));
         }
+        if let Some(faults) = &self.faults {
+            let process = faults
+                .build()
+                .map_err(|e| SpecError::Invalid(format!("faults block: {e}")))?;
+            config = config.with_faults(process);
+        }
+        if let Some(retry) = &self.retry {
+            let policy = retry
+                .build()
+                .map_err(|e| SpecError::Invalid(format!("retry block: {e}")))?;
+            config = config.with_retry(policy);
+        }
         for name in &self.metrics {
             let kind = match name.as_str() {
                 "response_time" => MetricKind::ResponseTime,
                 "waiting_time" => MetricKind::WaitingTime,
                 "capping_level" => MetricKind::CappingLevel,
                 "server_power" => MetricKind::ServerPower,
+                "availability" => MetricKind::Availability,
                 other => {
                     return Err(SpecError::Invalid(format!(
                         "unknown metric `{other}` (expected response_time, waiting_time, \
-                         capping_level, or server_power)"
+                         capping_level, server_power, or availability)"
                     )))
                 }
             };
@@ -346,6 +368,53 @@ mod tests {
         )
         .unwrap();
         assert!(spec.resolve().is_ok());
+    }
+
+    #[test]
+    fn fault_and_retry_blocks_resolve() {
+        let spec = ExperimentSpec::from_json(
+            r#"{"workload": {"standard": "web"},
+                "servers": 4,
+                "faults": {"mtbf": 3600.0, "mttr": 120.0},
+                "retry": {"timeout": 1.0, "max_retries": 2},
+                "metrics": ["response_time", "availability"]}"#,
+        )
+        .unwrap();
+        let config = spec.resolve().unwrap();
+        assert!(config.faults().is_some());
+        let retry = config.retry().expect("retry configured");
+        assert_eq!(retry.max_retries(), 2);
+    }
+
+    #[test]
+    fn weibull_fault_shape_decodes() {
+        let spec = ExperimentSpec::from_json(
+            r#"{"workload": {"standard": "web"},
+                "faults": {"mtbf": 1000.0, "mttr": 60.0, "shape": 0.7}}"#,
+        )
+        .unwrap();
+        assert!(spec.resolve().is_ok());
+    }
+
+    #[test]
+    fn invalid_fault_block_rejected() {
+        let spec = ExperimentSpec::from_json(
+            r#"{"workload": {"standard": "web"}, "faults": {"mtbf": -5.0, "mttr": 10.0}}"#,
+        )
+        .unwrap();
+        assert!(matches!(spec.resolve(), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn availability_metric_without_faults_fails_at_run_build() {
+        // The spec resolves (the metric name is known); the config-level
+        // validation rejects it when the simulation is built.
+        let spec = ExperimentSpec::from_json(
+            r#"{"workload": {"standard": "web"}, "metrics": ["availability"]}"#,
+        )
+        .unwrap();
+        let config = spec.resolve().unwrap();
+        assert!(bighouse::sim::run_serial(&config, 1).is_err());
     }
 
     #[test]

@@ -62,6 +62,44 @@ proptest! {
         prop_assert_eq!(popped, expected);
     }
 
+    /// Arming and then cancelling random timeouts never fires a cancelled
+    /// event, and the survivors keep deterministic FIFO tie-breaking: the
+    /// pop order is exactly the schedule order stably sorted by time, with
+    /// the cancelled subset deleted. Times are drawn from a coarse grid so
+    /// ties are common — the regime request-timeout cancellation runs in.
+    #[test]
+    fn cancelled_timeouts_never_fire_and_ties_stay_deterministic(
+        slots in prop::collection::vec(0u8..8, 1..120),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..120),
+    ) {
+        let mut cal = Calendar::new();
+        let handles: Vec<_> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, &slot)| (i, f64::from(slot), cal.schedule(Time::from_seconds(f64::from(slot)), i)))
+            .collect();
+        let mut survivors: Vec<(f64, usize)> = Vec::new();
+        let mut cancelled: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for (i, at, handle) in &handles {
+            if cancel_mask.get(*i).copied().unwrap_or(false) {
+                prop_assert!(cal.cancel(*handle), "first cancel of a pending event succeeds");
+                prop_assert!(!cal.cancel(*handle), "second cancel is a stale no-op");
+                cancelled.insert(*i);
+            } else {
+                survivors.push((*at, *i));
+            }
+        }
+        // Expected order: stable sort by time preserves schedule order
+        // within each tie group.
+        survivors.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let popped: Vec<usize> = std::iter::from_fn(|| cal.pop()).map(|(_, e)| e).collect();
+        for id in &popped {
+            prop_assert!(!cancelled.contains(id), "cancelled timeout {id} fired");
+        }
+        let expected: Vec<usize> = survivors.iter().map(|&(_, i)| i).collect();
+        prop_assert_eq!(popped, expected);
+    }
+
     /// pending() always equals scheduled − fired − cancelled.
     #[test]
     fn calendar_counters_are_consistent(ops in prop::collection::vec(0u8..3, 1..300)) {

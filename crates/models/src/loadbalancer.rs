@@ -88,6 +88,59 @@ impl LoadBalancer {
                 .expect("at least one server"),
         }
     }
+
+    /// Fault-aware placement: picks a server whose `available` flag is set,
+    /// or `None` if every server is down. Round-robin skips unavailable
+    /// servers without consuming their turn; random draws uniformly over
+    /// the available subset; JSQ minimizes over the available subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice's length disagrees with the server count.
+    pub fn pick_available(
+        &mut self,
+        queue_lengths: &[usize],
+        available: &[bool],
+        rng: &mut dyn RngCore,
+    ) -> Option<usize> {
+        assert_eq!(
+            queue_lengths.len(),
+            self.servers,
+            "queue_lengths has wrong arity"
+        );
+        assert_eq!(available.len(), self.servers, "available has wrong arity");
+        let alive = available.iter().filter(|&&a| a).count();
+        if alive == 0 {
+            return None;
+        }
+        match self.policy {
+            BalancerPolicy::Random => {
+                let k = (rng.next_u64() % alive as u64) as usize;
+                available
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &a)| a)
+                    .nth(k)
+                    .map(|(i, _)| i)
+            }
+            BalancerPolicy::RoundRobin => {
+                for _ in 0..self.servers {
+                    let candidate = self.next_rr;
+                    self.next_rr = (self.next_rr + 1) % self.servers;
+                    if available[candidate] {
+                        return Some(candidate);
+                    }
+                }
+                None
+            }
+            BalancerPolicy::JoinShortestQueue => queue_lengths
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| available[i])
+                .min_by_key(|&(_, &len)| len)
+                .map(|(i, _)| i),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +175,53 @@ mod tests {
         }
         for (i, &count) in seen.iter().enumerate() {
             assert!(count > 800, "server {i} picked only {count} times");
+        }
+    }
+
+    #[test]
+    fn pick_available_skips_failed_servers() {
+        let mut rng = StepRng::new(0, 1);
+        // Round-robin: server 1 down, cycle is 0, 2, 0, 2, ...
+        let mut lb = LoadBalancer::new(BalancerPolicy::RoundRobin, 3);
+        let avail = [true, false, true];
+        let picks: Vec<usize> = (0..4)
+            .map(|_| lb.pick_available(&[0; 3], &avail, &mut rng).unwrap())
+            .collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+        // JSQ: the true shortest queue is down, next-shortest wins.
+        let mut lb = LoadBalancer::new(BalancerPolicy::JoinShortestQueue, 3);
+        assert_eq!(
+            lb.pick_available(&[5, 0, 2], &[true, false, true], &mut rng),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn pick_available_none_when_all_down() {
+        for policy in [
+            BalancerPolicy::Random,
+            BalancerPolicy::RoundRobin,
+            BalancerPolicy::JoinShortestQueue,
+        ] {
+            let mut lb = LoadBalancer::new(policy, 2);
+            let mut rng = StepRng::new(0, 1);
+            assert_eq!(lb.pick_available(&[0; 2], &[false; 2], &mut rng), None);
+        }
+    }
+
+    #[test]
+    fn random_pick_available_covers_live_subset() {
+        use bighouse_des::SimRng;
+        let mut lb = LoadBalancer::new(BalancerPolicy::Random, 4);
+        let mut rng = SimRng::from_seed(5);
+        let avail = [true, false, true, true];
+        let mut seen = [0usize; 4];
+        for _ in 0..3000 {
+            seen[lb.pick_available(&[0; 4], &avail, &mut rng).unwrap()] += 1;
+        }
+        assert_eq!(seen[1], 0, "failed server never picked");
+        for i in [0, 2, 3] {
+            assert!(seen[i] > 600, "server {i} picked only {} times", seen[i]);
         }
     }
 

@@ -31,6 +31,10 @@ pub struct LinearPowerModel {
     idle_watts: f64,
     dynamic_watts: f64,
     nap_watts: f64,
+    /// Draw while the server is failed (down, awaiting repair). `None`
+    /// means "same as idle": a hung server still burns its floor power.
+    #[serde(default)]
+    failed_watts: Option<f64>,
 }
 
 impl LinearPowerModel {
@@ -61,7 +65,23 @@ impl LinearPowerModel {
             idle_watts,
             dynamic_watts,
             nap_watts,
+            failed_watts: None,
         }
+    }
+
+    /// Sets the failed-state power draw (default: same as idle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failed_watts` is negative or non-finite.
+    #[must_use]
+    pub fn with_failed_watts(mut self, failed_watts: f64) -> Self {
+        assert!(
+            failed_watts.is_finite() && failed_watts >= 0.0,
+            "failed power must be finite and non-negative, got {failed_watts}"
+        );
+        self.failed_watts = Some(failed_watts);
+        self
     }
 
     /// A typical commodity server per the Barroso & Hölzle synthesis
@@ -88,6 +108,12 @@ impl LinearPowerModel {
     #[must_use]
     pub fn nap_watts(&self) -> f64 {
         self.nap_watts
+    }
+
+    /// Failed-state power in watts (idle power unless overridden).
+    #[must_use]
+    pub fn failed_watts(&self) -> f64 {
+        self.failed_watts.unwrap_or(self.idle_watts)
     }
 
     /// Peak power at full utilization and frequency.
@@ -275,6 +301,20 @@ mod tests {
     #[should_panic(expected = "alpha must be in [0, 1]")]
     fn dvfs_rejects_bad_alpha() {
         let _ = DvfsModel::new(1.5);
+    }
+
+    #[test]
+    fn failed_watts_defaults_to_idle() {
+        let m = LinearPowerModel::typical_server();
+        assert_eq!(m.failed_watts(), m.idle_watts());
+        let off = m.with_failed_watts(0.0);
+        assert_eq!(off.failed_watts(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed power")]
+    fn rejects_negative_failed_watts() {
+        let _ = LinearPowerModel::typical_server().with_failed_watts(-1.0);
     }
 
     #[test]

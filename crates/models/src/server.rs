@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 
 use bighouse_des::Time;
 
-use crate::job::{FinishedJob, Job};
+use crate::job::{FinishedJob, Job, JobId};
 use crate::policy::IdlePolicy;
 use crate::power::{DvfsModel, LinearPowerModel};
 
@@ -90,6 +90,9 @@ pub struct Server {
     speed: f64,
     power_model: Option<LinearPowerModel>,
     state: SleepState,
+    /// Whether the server is down (fault injection): no service, no sleep
+    /// transitions, failed-state power draw. Orthogonal to [`SleepState`].
+    failed: bool,
     queue: VecDeque<Task>,
     running: Vec<Task>,
     /// When the server last became completely idle (for timeout policies).
@@ -100,6 +103,7 @@ pub struct Server {
     energy_joules: f64,
     full_idle_seconds: f64,
     nap_seconds: f64,
+    failed_seconds: f64,
     busy_core_seconds_total: f64,
     completed_jobs: u64,
     // Per-epoch accounting for the power capper.
@@ -124,6 +128,7 @@ impl Server {
             speed: 1.0,
             power_model: None,
             state: SleepState::Active,
+            failed: false,
             queue: VecDeque::new(),
             running: Vec::new(),
             idle_since: Some(Time::ZERO),
@@ -132,6 +137,7 @@ impl Server {
             energy_joules: 0.0,
             full_idle_seconds: 0.0,
             nap_seconds: 0.0,
+            failed_seconds: 0.0,
             busy_core_seconds_total: 0.0,
             completed_jobs: 0,
             epoch_start: Time::ZERO,
@@ -203,6 +209,30 @@ impl Server {
     #[must_use]
     pub fn state(&self) -> SleepState {
         self.state
+    }
+
+    /// Whether the server is currently failed (down, awaiting repair).
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Cumulative seconds spent in the failed state.
+    #[must_use]
+    pub fn failed_seconds(&self) -> f64 {
+        self.failed_seconds
+    }
+
+    /// Fraction of lifetime spent failed — the complement of measured
+    /// availability, to compare against the analytic
+    /// `MTTR / (MTBF + MTTR)`.
+    #[must_use]
+    pub fn failed_fraction(&self, now: Time) -> f64 {
+        let lifetime = now - self.created;
+        if lifetime <= 0.0 {
+            return 0.0;
+        }
+        self.failed_seconds / lifetime
     }
 
     /// Current relative frequency factor `f`.
@@ -296,6 +326,7 @@ impl Server {
     ///
     /// Panics if `now` precedes the server's last update (time travel).
     pub fn arrive(&mut self, job: Job, now: Time) -> Vec<FinishedJob> {
+        debug_assert!(!self.failed, "arrivals must be routed away from failed servers");
         let finished = self.sync(now);
         self.queue.push_back(Task {
             job,
@@ -353,12 +384,91 @@ impl Server {
         finished
     }
 
+    /// Takes the server down (fault injection), preempting every in-flight
+    /// and queued job: their progress is lost and the original [`Job`]s are
+    /// returned for the caller to requeue, redispatch, or strand.
+    ///
+    /// Jobs that complete exactly at `now` (folding time forward) still
+    /// finish — a completion tied with a failure resolves in the job's
+    /// favor — and are returned in the first vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the server's last update. Debug-panics if
+    /// the server is already failed.
+    pub fn fail(&mut self, now: Time) -> (Vec<FinishedJob>, Vec<Job>) {
+        let finished = self.sync(now);
+        debug_assert!(!self.failed, "server failed twice without a repair");
+        self.failed = true;
+        // Sleep-state machinery is frozen while down; park in Active so a
+        // stale Waking{until} can't linger past the repair.
+        self.state = SleepState::Active;
+        self.idle_since = None;
+        // Preserve FCFS order in the returned list: running tasks arrived
+        // no later than queued ones.
+        self.running.sort_by_key(|t| t.job.arrival());
+        let mut lost: Vec<Job> = self.running.drain(..).map(|t| t.job).collect();
+        lost.extend(self.queue.drain(..).map(|t| t.job));
+        (finished, lost)
+    }
+
+    /// Brings a failed server back into service, empty, with its idle
+    /// clock restarted (eagerly-napping policies re-enter the nap state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the server's last update. Debug-panics if
+    /// the server is not failed.
+    pub fn repair(&mut self, now: Time) {
+        self.sync(now);
+        debug_assert!(self.failed, "repair of a healthy server");
+        self.failed = false;
+        self.state = SleepState::Active;
+        self.idle_since = Some(now);
+        self.evaluate_sleep(now);
+    }
+
+    /// Cancels a specific job (client-side timeout): folds time forward to
+    /// `now`, then removes the job from the queue or from service,
+    /// discarding its progress.
+    ///
+    /// Returns the jobs that completed during the fold and whether the
+    /// requested job was actually cancelled — `false` means it had already
+    /// finished (its completion record is in the first element).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the server's last update.
+    pub fn cancel_job(&mut self, id: JobId, now: Time) -> (Vec<FinishedJob>, bool) {
+        let finished = self.sync(now);
+        let cancelled = if let Some(pos) = self.running.iter().position(|t| t.job.id() == id) {
+            self.running.swap_remove(pos);
+            true
+        } else if let Some(pos) = self.queue.iter().position(|t| t.job.id() == id) {
+            self.queue.remove(pos);
+            true
+        } else {
+            false
+        };
+        if cancelled {
+            // A freed core can pull the next queued task immediately.
+            self.evaluate_sleep(now);
+            self.refill(now);
+        }
+        (finished, cancelled)
+    }
+
     /// When this server next needs attention from the event loop:
     /// the earliest of its next job completion, wake-transition end, or
     /// DreamWeaver delay-threshold expiry. `None` if the server is fully
     /// quiescent (waiting on external arrivals only).
     #[must_use]
     pub fn next_event(&self) -> Option<Time> {
+        if self.failed {
+            // A failed server generates no internal events; the repair is
+            // scheduled externally by the fault process.
+            return None;
+        }
         let mut next: Option<Time> = None;
         let mut consider = |t: Time| {
             next = Some(match next {
@@ -408,6 +518,16 @@ impl Server {
             "server time cannot run backwards ({} -> {now})",
             self.last_update
         );
+        if self.failed {
+            if dt > 0.0 {
+                self.failed_seconds += dt;
+                if let Some(model) = &self.power_model {
+                    self.energy_joules += model.failed_watts() * dt;
+                }
+            }
+            self.last_update = now;
+            return;
+        }
         if dt > 0.0 {
             let active_running = if self.state == SleepState::Active {
                 self.running.len()
@@ -495,6 +615,9 @@ impl Server {
     }
 
     fn evaluate_sleep(&mut self, now: Time) {
+        if self.failed {
+            return;
+        }
         // Maintain the idle clock: running while the server is completely
         // empty, cleared as soon as any work is present.
         if self.outstanding() == 0 {
@@ -939,6 +1062,87 @@ mod tests {
         let total: f64 = sizes.iter().sum();
         assert!((s.busy_core_seconds_total - total).abs() < 1e-6);
         assert!(s.average_utilization(last) <= 1.0);
+    }
+
+    #[test]
+    fn fail_preempts_and_returns_lost_jobs() {
+        let mut s = Server::new(2);
+        s.arrive(job(1, 0.0, 1.0), Time::ZERO);
+        s.arrive(job(2, 0.0, 2.0), Time::ZERO);
+        s.arrive(job(3, 0.1, 1.0), t(0.1));
+        let (finished, lost) = s.fail(t(0.5));
+        assert!(finished.is_empty(), "nothing completes before 0.5");
+        assert_eq!(lost.len(), 3, "all jobs preempted");
+        // FCFS order preserved in the lost list.
+        assert_eq!(lost[0].id(), JobId::new(1));
+        assert!(s.is_failed());
+        assert_eq!(s.outstanding(), 0);
+        assert_eq!(s.next_event(), None, "no events while down");
+    }
+
+    #[test]
+    fn completion_tied_with_failure_wins() {
+        let mut s = Server::new(1);
+        s.arrive(job(1, 0.0, 1.0), Time::ZERO);
+        let (finished, lost) = s.fail(t(1.0));
+        assert_eq!(finished.len(), 1, "job finishing at the failure instant counts");
+        assert!(lost.is_empty());
+    }
+
+    #[test]
+    fn failed_time_and_power_are_accounted() {
+        let model = LinearPowerModel::new(100.0, 100.0, 5.0).with_failed_watts(20.0);
+        let mut s = Server::new(1).with_power_model(model);
+        s.fail(Time::ZERO);
+        s.sync(t(10.0));
+        assert!((s.failed_seconds() - 10.0).abs() < 1e-9);
+        assert!((s.failed_fraction(t(10.0)) - 1.0).abs() < 1e-9);
+        assert!((s.energy_joules() - 200.0).abs() < 1e-6, "failed draw is 20 W");
+        s.repair(t(10.0));
+        assert!(!s.is_failed());
+        s.sync(t(11.0));
+        // Awake idle again: 100 W.
+        assert!((s.energy_joules() - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repair_restores_service_and_sleep_policy() {
+        let mut s = Server::new(1).with_policy(IdlePolicy::PowerNap { wake_latency: 0.0 });
+        s.fail(t(1.0));
+        s.repair(t(2.0));
+        assert_eq!(s.state(), SleepState::Napping, "eager policy naps after repair");
+        s.arrive(job(1, 2.5, 0.5), t(2.5));
+        let done = s.sync(t(3.0));
+        assert_eq!(done.len(), 1);
+        assert_eq!(s.completed_jobs(), 1);
+    }
+
+    #[test]
+    fn cancel_job_removes_running_and_queued() {
+        let mut s = Server::new(1);
+        s.arrive(job(1, 0.0, 5.0), Time::ZERO);
+        s.arrive(job(2, 0.0, 1.0), Time::ZERO);
+        // Cancel the running job: the queued one takes the core.
+        let (_, cancelled) = s.cancel_job(JobId::new(1), t(1.0));
+        assert!(cancelled);
+        assert_eq!(s.running_len(), 1);
+        let done = s.sync(t(2.0));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, JobId::new(2));
+        // Cancelling a finished job reports false.
+        let (_, cancelled) = s.cancel_job(JobId::new(2), t(2.0));
+        assert!(!cancelled);
+    }
+
+    #[test]
+    fn cancel_job_collects_tied_completion() {
+        let mut s = Server::new(1);
+        s.arrive(job(1, 0.0, 1.0), Time::ZERO);
+        // Timeout fires exactly when the job completes: the completion is
+        // folded in and the cancel is a no-op.
+        let (finished, cancelled) = s.cancel_job(JobId::new(1), t(1.0));
+        assert_eq!(finished.len(), 1);
+        assert!(!cancelled);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The cluster simulation: the queuing network exercised by the engine.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use bighouse_des::{Calendar, Control, EventHandle, SimRng, Simulation, Time};
 use bighouse_dists::Distribution;
@@ -8,7 +8,8 @@ use bighouse_models::{Job, JobId, LoadBalancer, PowerCapper, Server};
 use bighouse_stats::{HistogramSpec, MetricId, Phase, StatsCollection};
 
 use crate::config::{ArrivalMode, ExperimentConfig, MetricKind};
-use crate::report::ClusterSummary;
+use crate::error::SimError;
+use crate::report::{ClusterSummary, FaultSummary};
 
 /// Events dispatched by a [`ClusterSim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,12 +28,54 @@ pub enum ClusterEvent {
     },
     /// A power-capping budgeting epoch boundary (§4.1: every second).
     CappingEpoch,
-    /// A plain observation epoch (power metric without capping).
+    /// A plain observation epoch (power/availability metric without
+    /// capping).
     ObservationEpoch,
+    /// A server goes down (fault injection: end of an uptime period).
+    ServerFailure {
+        /// Server index.
+        server: usize,
+    },
+    /// A failed server comes back into service (end of a repair period).
+    ServerRepair {
+        /// Server index.
+        server: usize,
+    },
+    /// A request's client-side timeout expires ([`bighouse_faults::RetryPolicy`]).
+    RequestTimeout {
+        /// Raw [`JobId`] of the request.
+        job: u64,
+    },
+    /// A timed-out request's backoff delay expires: dispatch the retry.
+    Redispatch {
+        /// Raw [`JobId`] of the request.
+        job: u64,
+    },
+}
+
+/// Per-request bookkeeping while fault injection or retries are active.
+///
+/// The [`Job`] keeps its original arrival time across preemptions and
+/// retries, so the recorded response time spans the whole request saga.
+#[derive(Debug)]
+struct RequestState {
+    job: Job,
+    /// Dispatch attempt currently in flight (1 = first try).
+    attempt: u32,
+    /// Fixed target in per-server arrival mode; `None` under a balancer.
+    home: Option<usize>,
+    /// Where the job currently sits, if placed.
+    server: Option<usize>,
+    /// Live timeout event, if a retry policy is armed.
+    timeout: Option<EventHandle>,
+    /// A [`ClusterEvent::Redispatch`] is pending (backoff in progress);
+    /// repair-time drains must not double-place the request.
+    pending_redispatch: bool,
 }
 
 /// The simulated cluster: servers, arrival processes, the optional global
-/// power capper, and the statistics engine observing it all.
+/// power capper, optional fault injection, and the statistics engine
+/// observing it all.
 ///
 /// Implements [`Simulation`] for the discrete-event [`bighouse_des::Engine`];
 /// use [`crate::run_serial`] unless you need custom control.
@@ -49,20 +92,33 @@ pub struct ClusterSim {
     waiting_id: Option<MetricId>,
     capping_id: Option<MetricId>,
     power_id: Option<MetricId>,
+    availability_id: Option<MetricId>,
     energy_marks: Vec<f64>,
+    failed_marks: Vec<f64>,
     job_counter: u64,
     stop_on_convergence: bool,
+    /// True when faults or retries are configured; the entire request
+    /// tracking machinery below is bypassed (zero cost) when false.
+    fault_mode: bool,
+    requests: HashMap<u64, RequestState>,
+    /// Requests with no live server to run on, awaiting a repair.
+    stranded: VecDeque<u64>,
+    n_failures: u64,
+    n_admitted: u64,
+    n_goodput: u64,
+    n_timed_out: u64,
+    n_retries: u64,
+    n_preempted: u64,
 }
 
 impl ClusterSim {
     /// Builds the simulation from a validated config and an RNG seed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is internally inconsistent (see
-    /// [`ExperimentConfig`]).
-    #[must_use]
-    pub fn new(config: ExperimentConfig, seed: u64) -> Self {
+    /// Returns [`SimError::InvalidConfig`] if the configuration is
+    /// internally inconsistent (see [`ExperimentConfig`]).
+    pub fn new(config: ExperimentConfig, seed: u64) -> Result<Self, SimError> {
         Self::build(config, seed, &HashMap::new())
     }
 
@@ -70,23 +126,27 @@ impl ClusterSim {
     /// master's broadcast values (Figure 3) and the simulation does not
     /// stop on its own convergence — the master decides when the aggregate
     /// sample suffices.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration is
+    /// internally inconsistent.
     pub fn new_slave(
         config: ExperimentConfig,
         seed: u64,
         histogram_specs: &HashMap<String, HistogramSpec>,
-    ) -> Self {
-        let mut sim = Self::build(config, seed, histogram_specs);
+    ) -> Result<Self, SimError> {
+        let mut sim = Self::build(config, seed, histogram_specs)?;
         sim.stop_on_convergence = false;
-        sim
+        Ok(sim)
     }
 
     fn build(
         config: ExperimentConfig,
         seed: u64,
         forced_histograms: &HashMap<String, HistogramSpec>,
-    ) -> Self {
-        config.validate();
+    ) -> Result<Self, SimError> {
+        config.validate()?;
         let mut servers = Vec::with_capacity(config.servers);
         for _ in 0..config.servers {
             let mut server = Server::new(config.cores_per_server)
@@ -108,6 +168,7 @@ impl ClusterSim {
         let mut waiting_id = None;
         let mut capping_id = None;
         let mut power_id = None;
+        let mut availability_id = None;
         for (kind, spec) in config.metric_specs() {
             let id = match forced_histograms.get(spec.name()) {
                 Some(&hist) => stats.add_metric_with_histogram(spec, hist),
@@ -118,29 +179,46 @@ impl ClusterSim {
                 MetricKind::WaitingTime => waiting_id = Some(id),
                 MetricKind::CappingLevel => capping_id = Some(id),
                 MetricKind::ServerPower => power_id = Some(id),
+                MetricKind::Availability => availability_id = Some(id),
             }
         }
+        let response_id = response_id.ok_or_else(|| {
+            SimError::InvalidConfig("response time metric missing".into())
+        })?;
         let n = config.servers;
-        ClusterSim {
+        let fault_mode = config.faults.is_some() || config.retry.is_some();
+        Ok(ClusterSim {
             capper: config.capper.clone(),
             servers,
             attention: vec![None; n],
             balancer,
             rng: SimRng::from_seed(seed),
             stats,
-            response_id: response_id.expect("response time is always tracked"),
+            response_id,
             waiting_id,
             capping_id,
             power_id,
+            availability_id,
             energy_marks: vec![0.0; n],
+            failed_marks: vec![0.0; n],
             job_counter: 0,
             stop_on_convergence: true,
+            fault_mode,
+            requests: HashMap::new(),
+            stranded: VecDeque::new(),
+            n_failures: 0,
+            n_admitted: 0,
+            n_goodput: 0,
+            n_timed_out: 0,
+            n_retries: 0,
+            n_preempted: 0,
             config,
-        }
+        })
     }
 
-    /// Schedules the initial events: first arrivals and, if configured, the
-    /// first budgeting/observation epoch. Call exactly once before running.
+    /// Schedules the initial events: first arrivals, the first failure of
+    /// each server (if faults are configured), and, if needed, the first
+    /// budgeting/observation epoch. Call exactly once before running.
     pub fn prime(&mut self, cal: &mut Calendar<ClusterEvent>) {
         match self.config.arrival_mode {
             ArrivalMode::PerServer => {
@@ -154,9 +232,15 @@ impl ClusterSim {
                 cal.schedule_in(dt, ClusterEvent::BalancedArrival);
             }
         }
+        if let Some(faults) = self.config.faults.as_ref() {
+            for s in 0..self.servers.len() {
+                let up = faults.sample_uptime(&mut self.rng);
+                cal.schedule_in(up, ClusterEvent::ServerFailure { server: s });
+            }
+        }
         if let Some(capper) = &self.capper {
             cal.schedule_in(capper.epoch_seconds(), ClusterEvent::CappingEpoch);
-        } else if self.power_id.is_some() {
+        } else if self.power_id.is_some() || self.availability_id.is_some() {
             cal.schedule_in(
                 PowerCapper::DEFAULT_EPOCH_SECONDS,
                 ClusterEvent::ObservationEpoch,
@@ -204,6 +288,25 @@ impl ClusterSim {
         let n = self.servers.len() as f64;
         let total_energy: f64 = self.servers.iter().map(Server::energy_joules).sum();
         let sim_seconds = now.as_seconds();
+        let faults = if self.fault_mode {
+            Some(FaultSummary {
+                server_failures: self.n_failures,
+                admitted: self.n_admitted,
+                goodput: self.n_goodput,
+                timed_out: self.n_timed_out,
+                retries: self.n_retries,
+                preempted_jobs: self.n_preempted,
+                in_flight_at_end: self.requests.len() as u64,
+                mean_failed_fraction: self
+                    .servers
+                    .iter()
+                    .map(|s| s.failed_fraction(now))
+                    .sum::<f64>()
+                    / n,
+            })
+        } else {
+            None
+        };
         ClusterSummary {
             servers: self.servers.len(),
             jobs_completed: self.servers.iter().map(Server::completed_jobs).sum(),
@@ -231,10 +334,15 @@ impl ClusterSim {
             } else {
                 0.0
             },
+            faults,
         }
     }
 
-    fn record_finished(&mut self, finished: &[bighouse_models::FinishedJob]) {
+    fn record_finished(
+        &mut self,
+        finished: &[bighouse_models::FinishedJob],
+        cal: &mut Calendar<ClusterEvent>,
+    ) {
         for f in finished {
             self.stats.record(self.response_id, f.response_time());
             if let Some(id) = self.waiting_id {
@@ -245,15 +353,189 @@ impl ClusterSim {
                     self.stats.record(id, wait);
                 }
             }
+            if self.fault_mode {
+                if let Some(req) = self.requests.remove(&f.id.raw()) {
+                    self.n_goodput += 1;
+                    if let Some(handle) = req.timeout {
+                        cal.cancel(handle);
+                    }
+                }
+            }
         }
     }
 
-    fn inject(&mut self, server: usize, now: Time) {
+    fn inject(&mut self, server: usize, now: Time, cal: &mut Calendar<ClusterEvent>) {
         let size = self.config.workload.service().sample(&mut self.rng);
         let job = Job::new(JobId::new(self.job_counter), now, size.max(1e-12));
         self.job_counter += 1;
         let finished = self.servers[server].arrive(job, now);
-        self.record_finished(&finished);
+        self.record_finished(&finished, cal);
+    }
+
+    /// Admits a request under fault tracking: samples its size, registers
+    /// it, arms its timeout (if a retry policy is set), and places it.
+    fn admit(&mut self, home: Option<usize>, now: Time, cal: &mut Calendar<ClusterEvent>) {
+        let size = self.config.workload.service().sample(&mut self.rng);
+        let job = Job::new(JobId::new(self.job_counter), now, size.max(1e-12));
+        self.job_counter += 1;
+        self.n_admitted += 1;
+        let key = job.id().raw();
+        self.requests.insert(
+            key,
+            RequestState {
+                job,
+                attempt: 1,
+                home,
+                server: None,
+                timeout: None,
+                pending_redispatch: false,
+            },
+        );
+        self.arm_timeout(key, cal);
+        self.try_place(key, now, cal);
+    }
+
+    /// Arms the client-side timeout for a request, if retries are
+    /// configured. The timeout covers an attempt window: it survives
+    /// preemptions and strandings, and is re-armed only after a
+    /// backoff/redispatch cycle.
+    fn arm_timeout(&mut self, key: u64, cal: &mut Calendar<ClusterEvent>) {
+        if let Some(policy) = self.config.retry {
+            let handle = cal.schedule_in(policy.timeout(), ClusterEvent::RequestTimeout { job: key });
+            if let Some(req) = self.requests.get_mut(&key) {
+                req.timeout = Some(handle);
+            }
+        }
+    }
+
+    /// Places an unassigned request on a live server, or strands it until
+    /// a repair frees capacity.
+    fn try_place(&mut self, key: u64, now: Time, cal: &mut Calendar<ClusterEvent>) {
+        let (job, home) = match self.requests.get(&key) {
+            Some(req) => {
+                debug_assert!(req.server.is_none(), "placing an already-placed request");
+                (req.job, req.home)
+            }
+            None => return,
+        };
+        let target = match home {
+            Some(h) => (!self.servers[h].is_failed()).then_some(h),
+            None => {
+                let queue_lengths: Vec<usize> =
+                    self.servers.iter().map(Server::outstanding).collect();
+                let available: Vec<bool> =
+                    self.servers.iter().map(|s| !s.is_failed()).collect();
+                match self.balancer.as_mut() {
+                    Some(balancer) => {
+                        balancer.pick_available(&queue_lengths, &available, &mut self.rng)
+                    }
+                    None => None,
+                }
+            }
+        };
+        match target {
+            Some(s) => {
+                if let Some(req) = self.requests.get_mut(&key) {
+                    req.server = Some(s);
+                }
+                let finished = self.servers[s].arrive(job, now);
+                self.record_finished(&finished, cal);
+                self.reschedule_attention(s, now, cal);
+            }
+            None => self.stranded.push_back(key),
+        }
+    }
+
+    fn handle_failure(&mut self, server: usize, now: Time, cal: &mut Calendar<ClusterEvent>) {
+        let (finished, lost) = self.servers[server].fail(now);
+        self.record_finished(&finished, cal);
+        self.n_failures += 1;
+        // A failed server generates no internal events until its repair.
+        self.reschedule_attention(server, now, cal);
+        for job in lost {
+            self.n_preempted += 1;
+            let key = job.id().raw();
+            match self.requests.get_mut(&key) {
+                // The request keeps its running timeout across the
+                // preemption; only its placement is reset.
+                Some(req) => req.server = None,
+                None => continue,
+            }
+            self.try_place(key, now, cal);
+        }
+        if let Some(faults) = self.config.faults.as_ref() {
+            let down = faults.sample_downtime(&mut self.rng);
+            cal.schedule_in(down, ClusterEvent::ServerRepair { server });
+        }
+    }
+
+    fn handle_repair(&mut self, server: usize, now: Time, cal: &mut Calendar<ClusterEvent>) {
+        self.servers[server].repair(now);
+        self.reschedule_attention(server, now, cal);
+        if let Some(faults) = self.config.faults.as_ref() {
+            let up = faults.sample_uptime(&mut self.rng);
+            cal.schedule_in(up, ClusterEvent::ServerFailure { server });
+        }
+        // Give every stranded request one placement chance; those that
+        // still have nowhere to go re-strand inside try_place.
+        let pending: Vec<u64> = self.stranded.drain(..).collect();
+        for key in pending {
+            let eligible = matches!(
+                self.requests.get(&key),
+                Some(req) if req.server.is_none() && !req.pending_redispatch
+            );
+            if eligible {
+                self.try_place(key, now, cal);
+            }
+        }
+    }
+
+    fn handle_timeout(&mut self, key: u64, now: Time, cal: &mut Calendar<ClusterEvent>) {
+        let Some(policy) = self.config.retry else { return };
+        let (attempt, server) = match self.requests.get_mut(&key) {
+            Some(req) => {
+                req.timeout = None; // it just fired
+                (req.attempt, req.server)
+            }
+            None => return, // stale: request already completed
+        };
+        if let Some(s) = server {
+            let (finished, cancelled) = self.servers[s].cancel_job(JobId::new(key), now);
+            self.record_finished(&finished, cal);
+            self.reschedule_attention(s, now, cal);
+            if !cancelled {
+                // The job completed in the same instant the timeout fired:
+                // the completion wins, and record_finished above already
+                // retired the request as goodput.
+                return;
+            }
+        }
+        let Some(req) = self.requests.get_mut(&key) else { return };
+        if attempt <= policy.max_retries() {
+            self.n_retries += 1;
+            req.attempt += 1;
+            req.server = None;
+            req.pending_redispatch = true;
+            let delay = policy.backoff_delay(attempt, &mut self.rng);
+            cal.schedule_in(delay, ClusterEvent::Redispatch { job: key });
+        } else {
+            self.n_timed_out += 1;
+            self.requests.remove(&key);
+        }
+    }
+
+    fn handle_redispatch(&mut self, key: u64, now: Time, cal: &mut Calendar<ClusterEvent>) {
+        match self.requests.get_mut(&key) {
+            Some(req) => {
+                req.pending_redispatch = false;
+                if req.server.is_some() {
+                    return;
+                }
+            }
+            None => return,
+        }
+        self.arm_timeout(key, cal);
+        self.try_place(key, now, cal);
     }
 
     fn reschedule_attention(&mut self, server: usize, now: Time, cal: &mut Calendar<ClusterEvent>) {
@@ -271,33 +553,45 @@ impl ClusterSim {
         let mut utilizations = Vec::with_capacity(self.servers.len());
         for s in 0..self.servers.len() {
             let finished = self.servers[s].sync(now);
-            self.record_finished(&finished);
+            self.record_finished(&finished, cal);
             utilizations.push(self.servers[s].take_epoch_utilization(now));
         }
         if rebudget {
-            let capper = self.capper.as_ref().expect("capping epoch requires capper");
-            let outcome = capper.rebudget(&utilizations);
-            let total_capping = outcome.total_capping_level();
-            for s in 0..self.servers.len() {
-                let finished = self.servers[s].set_frequency(outcome.frequencies[s], now);
-                self.record_finished(&finished);
-            }
-            if let Some(id) = self.capping_id {
-                // One cluster-level observation per budgeting epoch: the
-                // metric's pace is set by simulated time, not request rate.
-                self.stats.record(id, total_capping);
+            if let Some(capper) = self.capper.as_ref() {
+                let outcome = capper.rebudget(&utilizations);
+                let total_capping = outcome.total_capping_level();
+                for s in 0..self.servers.len() {
+                    let finished = self.servers[s].set_frequency(outcome.frequencies[s], now);
+                    self.record_finished(&finished, cal);
+                }
+                if let Some(id) = self.capping_id {
+                    // One cluster-level observation per budgeting epoch: the
+                    // metric's pace is set by simulated time, not request rate.
+                    self.stats.record(id, total_capping);
+                }
             }
         }
+        let epoch = self
+            .capper
+            .as_ref()
+            .map_or(PowerCapper::DEFAULT_EPOCH_SECONDS, PowerCapper::epoch_seconds);
         if let Some(id) = self.power_id {
-            let epoch = self
-                .capper
-                .as_ref()
-                .map_or(PowerCapper::DEFAULT_EPOCH_SECONDS, PowerCapper::epoch_seconds);
             for s in 0..self.servers.len() {
                 let energy = self.servers[s].energy_joules();
                 let watts = (energy - self.energy_marks[s]) / epoch;
                 self.energy_marks[s] = energy;
                 self.stats.record(id, watts);
+            }
+        }
+        if let Some(id) = self.availability_id {
+            // Per-server per-epoch fraction of the epoch spent up; the mean
+            // converges on MTBF / (MTBF + MTTR) for an alternating renewal
+            // failure process.
+            for s in 0..self.servers.len() {
+                let failed = self.servers[s].failed_seconds();
+                let delta = failed - self.failed_marks[s];
+                self.failed_marks[s] = failed;
+                self.stats.record(id, (1.0 - delta / epoch).clamp(0.0, 1.0));
             }
         }
         for s in 0..self.servers.len() {
@@ -317,30 +611,42 @@ impl Simulation for ClusterSim {
     ) -> Control {
         match event {
             ClusterEvent::Arrival { server } => {
-                self.inject(server, now);
+                if self.fault_mode {
+                    self.admit(Some(server), now, cal);
+                } else {
+                    self.inject(server, now, cal);
+                    self.reschedule_attention(server, now, cal);
+                }
                 let dt = self.config.workload.interarrival().sample(&mut self.rng);
                 cal.schedule_in(dt, ClusterEvent::Arrival { server });
-                self.reschedule_attention(server, now, cal);
             }
             ClusterEvent::BalancedArrival => {
-                let queue_lengths: Vec<usize> =
-                    self.servers.iter().map(Server::outstanding).collect();
-                let balancer = self.balancer.as_mut().expect("balanced mode has balancer");
-                let server = balancer.pick(&queue_lengths, &mut self.rng);
-                self.inject(server, now);
+                if self.fault_mode {
+                    self.admit(None, now, cal);
+                } else {
+                    let queue_lengths: Vec<usize> =
+                        self.servers.iter().map(Server::outstanding).collect();
+                    if let Some(balancer) = self.balancer.as_mut() {
+                        let server = balancer.pick(&queue_lengths, &mut self.rng);
+                        self.inject(server, now, cal);
+                        self.reschedule_attention(server, now, cal);
+                    }
+                }
                 let dt = self.config.workload.interarrival().sample(&mut self.rng);
                 cal.schedule_in(dt, ClusterEvent::BalancedArrival);
-                self.reschedule_attention(server, now, cal);
             }
             ClusterEvent::Attention { server } => {
                 self.attention[server] = None;
                 let finished = self.servers[server].sync(now);
-                self.record_finished(&finished);
+                self.record_finished(&finished, cal);
                 self.reschedule_attention(server, now, cal);
             }
             ClusterEvent::CappingEpoch => {
                 self.epoch_tick(now, true, cal);
-                let epoch = self.capper.as_ref().expect("capper present").epoch_seconds();
+                let epoch = self
+                    .capper
+                    .as_ref()
+                    .map_or(PowerCapper::DEFAULT_EPOCH_SECONDS, PowerCapper::epoch_seconds);
                 cal.schedule_in(epoch, ClusterEvent::CappingEpoch);
             }
             ClusterEvent::ObservationEpoch => {
@@ -349,6 +655,18 @@ impl Simulation for ClusterSim {
                     PowerCapper::DEFAULT_EPOCH_SECONDS,
                     ClusterEvent::ObservationEpoch,
                 );
+            }
+            ClusterEvent::ServerFailure { server } => {
+                self.handle_failure(server, now, cal);
+            }
+            ClusterEvent::ServerRepair { server } => {
+                self.handle_repair(server, now, cal);
+            }
+            ClusterEvent::RequestTimeout { job } => {
+                self.handle_timeout(job, now, cal);
+            }
+            ClusterEvent::Redispatch { job } => {
+                self.handle_redispatch(job, now, cal);
             }
         }
         if self.stop_on_convergence && self.stats.all_converged() {
@@ -363,6 +681,7 @@ impl Simulation for ClusterSim {
 mod tests {
     use super::*;
     use bighouse_des::Engine;
+    use bighouse_faults::{FaultProcess, RetryPolicy};
     use bighouse_workloads::{StandardWorkload, Workload};
 
     fn quick_config() -> ExperimentConfig {
@@ -374,7 +693,7 @@ mod tests {
     }
 
     fn run(config: ExperimentConfig, seed: u64) -> (ClusterSim, Time, u64) {
-        let mut sim = ClusterSim::new(config, seed);
+        let mut sim = ClusterSim::new(config, seed).expect("valid config");
         let mut cal = Calendar::new();
         sim.prime(&mut cal);
         let mut engine = Engine::from_parts(sim, cal);
@@ -390,6 +709,8 @@ mod tests {
         assert!(events > 1000);
         let summary = sim.summary(now);
         assert!(summary.jobs_completed > 1000);
+        // No fault machinery engaged without faults/retry configured.
+        assert!(summary.faults.is_none());
         // Utilization should be near the configured 50%.
         assert!(
             (summary.mean_utilization - 0.5).abs() < 0.1,
@@ -552,7 +873,7 @@ mod tests {
 
     #[test]
     fn slave_does_not_stop_on_convergence() {
-        let mut master = ClusterSim::new(quick_config(), 10);
+        let mut master = ClusterSim::new(quick_config(), 10).unwrap();
         let mut cal = Calendar::new();
         master.prime(&mut cal);
         let mut engine = Engine::from_parts(master, cal);
@@ -560,7 +881,7 @@ mod tests {
         let specs = engine.simulation().histogram_specs();
         assert!(!specs.is_empty());
 
-        let mut slave = ClusterSim::new_slave(quick_config(), 11, &specs);
+        let mut slave = ClusterSim::new_slave(quick_config(), 11, &specs).unwrap();
         let mut cal = Calendar::new();
         slave.prime(&mut cal);
         let mut engine = Engine::from_parts(slave, cal);
@@ -572,5 +893,121 @@ mod tests {
         // The slave adopted the master's bin scheme.
         let slave_specs = engine.simulation().histogram_specs();
         assert_eq!(slave_specs["response_time"], specs["response_time"]);
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let bad = quick_config().with_metric(MetricKind::CappingLevel);
+        assert!(matches!(
+            ClusterSim::new(bad, 1),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn fault_injection_tracks_availability() {
+        // MTBF 20 s, MTTR 2 s: analytic availability 10/11 ≈ 0.909.
+        let faults = FaultProcess::exponential(20.0, 2.0).unwrap();
+        let analytic = faults.availability();
+        let config = quick_config()
+            .with_servers(4)
+            .with_faults(faults)
+            .with_metric(MetricKind::Availability)
+            .with_calibration(200);
+        let (sim, now, _) = run(config, 21);
+        let est = sim
+            .stats()
+            .metric_by_name("availability")
+            .unwrap()
+            .estimate()
+            .expect("availability epochs observed");
+        let tolerance = (2.0 * est.mean_half_width).max(0.08);
+        assert!(
+            (est.mean - analytic).abs() < tolerance,
+            "availability {} vs analytic {analytic} (tolerance {tolerance})",
+            est.mean
+        );
+        let summary = sim.summary(now);
+        let fs = summary.faults.expect("fault mode on");
+        assert!(fs.server_failures > 0, "no failures injected");
+        assert!(fs.mean_failed_fraction > 0.0 && fs.mean_failed_fraction < 0.3);
+    }
+
+    #[test]
+    fn retry_accounting_is_exact() {
+        use bighouse_models::BalancerPolicy;
+        let service_mean = Workload::standard(StandardWorkload::Web).service().mean();
+        let config = ExperimentConfig::new(
+            quick_config().workload().with_interarrival_scale(0.25).unwrap(),
+        )
+        .with_servers(4)
+        .with_arrival_mode(ArrivalMode::LoadBalanced(BalancerPolicy::JoinShortestQueue))
+        .with_target_accuracy(0.2)
+        .with_warmup(50)
+        .with_calibration(500)
+        .with_faults(FaultProcess::exponential(20.0, 2.0).unwrap())
+        .with_retry(RetryPolicy::new(service_mean * 50.0));
+        let (sim, now, _) = run(config, 22);
+        let summary = sim.summary(now);
+        let fs = summary.faults.expect("fault mode on");
+        assert!(fs.goodput > 1000, "goodput {}", fs.goodput);
+        assert!(fs.server_failures > 0);
+        assert!(fs.preempted_jobs > 0, "failures should preempt work");
+        // Every admitted request is accounted for exactly once.
+        assert_eq!(
+            fs.goodput + fs.timed_out + fs.in_flight_at_end,
+            fs.admitted,
+            "{fs:?}"
+        );
+    }
+
+    #[test]
+    fn tight_timeouts_exhaust_retry_budget() {
+        let service_mean = Workload::standard(StandardWorkload::Web).service().mean();
+        // A timeout well below the mean service time dooms most requests.
+        let retry = RetryPolicy::new(service_mean * 0.1).with_max_retries(2);
+        let config = quick_config().with_retry(retry).with_max_events(2_000_000);
+        let (sim, now, _) = run(config, 23);
+        let summary = sim.summary(now);
+        let fs = summary.faults.expect("retry implies fault mode");
+        assert!(fs.timed_out > 100, "timed_out {}", fs.timed_out);
+        // Each dropped request consumed its full retry budget.
+        assert!(fs.retries >= fs.timed_out * 2, "{fs:?}");
+        assert_eq!(fs.goodput + fs.timed_out + fs.in_flight_at_end, fs.admitted);
+        assert_eq!(fs.server_failures, 0, "no fault process configured");
+    }
+
+    #[test]
+    fn fault_mode_is_deterministic_given_seed() {
+        let make = || {
+            quick_config()
+                .with_servers(2)
+                .with_faults(FaultProcess::exponential(15.0, 1.5).unwrap())
+                .with_retry(RetryPolicy::new(1.0))
+                .with_metric(MetricKind::Availability)
+                .with_calibration(200)
+        };
+        let (a, now_a, ev_a) = run(make(), 31);
+        let (b, now_b, ev_b) = run(make(), 31);
+        assert_eq!(now_a, now_b);
+        assert_eq!(ev_a, ev_b);
+        assert_eq!(a.summary(now_a).faults, b.summary(now_b).faults);
+    }
+
+    #[test]
+    fn per_server_mode_strands_requests_while_home_is_down() {
+        // One server, frequent failures, no retry: arrivals during downtime
+        // must strand and then complete after the repair.
+        let config = quick_config()
+            .with_faults(FaultProcess::exponential(5.0, 1.0).unwrap())
+            .with_metric(MetricKind::Availability)
+            .with_calibration(200);
+        let (sim, now, _) = run(config, 24);
+        let summary = sim.summary(now);
+        let fs = summary.faults.expect("fault mode on");
+        assert!(fs.server_failures > 0);
+        assert!(fs.goodput > 0);
+        assert_eq!(fs.timed_out, 0, "no retry policy, nothing can time out");
+        assert_eq!(fs.goodput + fs.in_flight_at_end, fs.admitted);
     }
 }

@@ -1,8 +1,11 @@
 //! Experiment configuration.
 
+use bighouse_faults::{FaultProcess, RetryPolicy};
 use bighouse_models::{BalancerPolicy, DvfsModel, IdlePolicy, LinearPowerModel, PowerCapper};
 use bighouse_stats::MetricSpec;
 use bighouse_workloads::Workload;
+
+use crate::error::SimError;
 
 /// How arrivals reach the cluster's servers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +38,10 @@ pub enum MetricKind {
     /// Per-server, per-epoch average power in watts (requires a power
     /// model).
     ServerPower,
+    /// Per-server, per-epoch fraction of the epoch the server was up
+    /// (requires fault injection). Epoch-paced like power; its long-run
+    /// mean converges to the analytic `MTBF / (MTBF + MTTR)`.
+    Availability,
 }
 
 impl MetricKind {
@@ -46,6 +53,7 @@ impl MetricKind {
             MetricKind::WaitingTime => "waiting_time",
             MetricKind::CappingLevel => "capping_level",
             MetricKind::ServerPower => "server_power",
+            MetricKind::Availability => "availability",
         }
     }
 }
@@ -74,6 +82,8 @@ pub struct ExperimentConfig {
     pub(crate) warmup: u64,
     pub(crate) calibration: usize,
     pub(crate) max_events: u64,
+    pub(crate) faults: Option<FaultProcess>,
+    pub(crate) retry: Option<RetryPolicy>,
 }
 
 impl ExperimentConfig {
@@ -97,6 +107,8 @@ impl ExperimentConfig {
             warmup: 1000,
             calibration: MetricSpec::DEFAULT_CALIBRATION,
             max_events: u64::MAX,
+            faults: None,
+            retry: None,
         }
     }
 
@@ -276,6 +288,25 @@ impl ExperimentConfig {
         self
     }
 
+    /// Enables fault injection: every server alternates between up and
+    /// down phases drawn from the given renewal process. Down servers
+    /// preempt their in-flight jobs (progress is lost), are skipped by the
+    /// load balancer, and draw failed-state power.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultProcess) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Enables client-side request timeouts with retry: a request not
+    /// completed within the policy's timeout is cancelled at its server and
+    /// redispatched after a jittered backoff, up to the retry budget.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
     /// The configured workload.
     #[must_use]
     pub fn workload(&self) -> &Workload {
@@ -294,6 +325,18 @@ impl ExperimentConfig {
         self.cores_per_server
     }
 
+    /// The configured fault process, if fault injection is enabled.
+    #[must_use]
+    pub fn faults(&self) -> Option<&FaultProcess> {
+        self.faults.as_ref()
+    }
+
+    /// The configured retry policy, if request timeouts are enabled.
+    #[must_use]
+    pub fn retry(&self) -> Option<&RetryPolicy> {
+        self.retry.as_ref()
+    }
+
     /// The metric specs this experiment will register, with experiment-wide
     /// targets applied.
     #[must_use]
@@ -303,12 +346,21 @@ impl ExperimentConfig {
             .map(|(kind, custom)| {
                 let spec = match custom {
                     Some(spec) => spec.clone(),
-                    None => MetricSpec::new(kind.name())
-                        .with_target_accuracy(self.target_accuracy)
-                        .with_confidence(self.confidence)
-                        .with_quantiles(&[self.quantile])
-                        .with_warmup(self.warmup)
-                        .with_calibration(self.calibration),
+                    None => {
+                        let spec = MetricSpec::new(kind.name())
+                            .with_target_accuracy(self.target_accuracy)
+                            .with_confidence(self.confidence)
+                            .with_warmup(self.warmup)
+                            .with_calibration(self.calibration);
+                        // Availability mass sits on {0, 1}: its quantiles
+                        // are degenerate (zero density), so by default only
+                        // the mean carries an accuracy target.
+                        if *kind == MetricKind::Availability {
+                            spec.with_quantiles(&[])
+                        } else {
+                            spec.with_quantiles(&[self.quantile])
+                        }
+                    }
                 };
                 (*kind, spec)
             })
@@ -317,24 +369,33 @@ impl ExperimentConfig {
 
     /// Validates cross-field constraints.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a metric requires a model that is not configured
-    /// (capping level without a capper, power without a power model).
-    pub(crate) fn validate(&self) {
+    /// Returns [`SimError::InvalidConfig`] if a metric requires a model
+    /// that is not configured (capping level without a capper, power
+    /// without a power model, availability without fault injection).
+    pub(crate) fn validate(&self) -> Result<(), SimError> {
         for (kind, _) in &self.metrics {
             match kind {
-                MetricKind::CappingLevel => assert!(
-                    self.capper.is_some(),
-                    "capping_level metric requires a PowerCapper"
-                ),
-                MetricKind::ServerPower => assert!(
-                    self.power_model.is_some(),
-                    "server_power metric requires a power model"
-                ),
+                MetricKind::CappingLevel if self.capper.is_none() => {
+                    return Err(SimError::InvalidConfig(
+                        "capping_level metric requires a PowerCapper".into(),
+                    ));
+                }
+                MetricKind::ServerPower if self.power_model.is_none() => {
+                    return Err(SimError::InvalidConfig(
+                        "server_power metric requires a power model".into(),
+                    ));
+                }
+                MetricKind::Availability if self.faults.is_none() => {
+                    return Err(SimError::InvalidConfig(
+                        "availability metric requires fault injection (with_faults)".into(),
+                    ));
+                }
                 _ => {}
             }
         }
+        Ok(())
     }
 }
 
@@ -380,9 +441,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "requires a PowerCapper")]
     fn capping_metric_without_capper_rejected() {
-        base().with_metric(MetricKind::CappingLevel).validate();
+        let err = base().with_metric(MetricKind::CappingLevel).validate();
+        assert!(matches!(err, Err(SimError::InvalidConfig(_))), "{err:?}");
     }
 
     #[test]
@@ -394,7 +455,31 @@ mod tests {
             500.0,
         ));
         assert!(c.power_model.is_some());
-        c.with_metric(MetricKind::CappingLevel).validate();
+        c.with_metric(MetricKind::CappingLevel).validate().unwrap();
+    }
+
+    #[test]
+    fn availability_metric_requires_faults() {
+        let err = base().with_metric(MetricKind::Availability).validate();
+        assert!(matches!(err, Err(SimError::InvalidConfig(_))), "{err:?}");
+        let ok = base()
+            .with_metric(MetricKind::Availability)
+            .with_faults(FaultProcess::exponential(100.0, 10.0).unwrap())
+            .validate();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn availability_spec_is_mean_only() {
+        let c = base()
+            .with_metric(MetricKind::Availability)
+            .with_faults(FaultProcess::exponential(100.0, 10.0).unwrap());
+        let specs = c.metric_specs();
+        let (_, spec) = specs
+            .iter()
+            .find(|(kind, _)| *kind == MetricKind::Availability)
+            .unwrap();
+        assert!(spec.quantiles().is_empty());
     }
 
     #[test]

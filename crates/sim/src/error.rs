@@ -1,0 +1,70 @@
+//! Typed simulation errors.
+
+/// Error raised while building or running a simulation.
+///
+/// Replaces the panicking paths on the simulation hot path: invalid
+/// configurations, a drained calendar, an exhausted event cap during
+/// calibration, and a parallel run losing every slave are all reported to
+/// the caller instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The experiment configuration is internally inconsistent (e.g. a
+    /// metric requiring a model that is not configured).
+    InvalidConfig(String),
+    /// The event calendar drained before the named phase completed —
+    /// cannot happen with open arrival processes, so it indicates a
+    /// configuration or model error.
+    CalendarDrained {
+        /// The phase that was still running ("calibration", …).
+        phase: &'static str,
+    },
+    /// The configured event cap was exhausted before the named phase
+    /// completed.
+    EventCapExhausted {
+        /// The phase that was still running.
+        phase: &'static str,
+        /// The configured cap.
+        cap: u64,
+    },
+    /// Every slave of a parallel run died before delivering results.
+    NoSurvivingSlaves {
+        /// How many slaves panicked.
+        panicked: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid experiment config: {msg}"),
+            SimError::CalendarDrained { phase } => {
+                write!(f, "event calendar drained before {phase} completed")
+            }
+            SimError::EventCapExhausted { phase, cap } => {
+                write!(f, "event cap ({cap}) exhausted before {phase} completed")
+            }
+            SimError::NoSurvivingSlaves { panicked } => {
+                write!(f, "all {panicked} parallel slaves panicked; no results to merge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SimError::InvalidConfig("x".into()).to_string().contains("invalid"));
+        assert!(SimError::CalendarDrained { phase: "calibration" }
+            .to_string()
+            .contains("calibration"));
+        assert!(SimError::EventCapExhausted { phase: "calibration", cap: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(SimError::NoSurvivingSlaves { panicked: 4 }.to_string().contains('4'));
+    }
+}

@@ -12,6 +12,12 @@
 //!   threads: the master calibrates and broadcasts the histogram bin
 //!   scheme, each slave simulates with a unique seed, and the master
 //!   monitors aggregate sample size, merges slave histograms, and reports.
+//!   Slave panics are contained, and an optional watchdog bounds
+//!   non-converging runs.
+//! - Fault injection ([`ExperimentConfig::with_faults`]) subjects servers
+//!   to failure/repair processes; [`ExperimentConfig::with_retry`] adds
+//!   client-side request timeouts with capped-exponential-backoff retries.
+//!   Exact accounting lands in [`FaultSummary`].
 //!
 //! # Examples
 //!
@@ -24,7 +30,7 @@
 //! let config = ExperimentConfig::new(Workload::standard(StandardWorkload::Web))
 //!     .with_utilization(0.5)
 //!     .with_target_accuracy(0.10); // coarse target: fast doc-test
-//! let report = run_serial(&config, 42);
+//! let report = run_serial(&config, 42).unwrap();
 //! let response = report.metric(MetricKind::ResponseTime.name()).unwrap();
 //! assert!(response.mean > 0.0);
 //! assert!(report.converged);
@@ -35,6 +41,7 @@
 
 mod cluster;
 mod config;
+mod error;
 mod multitier;
 mod parallel;
 mod report;
@@ -43,8 +50,9 @@ mod trace;
 
 pub use cluster::ClusterSim;
 pub use config::{ArrivalMode, ExperimentConfig, MetricKind};
+pub use error::SimError;
 pub use multitier::{run_multi_tier, MultiTierConfig, TierConfig};
 pub use parallel::{ParallelOutcome, ParallelRunner};
-pub use report::{ClusterSummary, SimulationReport};
+pub use report::{ClusterSummary, FaultSummary, SimulationReport};
 pub use runner::{run_serial, run_until_calibrated};
 pub use trace::{replay_trace, Trace, TraceEntry, TraceError, TraceReplayReport};

@@ -306,6 +306,7 @@ impl TierNetworkSim {
             mean_utilization: all.iter().map(|s| s.average_utilization(now)).sum::<f64>() / n,
             total_energy_joules: all.iter().map(|s| s.energy_joules()).sum(),
             average_power_watts: 0.0,
+            faults: None,
         }
     }
 }

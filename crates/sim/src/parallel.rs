@@ -12,10 +12,18 @@
 //! seeds, per-slave warm-up/calibration, aggregate-size monitoring,
 //! histogram merge) is exactly the paper's. The paper's hosts were separate
 //! machines — see DESIGN.md substitution 3.
+//!
+//! The master is fault-tolerant: a slave that panics is recorded in
+//! [`ParallelOutcome::dead_slaves`] and the run continues on the survivors,
+//! mirroring how a distributed master would survive a crashed host. An
+//! optional wall-clock watchdog ([`ParallelRunner::with_watchdog`]) bounds
+//! runs whose accuracy target is unreachable, returning partial estimates
+//! with `converged: false`.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 
@@ -27,11 +35,16 @@ use bighouse_stats::{
 
 use crate::cluster::ClusterSim;
 use crate::config::ExperimentConfig;
+use crate::error::SimError;
 use crate::runner::run_until_calibrated;
 
 /// How many events each slave simulates between progress reports to the
 /// master.
 const CHUNK_EVENTS: u64 = 20_000;
+
+/// How often the master re-checks its watchdog deadline while waiting for
+/// slave messages.
+const WATCHDOG_TICK: Duration = Duration::from_millis(25);
 
 /// The result of a parallel run.
 #[derive(Debug, Clone)]
@@ -39,14 +52,19 @@ pub struct ParallelOutcome {
     /// Merged estimates, one per metric that collected data.
     pub estimates: Vec<MetricEstimate>,
     /// Whether the aggregate sample reached the required size (as opposed
-    /// to slaves exhausting their event caps).
+    /// to slaves exhausting their event caps or the watchdog firing).
     pub converged: bool,
     /// Events the master consumed for its warm-up + calibration phase —
     /// the serial fraction (Figure 10's Amdahl bottleneck, together with
     /// each slave's own calibration).
     pub master_calibration_events: u64,
-    /// Events simulated by each slave.
+    /// Events simulated by each slave (zero for a slave that died).
     pub slave_events: Vec<u64>,
+    /// Slaves that panicked; their samples are excluded from the merge.
+    pub dead_slaves: Vec<usize>,
+    /// Whether the wall-clock watchdog stopped the run before the
+    /// aggregate sample sufficed.
+    pub watchdog_fired: bool,
     /// Wall-clock runtime of the whole parallel run in seconds.
     pub wall_seconds: f64,
 }
@@ -78,6 +96,8 @@ enum SlaveMessage {
         total_observed: Vec<u64>,
         events: u64,
     },
+    /// The slave panicked (or failed to build); it will send nothing else.
+    Died { slave: usize },
 }
 
 /// The distributed-simulation coordinator.
@@ -90,13 +110,15 @@ enum SlaveMessage {
 ///
 /// let config = ExperimentConfig::new(Workload::standard(StandardWorkload::Web))
 ///     .with_utilization(0.5);
-/// let outcome = ParallelRunner::new(config, 4).run(1234);
+/// let outcome = ParallelRunner::new(config, 4).run(1234).unwrap();
 /// println!("p95 = {:?}", outcome.metric("response_time"));
 /// ```
 #[derive(Debug)]
 pub struct ParallelRunner {
     config: ExperimentConfig,
     slaves: usize,
+    watchdog: Option<f64>,
+    forced_panic: Option<usize>,
 }
 
 impl ParallelRunner {
@@ -108,16 +130,56 @@ impl ParallelRunner {
     #[must_use]
     pub fn new(config: ExperimentConfig, slaves: usize) -> Self {
         assert!(slaves > 0, "parallel run needs at least one slave");
-        ParallelRunner { config, slaves }
+        ParallelRunner {
+            config,
+            slaves,
+            watchdog: None,
+            forced_panic: None,
+        }
+    }
+
+    /// Arms a wall-clock watchdog: if the aggregate sample has not sufficed
+    /// after `wall_seconds` of slave simulation, the master stops the
+    /// slaves and merges whatever they collected, reporting
+    /// `converged: false` and `watchdog_fired: true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wall_seconds` is non-positive or non-finite.
+    #[must_use]
+    pub fn with_watchdog(mut self, wall_seconds: f64) -> Self {
+        assert!(
+            wall_seconds.is_finite() && wall_seconds > 0.0,
+            "watchdog must be a positive number of seconds, got {wall_seconds}"
+        );
+        self.watchdog = Some(wall_seconds);
+        self
+    }
+
+    /// Test hook: the given slave panics immediately instead of simulating.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_forced_panic(mut self, slave: usize) -> Self {
+        self.forced_panic = Some(slave);
+        self
     }
 
     /// Executes the full Figure 3 protocol and returns merged estimates.
-    #[must_use]
-    pub fn run(&self, master_seed: u64) -> ParallelOutcome {
+    ///
+    /// Slave panics are contained: the run proceeds on the survivors and
+    /// the dead are listed in [`ParallelOutcome::dead_slaves`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] / [`SimError::CalendarDrained`] /
+    /// [`SimError::EventCapExhausted`] if the master's own calibration fails,
+    /// and [`SimError::NoSurvivingSlaves`] if every slave dies before
+    /// delivering results.
+    pub fn run(&self, master_seed: u64) -> Result<ParallelOutcome, SimError> {
         let start = Instant::now();
 
         // Phase 1–2: master warm-up + calibration fixes the bin schemes.
-        let (bin_schemes, master_events) = run_until_calibrated(&self.config, master_seed);
+        let (bin_schemes, master_events) = run_until_calibrated(&self.config, master_seed)?;
 
         // Derive the merged-estimate bookkeeping order from the config.
         let specs: Vec<MetricSpec> = self
@@ -138,8 +200,12 @@ impl ParallelRunner {
             converged: false,
             master_calibration_events: master_events,
             slave_events: vec![0; self.slaves],
+            dead_slaves: Vec::new(),
+            watchdog_fired: false,
             wall_seconds: 0.0,
         };
+
+        let deadline = self.watchdog.map(|s| start + Duration::from_secs_f64(s));
 
         std::thread::scope(|scope| {
             for (slave, &seed) in slave_seeds.iter().enumerate() {
@@ -147,8 +213,19 @@ impl ParallelRunner {
                 let stop = &stop;
                 let config = &self.config;
                 let bin_schemes = &bin_schemes;
+                let forced_panic = self.forced_panic;
                 scope.spawn(move || {
-                    run_slave(slave, seed, config, bin_schemes, stop, &tx);
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        if forced_panic == Some(slave) {
+                            panic!("forced slave panic (test hook)");
+                        }
+                        run_slave(slave, seed, config, bin_schemes, stop, &tx)
+                    }));
+                    // A panic (or a build error) means no Final will come;
+                    // tell the master not to wait for one.
+                    if !matches!(result, Ok(Ok(()))) {
+                        let _ = tx.send(SlaveMessage::Died { slave });
+                    }
                 });
             }
             drop(tx);
@@ -159,10 +236,32 @@ impl ParallelRunner {
                 vec![vec![None; specs.len()]; self.slaves];
             let mut finals: Vec<Option<SlaveMessage>> = (0..self.slaves).map(|_| None).collect();
             let mut finals_seen = 0;
-            while finals_seen < self.slaves {
-                let Ok(msg) = rx.recv() else { break };
+            while finals_seen + outcome.dead_slaves.len() < self.slaves {
+                let msg = if deadline.is_some() {
+                    match rx.recv_timeout(WATCHDOG_TICK) {
+                        Ok(msg) => Some(msg),
+                        Err(channel::RecvTimeoutError::Timeout) => None,
+                        Err(channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                } else {
+                    match rx.recv() {
+                        Ok(msg) => Some(msg),
+                        Err(_) => break,
+                    }
+                };
+                if let Some(d) = deadline {
+                    if !outcome.watchdog_fired && !stop.load(Ordering::Relaxed)
+                        && Instant::now() >= d
+                    {
+                        // Out of wall-clock budget: stop the slaves and
+                        // settle for whatever sample they deliver.
+                        outcome.watchdog_fired = true;
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
                 match msg {
-                    SlaveMessage::Progress { slave, moments } => {
+                    None => {}
+                    Some(SlaveMessage::Progress { slave, moments }) => {
                         latest[slave] = moments;
                         if !stop.load(Ordering::Relaxed)
                             && aggregate_sufficient(&specs, &latest)
@@ -171,7 +270,19 @@ impl ParallelRunner {
                             stop.store(true, Ordering::Relaxed);
                         }
                     }
-                    final_msg @ SlaveMessage::Final { .. } => {
+                    Some(SlaveMessage::Died { slave }) => {
+                        outcome.dead_slaves.push(slave);
+                        // A dead slave's samples never reach the merge;
+                        // forget its progress so convergence is not
+                        // declared on data that will not be delivered.
+                        latest[slave] = vec![None; specs.len()];
+                        if outcome.converged && !aggregate_sufficient(&specs, &latest) {
+                            outcome.converged = false;
+                            // Too late to restart the survivors (they may
+                            // already be finishing); report honestly.
+                        }
+                    }
+                    Some(final_msg @ SlaveMessage::Final { .. }) => {
                         let SlaveMessage::Final { slave, .. } = &final_msg else {
                             unreachable!("matched Final above");
                         };
@@ -182,12 +293,18 @@ impl ParallelRunner {
                 }
             }
 
-            // Merge phase: combine slave histograms bin-wise.
+            // Merge phase: combine surviving slave histograms bin-wise.
             outcome.estimates = merge_finals(&specs, &finals, &mut outcome.slave_events);
         });
 
+        outcome.dead_slaves.sort_unstable();
+        if outcome.dead_slaves.len() == self.slaves {
+            return Err(SimError::NoSurvivingSlaves {
+                panicked: outcome.dead_slaves.len(),
+            });
+        }
         outcome.wall_seconds = start.elapsed().as_secs_f64();
-        outcome
+        Ok(outcome)
     }
 }
 
@@ -198,8 +315,8 @@ fn run_slave(
     bin_schemes: &HashMap<String, bighouse_stats::HistogramSpec>,
     stop: &AtomicBool,
     tx: &channel::Sender<SlaveMessage>,
-) {
-    let mut sim = ClusterSim::new_slave(config.clone(), seed, bin_schemes);
+) -> Result<(), SimError> {
+    let mut sim = ClusterSim::new_slave(config.clone(), seed, bin_schemes)?;
     let mut cal = Calendar::new();
     sim.prime(&mut cal);
     let mut engine = Engine::from_parts(sim, cal);
@@ -226,6 +343,7 @@ fn run_slave(
         total_observed: sim.stats().iter().map(|m| m.total_observed()).collect(),
         events,
     });
+    Ok(())
 }
 
 /// Whether the merged sample across slaves satisfies every metric's
@@ -335,8 +453,10 @@ mod tests {
 
     #[test]
     fn parallel_run_converges_and_merges() {
-        let outcome = ParallelRunner::new(quick_config(), 2).run(99);
+        let outcome = ParallelRunner::new(quick_config(), 2).run(99).unwrap();
         assert!(outcome.converged);
+        assert!(outcome.dead_slaves.is_empty());
+        assert!(!outcome.watchdog_fired);
         assert_eq!(outcome.slave_events.len(), 2);
         assert!(outcome.slave_events.iter().all(|&e| e > 0));
         let est = outcome.metric("response_time").expect("merged estimate");
@@ -350,8 +470,11 @@ mod tests {
         // serial reference (E = 0.01), not against another equally noisy
         // estimate: with a heavy-tailed, autocorrelated metric, two E=0.05
         // estimators can legitimately disagree by more than 2E.
-        let reference = crate::run_serial(&quick_config().with_target_accuracy(0.01), 101);
-        let parallel = ParallelRunner::new(quick_config().with_target_accuracy(0.05), 3).run(101);
+        let reference =
+            crate::run_serial(&quick_config().with_target_accuracy(0.01), 101).unwrap();
+        let parallel = ParallelRunner::new(quick_config().with_target_accuracy(0.05), 3)
+            .run(101)
+            .unwrap();
         let r = reference.metric("response_time").unwrap();
         let p = parallel.metric("response_time").unwrap();
         let rel = (r.mean - p.mean).abs() / r.mean;
@@ -365,7 +488,7 @@ mod tests {
 
     #[test]
     fn single_slave_works() {
-        let outcome = ParallelRunner::new(quick_config(), 1).run(77);
+        let outcome = ParallelRunner::new(quick_config(), 1).run(77).unwrap();
         assert!(outcome.converged);
         assert!(outcome.metric("response_time").is_some());
     }
@@ -375,8 +498,52 @@ mod tests {
         let config = quick_config()
             .with_target_accuracy(0.01)
             .with_max_events(60_000);
-        let outcome = ParallelRunner::new(config, 2).run(55);
+        let outcome = ParallelRunner::new(config, 2).run(55).unwrap();
         assert!(!outcome.converged);
+    }
+
+    #[test]
+    fn panicked_slave_is_survived() {
+        let outcome = ParallelRunner::new(quick_config(), 3)
+            .with_forced_panic(1)
+            .run(88)
+            .unwrap();
+        assert_eq!(outcome.dead_slaves, vec![1]);
+        assert_eq!(outcome.slave_events[1], 0, "dead slave simulated nothing");
+        assert!(outcome.slave_events[0] > 0 && outcome.slave_events[2] > 0);
+        // Survivors still deliver a merged estimate.
+        let est = outcome.metric("response_time").expect("survivor estimates");
+        assert!(est.mean > 0.0);
+        assert!(outcome.converged, "two healthy slaves suffice");
+    }
+
+    #[test]
+    fn sole_slave_panicking_is_an_error() {
+        let result = ParallelRunner::new(quick_config(), 1)
+            .with_forced_panic(0)
+            .run(66);
+        assert!(matches!(
+            result,
+            Err(SimError::NoSurvivingSlaves { panicked: 1 })
+        ));
+    }
+
+    #[test]
+    fn watchdog_bounds_unreachable_accuracy() {
+        // An absurd accuracy target would run to the event cap; the
+        // watchdog must cut it short with partial estimates.
+        let config = quick_config()
+            .with_target_accuracy(0.0005)
+            .with_max_events(u64::MAX / 2);
+        let outcome = ParallelRunner::new(config, 2)
+            .with_watchdog(0.3)
+            .run(44)
+            .unwrap();
+        assert!(outcome.watchdog_fired, "watchdog should have fired");
+        assert!(!outcome.converged);
+        // Partial estimates are still merged and usable.
+        assert!(outcome.metric("response_time").is_some());
+        assert!(outcome.wall_seconds < 30.0, "watchdog failed to bound the run");
     }
 
     #[test]

@@ -4,6 +4,32 @@ use serde::{Deserialize, Serialize};
 
 use bighouse_stats::MetricEstimate;
 
+/// Exact bookkeeping of a fault-injected run: how every admitted request
+/// was disposed of, and how much machine time was lost to failures.
+///
+/// Invariant: `goodput + timed_out + in_flight_at_end == admitted`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Server failure events injected.
+    pub server_failures: u64,
+    /// Requests admitted to the cluster (excludes retries of the same
+    /// request).
+    pub admitted: u64,
+    /// Requests that completed within their timeout budget.
+    pub goodput: u64,
+    /// Requests dropped after exhausting the retry budget.
+    pub timed_out: u64,
+    /// Retry dispatches performed (a request retried twice counts twice).
+    pub retries: u64,
+    /// Job executions preempted by a server failure (a request preempted
+    /// on two servers counts twice).
+    pub preempted_jobs: u64,
+    /// Requests still queued or running when the run stopped.
+    pub in_flight_at_end: u64,
+    /// Mean over servers of the lifetime fraction of time spent failed.
+    pub mean_failed_fraction: f64,
+}
+
 /// Cluster-level facts accumulated outside the statistics engine: ratios
 /// and totals that are exact functions of the run rather than sampled
 /// estimates.
@@ -24,6 +50,9 @@ pub struct ClusterSummary {
     pub total_energy_joules: f64,
     /// Cluster-average power in watts (0 without a power model).
     pub average_power_watts: f64,
+    /// Fault/retry bookkeeping (`None` when fault injection is off).
+    #[serde(default)]
+    pub faults: Option<FaultSummary>,
 }
 
 /// The result of one simulation run.
@@ -108,6 +137,7 @@ mod tests {
                 mean_utilization: 0.5,
                 total_energy_joules: 100.0,
                 average_power_watts: 80.0,
+                faults: None,
             },
         }
     }
@@ -133,5 +163,27 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: SimulationReport = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn fault_summary_round_trips_and_defaults() {
+        let mut r = report();
+        r.cluster.faults = Some(FaultSummary {
+            server_failures: 3,
+            admitted: 100,
+            goodput: 95,
+            timed_out: 4,
+            retries: 7,
+            preempted_jobs: 5,
+            in_flight_at_end: 1,
+            mean_failed_fraction: 0.02,
+        });
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimulationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+        // Reports written before fault injection existed still parse.
+        let legacy = serde_json::to_string(&report()).unwrap().replace(",\"faults\":null", "");
+        let back: SimulationReport = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.cluster.faults, None);
     }
 }

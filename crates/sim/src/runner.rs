@@ -8,37 +8,38 @@ use bighouse_stats::HistogramSpec;
 
 use crate::cluster::ClusterSim;
 use crate::config::ExperimentConfig;
+use crate::error::SimError;
 use crate::report::SimulationReport;
 
 /// Runs a complete serial simulation: warm-up, calibration, measurement,
 /// and convergence, terminating when every metric meets its target (or the
 /// configured event cap is hit).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the configuration is internally inconsistent.
+/// Returns [`SimError::InvalidConfig`] if the configuration is internally
+/// inconsistent.
 ///
 /// # Examples
 ///
 /// See the [crate-level documentation](crate).
-#[must_use]
-pub fn run_serial(config: &ExperimentConfig, seed: u64) -> SimulationReport {
+pub fn run_serial(config: &ExperimentConfig, seed: u64) -> Result<SimulationReport, SimError> {
     let start = Instant::now();
-    let mut sim = ClusterSim::new(config.clone(), seed);
+    let mut sim = ClusterSim::new(config.clone(), seed)?;
     let mut cal = Calendar::new();
     sim.prime(&mut cal);
     let mut engine = Engine::from_parts(sim, cal);
     let run = engine.run_with_limit(config.max_events);
     let now = engine.now();
     let sim = engine.into_simulation();
-    SimulationReport {
+    Ok(SimulationReport {
         converged: sim.stats().all_converged(),
         estimates: sim.stats().estimates(),
         events_fired: run.events_fired,
         simulated_seconds: now.as_seconds(),
         wall_seconds: start.elapsed().as_secs_f64(),
         cluster: sim.summary(now),
-    }
+    })
 }
 
 /// Runs the **master's** portion of a parallel simulation (Figure 3): just
@@ -46,16 +47,17 @@ pub fn run_serial(config: &ExperimentConfig, seed: u64) -> SimulationReport {
 /// broadcast to slaves, plus the number of events the master consumed (the
 /// serial fraction behind Figure 10's Amdahl bottleneck).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the configuration is internally inconsistent, or if
-/// calibration cannot complete within the configured event cap.
-#[must_use]
+/// Returns [`SimError::InvalidConfig`] for an inconsistent configuration,
+/// [`SimError::CalendarDrained`] if the event calendar empties before
+/// calibration completes, and [`SimError::EventCapExhausted`] if the
+/// configured event cap is reached first.
 pub fn run_until_calibrated(
     config: &ExperimentConfig,
     seed: u64,
-) -> (HashMap<String, HistogramSpec>, u64) {
-    let mut sim = ClusterSim::new(config.clone(), seed);
+) -> Result<(HashMap<String, HistogramSpec>, u64), SimError> {
+    let mut sim = ClusterSim::new(config.clone(), seed)?;
     let mut cal = Calendar::new();
     sim.prime(&mut cal);
     let mut engine = Engine::from_parts(sim, cal);
@@ -64,16 +66,19 @@ pub fn run_until_calibrated(
     while !engine.simulation().all_calibrated() {
         let run = engine.run_with_limit(CHUNK);
         events += run.events_fired;
-        assert!(
-            run.events_fired > 0,
-            "calendar drained before calibration completed"
-        );
-        assert!(
-            events < config.max_events,
-            "event cap reached before calibration completed"
-        );
+        if run.events_fired == 0 {
+            return Err(SimError::CalendarDrained {
+                phase: "calibration",
+            });
+        }
+        if events >= config.max_events {
+            return Err(SimError::EventCapExhausted {
+                phase: "calibration",
+                cap: config.max_events,
+            });
+        }
     }
-    (engine.simulation().histogram_specs(), events)
+    Ok((engine.simulation().histogram_specs(), events))
 }
 
 #[cfg(test)]
@@ -92,7 +97,7 @@ mod tests {
 
     #[test]
     fn serial_run_produces_full_report() {
-        let report = run_serial(&quick_config(), 21);
+        let report = run_serial(&quick_config(), 21).unwrap();
         assert!(report.converged);
         assert!(report.wall_seconds > 0.0);
         assert!(report.simulated_seconds > 0.0);
@@ -105,15 +110,33 @@ mod tests {
     #[test]
     fn event_cap_reports_unconverged() {
         let config = quick_config().with_max_events(5_000);
-        let report = run_serial(&config, 22);
+        let report = run_serial(&config, 22).unwrap();
         assert!(!report.converged);
         assert_eq!(report.events_fired, 5_000);
     }
 
     #[test]
+    fn invalid_config_surfaces_as_error() {
+        let bad = quick_config().with_metric(MetricKind::CappingLevel);
+        assert!(matches!(
+            run_serial(&bad, 1),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn calibration_event_cap_is_an_error() {
+        let config = quick_config().with_max_events(100);
+        assert!(matches!(
+            run_until_calibrated(&config, 25),
+            Err(SimError::EventCapExhausted { phase: "calibration", cap: 100 })
+        ));
+    }
+
+    #[test]
     fn tighter_accuracy_needs_more_events() {
-        let coarse = run_serial(&quick_config().with_target_accuracy(0.2), 23);
-        let fine = run_serial(&quick_config().with_target_accuracy(0.05), 23);
+        let coarse = run_serial(&quick_config().with_target_accuracy(0.2), 23).unwrap();
+        let fine = run_serial(&quick_config().with_target_accuracy(0.05), 23).unwrap();
         assert!(
             fine.events_fired > coarse.events_fired,
             "E=0.05 ({}) should outlast E=0.2 ({})",
@@ -126,9 +149,9 @@ mod tests {
     fn calibration_only_run_stops_early() {
         // Demand a tight full run so measurement dominates calibration.
         let config = quick_config().with_target_accuracy(0.02);
-        let (specs, events) = run_until_calibrated(&config, 24);
+        let (specs, events) = run_until_calibrated(&config, 24).unwrap();
         assert!(specs.contains_key("response_time"));
-        let full = run_serial(&config, 24);
+        let full = run_serial(&config, 24).unwrap();
         assert!(
             events < full.events_fired,
             "calibration ({events}) must cost less than the full run ({})",

@@ -318,17 +318,9 @@ pub fn replay_trace(
     let sim = engine.into_simulation();
 
     let mut sorted = sim.responses.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite responses"));
-    let exact_quantile = |q: f64| -> f64 {
-        let pos = q * (sorted.len() - 1) as f64;
-        let lo = pos.floor() as usize;
-        let frac = pos - lo as f64;
-        if lo + 1 < sorted.len() {
-            sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac
-        } else {
-            sorted[lo]
-        }
-    };
+    // IEEE total order: a NaN observation (however it got there) sorts to
+    // the end instead of panicking mid-report.
+    sorted.sort_by(f64::total_cmp);
     let response: RunningStats = sim.responses.iter().copied().collect();
     let mean_utilization = sim
         .servers
@@ -342,10 +334,30 @@ pub fn replay_trace(
         waiting: sim.waiting,
         response_quantiles: [0.5, 0.9, 0.95, 0.99, 0.999]
             .into_iter()
-            .map(|q| (q, exact_quantile(q)))
+            .map(|q| (q, exact_quantile(&sorted, q)))
             .collect(),
         simulated_seconds: now.as_seconds(),
         mean_utilization,
+    }
+}
+
+/// Linearly-interpolated exact quantile over a `total_cmp`-sorted sample.
+///
+/// # Panics
+///
+/// Panics if the sample is empty.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of an empty sample");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let frac = pos - lo as f64;
+    // Only reach for the neighbor when actually interpolating: with
+    // frac == 0, `sorted[lo + 1] * 0.0` would still poison an exact-index
+    // quantile if the neighbor is NaN (NaN * 0.0 == NaN).
+    if frac > 0.0 && lo + 1 < sorted.len() {
+        sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac
+    } else {
+        sorted[lo]
     }
 }
 
@@ -365,6 +377,22 @@ mod tests {
         assert_eq!(trace.len(), 1000);
         assert!(trace.duration() > 0.0);
         assert!(Trace::new(trace.entries().to_vec()).is_ok());
+    }
+
+    #[test]
+    fn quantiles_tolerate_nan_samples() {
+        // Regression: the report sort used partial_cmp + expect and aborted
+        // on any NaN response. total_cmp pushes NaNs past the finite values.
+        let mut sample = vec![3.0, f64::NAN, 1.0, 2.0, f64::NAN];
+        sample.sort_by(f64::total_cmp);
+        assert_eq!(&sample[..3], &[1.0, 2.0, 3.0]);
+        assert!(sample[3].is_nan() && sample[4].is_nan());
+        // Low quantiles over the finite prefix stay finite and ordered.
+        let q25 = exact_quantile(&sample, 0.25);
+        let q50 = exact_quantile(&sample, 0.5);
+        assert!(q25.is_finite() && q50.is_finite() && q25 <= q50);
+        // The max quantile lands on a NaN rather than panicking.
+        assert!(exact_quantile(&sample, 1.0).is_nan());
     }
 
     #[test]
@@ -424,7 +452,7 @@ mod tests {
             .with_cores(4)
             .with_target_accuracy(0.02)
             .with_max_events(50_000_000);
-        let synthetic = run_serial(&config, 7);
+        let synthetic = run_serial(&config, 7).expect("valid config");
         let s = synthetic.metric("response_time").unwrap().mean;
         let r = replay.response.mean();
         let rel = (s - r).abs() / s;

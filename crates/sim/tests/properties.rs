@@ -29,7 +29,7 @@ proptest! {
         servers in 1usize..4,
         cores in 1usize..8,
     ) {
-        let report = run_serial(&capped_config(utilization, servers, cores), seed);
+        let report = run_serial(&capped_config(utilization, servers, cores), seed).unwrap();
         prop_assert!(report.events_fired > 0);
         prop_assert!(report.simulated_seconds > 0.0);
         prop_assert!(report.cluster.mean_utilization >= 0.0);
@@ -47,8 +47,8 @@ proptest! {
     #[test]
     fn determinism_for_any_seed(seed in any::<u64>(), utilization in 0.1f64..0.8) {
         let config = capped_config(utilization, 2, 4);
-        let a = run_serial(&config, seed);
-        let b = run_serial(&config, seed);
+        let a = run_serial(&config, seed).unwrap();
+        let b = run_serial(&config, seed).unwrap();
         prop_assert_eq!(a.events_fired, b.events_fired);
         prop_assert_eq!(a.simulated_seconds, b.simulated_seconds);
         prop_assert_eq!(a.estimates, b.estimates);

@@ -34,7 +34,7 @@ fn main() {
         .with_cores(cores)
         .with_quantile(0.99)
         .with_target_accuracy(0.05);
-    let base = run_serial(&base_config, 5);
+    let base = run_serial(&base_config, 5).expect("valid config");
     println!(
         "{:>16} {:>14.2} {:>14.1} {:>12.1}",
         "always-on",
@@ -56,7 +56,7 @@ fn main() {
             })
             .with_quantile(0.99)
             .with_target_accuracy(0.05);
-        let report = run_serial(&config, 5);
+        let report = run_serial(&config, 5).expect("valid config");
         let p99 = report.quantile("response_time", 0.99).unwrap();
         let idle = report.cluster.mean_full_idle_fraction;
         println!(

@@ -36,7 +36,7 @@ fn main() {
             ))
             .with_cores(cores)
             .with_target_accuracy(0.05);
-            let report = run_serial(&config, 7);
+            let report = run_serial(&config, 7).expect("valid config");
             println!(
                 "{:>6.1} {:>8.0} {:>12.2} {:>12.2}",
                 s_cpu,
@@ -69,7 +69,7 @@ fn main() {
             let config = ExperimentConfig::new(workload)
                 .with_cores(cores)
                 .with_target_accuracy(0.05);
-            let report = run_serial(&config, 11);
+            let report = run_serial(&config, 11).expect("valid config");
             let p95 = report.quantile("response_time", 0.95).unwrap();
             println!("{:>12} {:>8.0} {:>24.2}", name, qps * 100.0, p95 / service_mean);
         }

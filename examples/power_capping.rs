@@ -52,7 +52,7 @@ fn main() {
             )
             .with_target_accuracy(0.05)
             .with_max_events(30_000_000);
-        let report = run_serial(&config, 13);
+        let report = run_serial(&config, 13).expect("valid config");
         let p95 = report.quantile("response_time", 0.95).unwrap();
         let capping = report.metric("capping_level").unwrap();
         println!(

@@ -27,7 +27,7 @@ fn main() {
             .with_utilization(load)
             .with_target_accuracy(0.05)
             .with_confidence(0.95);
-        let report = run_serial(&config, 42);
+        let report = run_serial(&config, 42).expect("valid config");
         let response = report.metric("response_time").expect("always tracked");
         let p95 = report
             .quantile("response_time", 0.95)

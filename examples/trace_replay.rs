@@ -40,7 +40,7 @@ fn main() {
         .with_target_accuracy(0.02)
         .with_quantile(0.95)
         .with_max_events(100_000_000);
-    let stat = run_serial(&config, 7);
+    let stat = run_serial(&config, 7).expect("valid config");
     let est = stat.metric("response_time").unwrap();
     println!(
         "statistical (4 cores):  mean {:>8.2} ms   p95 {:>8.2} ms   (converged, E = {:.1}%)",

@@ -80,7 +80,7 @@ fn main() {
             .with_cores(cores)
             .with_target_accuracy(0.05)
             .with_max_events(100_000_000);
-        let report = run_serial(&config, 3);
+        let report = run_serial(&config, 3).expect("valid config");
         assert!(report.converged);
         println!(
             "{:>14}x{:<2}cores {:>12.2} {:>12.2} {:>10.1}",

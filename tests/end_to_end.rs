@@ -30,7 +30,7 @@ fn characterize_save_load_simulate() {
     let loaded = Workload::load(&path).unwrap();
     assert_eq!(workload, loaded);
 
-    let report = run_serial(&quick(loaded.at_utilization(0.5, 4)), 1);
+    let report = run_serial(&quick(loaded.at_utilization(0.5, 4)), 1).expect("valid config");
     assert!(report.converged);
     let response = report.metric("response_time").unwrap();
     assert!(response.mean >= 0.004 * 0.9, "response below service mean");
@@ -61,8 +61,8 @@ fn bursty_arrivals_hurt_the_tail() {
             .with_target_accuracy(0.05)
             .with_max_events(100_000_000)
     };
-    let exponential = run_serial(&config(exp_workload), 4);
-    let empirical = run_serial(&config(google.at_utilization(qps, cores)), 4);
+    let exponential = run_serial(&config(exp_workload), 4).expect("valid config");
+    let empirical = run_serial(&config(google.at_utilization(qps, cores)), 4).expect("valid config");
     let p95_exp = exponential.quantile("response_time", 0.95).unwrap();
     let p95_emp = empirical.quantile("response_time", 0.95).unwrap();
     assert!(
@@ -81,13 +81,13 @@ fn dreamweaver_trades_latency_for_idleness() {
         .with_quantile(0.99)
         .with_target_accuracy(0.1)
         .with_max_events(50_000_000);
-    let always_on = run_serial(&base, 5);
+    let always_on = run_serial(&base, 5).expect("valid config");
 
     let dw = base.clone().with_idle_policy(IdlePolicy::DreamWeaver {
         max_delay: 8.0 * workload.service().mean(),
         wake_latency: 0.001,
     });
-    let dreamweaver = run_serial(&dw, 5);
+    let dreamweaver = run_serial(&dw, 5).expect("valid config");
 
     assert!(
         dreamweaver.cluster.mean_full_idle_fraction
@@ -112,7 +112,7 @@ fn power_capping_reduces_power() {
     let uncapped_config = quick(workload.at_utilization(0.6, 4))
         .with_servers(servers)
         .with_power_model(model);
-    let uncapped = run_serial(&uncapped_config, 6);
+    let uncapped = run_serial(&uncapped_config, 6).expect("valid config");
 
     let capper = PowerCapper::new(
         model,
@@ -130,7 +130,7 @@ fn power_capping_reduces_power() {
                 .with_calibration(500)
                 .with_max_lag(8),
         );
-    let capped = run_serial(&capped_config, 6);
+    let capped = run_serial(&capped_config, 6).expect("valid config");
 
     assert!(
         capped.cluster.average_power_watts < uncapped.cluster.average_power_watts,
@@ -157,8 +157,8 @@ fn parallel_protocol_end_to_end() {
         .with_warmup(100)
         .with_calibration(1000)
         .with_max_events(50_000_000);
-    let reference = run_serial(&config.clone().with_target_accuracy(0.01), 7);
-    let outcome = ParallelRunner::new(config, 4).run(7);
+    let reference = run_serial(&config.clone().with_target_accuracy(0.01), 7).expect("valid config");
+    let outcome = ParallelRunner::new(config, 4).run(7).expect("valid config");
     assert!(outcome.converged);
     let r = reference.metric("response_time").unwrap().mean;
     let p = outcome.metric("response_time").unwrap().mean;
@@ -171,8 +171,8 @@ fn parallel_protocol_end_to_end() {
 #[test]
 fn full_stack_determinism() {
     let config = quick(Workload::standard(StandardWorkload::Mail).at_utilization(0.5, 4));
-    let a = run_serial(&config, 8);
-    let b = run_serial(&config, 8);
+    let a = run_serial(&config, 8).expect("valid config");
+    let b = run_serial(&config, 8).expect("valid config");
     assert_eq!(a.estimates, b.estimates);
     assert_eq!(a.events_fired, b.events_fired);
     assert_eq!(a.simulated_seconds, b.simulated_seconds);
@@ -184,7 +184,7 @@ fn full_stack_determinism() {
 fn all_standard_workloads_simulate() {
     for which in StandardWorkload::ALL {
         let workload = Workload::standard(which);
-        let report = run_serial(&quick(workload.at_utilization(0.4, 4)), 9);
+        let report = run_serial(&quick(workload.at_utilization(0.4, 4)), 9).expect("valid config");
         assert!(report.converged, "{which} did not converge");
         assert!(
             report.metric("response_time").unwrap().mean > 0.0,

@@ -38,7 +38,7 @@ fn simulate_mean_response(w: Workload, cores: usize, seed: u64) -> f64 {
                 .with_quantiles(&[]),
         )
         .with_max_events(100_000_000);
-    let report = run_serial(&config, seed);
+    let report = run_serial(&config, seed).expect("valid config");
     assert!(report.converged, "validation run must converge");
     report.metric("response_time").unwrap().mean
 }
@@ -148,7 +148,7 @@ fn mm1_p95_matches_exponential_response() {
         .with_target_accuracy(0.01)
         .with_quantile(0.95)
         .with_max_events(100_000_000);
-    let report = run_serial(&config, 12);
+    let report = run_serial(&config, 12).expect("valid config");
     assert!(report.converged);
     let simulated = report.quantile("response_time", 0.95).unwrap();
     let theory = bighouse::analytic::mm1::response_quantile(lambda, mu, 0.95);
@@ -173,7 +173,7 @@ fn throughput_matches_offered_load() {
         .with_cores(1)
         .with_target_accuracy(0.02)
         .with_max_events(50_000_000);
-    let report = run_serial(&config, 10);
+    let report = run_serial(&config, 10).expect("valid config");
     assert!(report.converged);
     let throughput = report.cluster.jobs_completed as f64 / report.simulated_seconds;
     let err = (throughput - lambda).abs() / lambda;
@@ -192,7 +192,7 @@ fn utilization_matches_rho() {
             .with_cores(4)
             .with_target_accuracy(0.05)
             .with_max_events(50_000_000);
-        let report = run_serial(&config, 11);
+        let report = run_serial(&config, 11).expect("valid config");
         let err = (report.cluster.mean_utilization - rho).abs();
         assert!(
             err < 0.05,
