@@ -34,7 +34,29 @@ fn calendar_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-/// Cancellation-heavy churn, as produced by DVFS rescheduling.
+/// `peek_time` regression guard: reading the next timestamp must stay O(1)
+/// — flat across pending-set sizes — since the engine consults it between
+/// every pair of events.
+fn calendar_peek(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calendar");
+    for pending in [16usize, 1024, 65_536] {
+        group.bench_with_input(BenchmarkId::new("peek_time", pending), &pending, |b, &n| {
+            let mut cal: Calendar<u64> = Calendar::new();
+            let mut rng = SimRng::from_seed(4);
+            for i in 0..n as u64 {
+                cal.schedule(Time::from_seconds(rng.open01()), i);
+            }
+            b.iter(|| std::hint::black_box(&cal).peek_time());
+        });
+    }
+    group.finish();
+}
+
+/// Cancellation-heavy churn, as produced by DVFS rescheduling. The cancel
+/// path removes events in place (no tombstones), so backing storage must
+/// stay bounded by the peak live set no matter how many rounds run —
+/// asserted here so the bench doubles as a memory-steadiness regression
+/// test.
 fn calendar_cancellation(c: &mut Criterion) {
     c.bench_function("calendar/cancel_reschedule", |b| {
         b.iter(|| {
@@ -54,6 +76,12 @@ fn calendar_cancellation(c: &mut Criterion) {
                     );
                 }
             }
+            assert!(
+                cal.backing_events() <= 1000 && cal.slot_capacity() <= 1000,
+                "cancel churn leaked: {} heap nodes / {} slots for 1000 live events",
+                cal.backing_events(),
+                cal.slot_capacity(),
+            );
             while cal.pop().is_some() {}
         })
     });
@@ -86,6 +114,7 @@ fn simulation_event_throughput(c: &mut Criterion) {
 criterion_group!(
     benches,
     calendar_throughput,
+    calendar_peek,
     calendar_cancellation,
     simulation_event_throughput
 );

@@ -1,0 +1,169 @@
+//! Tracked performance baseline for the hot simulation loop.
+//!
+//! Runs two fixed-seed scenarios end to end and writes the measured
+//! throughput to `BENCH_pr2.json` at the repository root (or the path
+//! given as the first positional argument):
+//!
+//! 1. **mmk_balanced** — an M/M/16 cluster behind a join-shortest-queue
+//!    load balancer, the pure hot path: calendar churn plus per-arrival
+//!    routing with no fault machinery.
+//! 2. **mmk_faults** — the same cluster with an exponential
+//!    failure/repair process and the availability metric, exercising
+//!    cancellations (timeout cancels, repair reschedules) and the
+//!    stranded-job path.
+//!
+//! Every scenario uses a hard-coded seed, so the event count and every
+//! estimate are reproducible bit-for-bit; only the wall-clock numbers
+//! vary between machines. CI runs `--check` (each scenario twice,
+//! comparing serialized estimates) as a gating determinism test and
+//! treats the throughput numbers as a non-gating tracked artifact.
+//!
+//! Run with: `cargo run --release -p bighouse-bench --bin perf_baseline`
+//! (add `--check` for the determinism self-check).
+
+use std::process::ExitCode;
+
+use bighouse::prelude::*;
+
+/// One measured scenario: configuration plus its fixed seed.
+struct Scenario {
+    name: &'static str,
+    seed: u64,
+    config: ExperimentConfig,
+}
+
+fn mmk_workload() -> Workload {
+    // Exponential interarrival and service (sigma = mean): moment fitting
+    // recovers the M/M/k model. The synthesis seed is part of the model,
+    // not the run: it only tabulates the empirical inverse CDF.
+    Workload::synthesize(
+        "mmk",
+        TaskMoments::new(0.002, 0.002),
+        TaskMoments::new(0.02, 0.02),
+        2012,
+    )
+    .expect("exponential moments always fit")
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let workload = mmk_workload();
+    let base = ExperimentConfig::new(workload.at_utilization(0.7, 1))
+        .with_servers(16)
+        .with_arrival_mode(ArrivalMode::LoadBalanced(
+            BalancerPolicy::JoinShortestQueue,
+        ))
+        .with_target_accuracy(0.002)
+        .with_warmup(500)
+        .with_calibration(2_000)
+        .with_max_events(2_000_000);
+    vec![
+        Scenario {
+            name: "mmk_balanced",
+            seed: 42,
+            config: base.clone(),
+        },
+        Scenario {
+            name: "mmk_faults",
+            seed: 43,
+            config: base
+                .with_faults(FaultProcess::exponential(50.0, 2.0).expect("valid fault process"))
+                .with_metric(MetricKind::Availability),
+        },
+    ]
+}
+
+fn run(scenario: &Scenario) -> SimulationReport {
+    run_serial(&scenario.config, scenario.seed).expect("baseline scenario config is valid")
+}
+
+/// `--check`: run every scenario twice and fail on any estimate drift.
+fn determinism_check() -> ExitCode {
+    let mut ok = true;
+    for scenario in &scenarios() {
+        let a = run(scenario);
+        let b = run(scenario);
+        let a_json = serde_json::to_string(&a.estimates).expect("estimates serialize");
+        let b_json = serde_json::to_string(&b.estimates).expect("estimates serialize");
+        if a.events_fired != b.events_fired
+            || a.simulated_seconds.to_bits() != b.simulated_seconds.to_bits()
+            || a_json != b_json
+        {
+            eprintln!(
+                "DETERMINISM FAILURE in {}: events {} vs {}, estimates\n  {}\nvs\n  {}",
+                scenario.name, a.events_fired, b.events_fired, a_json, b_json
+            );
+            ok = false;
+        } else {
+            println!(
+                "{}: deterministic ({} events, {} estimates bit-identical)",
+                scenario.name,
+                a.events_fired,
+                a.estimates.len()
+            );
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        return determinism_check();
+    }
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+
+    let mut entries = Vec::new();
+    for scenario in &scenarios() {
+        // One untimed warm-up run so the timed run sees hot caches and a
+        // grown heap, then the measured run.
+        let _ = run(scenario);
+        let report = run(scenario);
+        println!(
+            "{:>14}: {:>9} events  {:>8.3} wall-s  {:>12.0} events/s  converged={}",
+            scenario.name,
+            report.events_fired,
+            report.wall_seconds,
+            report.events_per_second(),
+            report.converged,
+        );
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"scenario\": \"{}\",\n",
+                "      \"seed\": {},\n",
+                "      \"events_fired\": {},\n",
+                "      \"wall_seconds\": {:.6},\n",
+                "      \"events_per_second\": {:.1},\n",
+                "      \"simulated_seconds\": {:.6},\n",
+                "      \"converged\": {}\n",
+                "    }}"
+            ),
+            scenario.name,
+            scenario.seed,
+            report.events_fired,
+            report.wall_seconds,
+            report.events_per_second(),
+            report.simulated_seconds,
+            report.converged,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"perf_baseline\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    if let Err(err) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -1,44 +1,72 @@
 //! The pending-event calendar.
+//!
+//! Implemented as a slab-indexed 4-ary min-heap (see DESIGN.md §4): event
+//! payloads live in a slab of stable, generation-stamped slots recycled
+//! through a free list, while the heap itself holds only packed
+//! `(time, seq)` sort keys and slot indices. Each slot remembers its heap
+//! position, so cancellation is a true O(log n) *sift-out* — no tombstones,
+//! no hashing, and no unbounded heap growth under cancel/reschedule churn —
+//! and [`Calendar::peek_time`] is a single O(1) array read.
 
-use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
 use crate::time::Time;
 
+/// Branching factor of the pending-event heap. A 4-ary heap halves the tree
+/// depth of a binary heap and keeps all children of a node in one or two
+/// cache lines, which wins on the schedule/pop churn of a DES hot loop.
+const ARITY: usize = 4;
+
+/// Sentinel for "this slot is not in the heap" (vacant slot).
+const NO_POS: u32 = u32::MAX;
+
 /// A handle to a scheduled event, used to cancel it before it fires.
 ///
-/// Handles are unique per [`Calendar`] for the lifetime of the calendar; a
-/// handle for an event that already fired (or was already cancelled) is
-/// simply stale, and cancelling it is a no-op that returns `false`.
+/// A handle encodes the event's slab slot plus a per-slot generation stamp;
+/// the stamp is bumped every time a slot is vacated, so a handle for an
+/// event that already fired (or was already cancelled) is simply stale, and
+/// cancelling it is a no-op that returns `false` — even after the slot has
+/// been recycled for a newer event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventHandle(u64);
 
-struct Scheduled<E> {
-    time: Time,
-    seq: u64,
-    payload: E,
+impl EventHandle {
+    #[inline]
+    fn new(slot: u32, generation: u32) -> Self {
+        EventHandle((u64::from(generation) << 32) | u64::from(slot))
+    }
+
+    #[inline]
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    #[inline]
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
+/// Packs a timestamp and a schedule sequence number into one totally
+/// ordered 128-bit sort key.
+///
+/// `Time` is guaranteed finite and non-negative, so the IEEE-754 bit
+/// pattern of its `f64` is monotone in its numeric value (after collapsing
+/// `-0.0` to `+0.0`), and the packed keys compare exactly like
+/// `(time, seq)` tuples: earlier events first, ties broken by scheduling
+/// order. Keys are unique because `seq` never repeats.
+#[inline]
+fn pack_key(time: Time, seq: u64) -> u128 {
+    // `+ 0.0` normalizes -0.0 (which from_seconds admits) to +0.0 so its
+    // bit pattern sorts first, matching numeric comparison.
+    let time_bits = (time.as_seconds() + 0.0).to_bits();
+    (u128::from(time_bits) << 64) | u128::from(seq)
 }
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Ties in time break by insertion order (seq), making the calendar
-        // deterministic: events scheduled first fire first.
-        self.time
-            .cmp(&other.time)
-            .then_with(|| self.seq.cmp(&other.seq))
-    }
+
+/// Recovers the timestamp from a packed sort key.
+#[inline]
+fn key_time(key: u128) -> Time {
+    Time::from_seconds(f64::from_bits((key >> 64) as u64))
 }
 
 /// A cancellable pending-event calendar ordered by simulated time.
@@ -49,9 +77,11 @@ impl<E> Ord for Scheduled<E> {
 ///
 /// - **Determinism** — events at equal timestamps fire in scheduling order,
 ///   so a run is exactly reproducible from its seed.
-/// - **Cancellation** — DVFS transitions and DreamWeaver preemptions must
-///   reschedule in-flight job departures; [`Calendar::cancel`] makes the
-///   superseded event vanish (lazy deletion, O(1) amortized).
+/// - **Cancellation** — DVFS transitions, DreamWeaver preemptions, and
+///   request timeouts must reschedule in-flight events;
+///   [`Calendar::cancel`] removes the superseded event from the heap
+///   immediately (O(log n) sift-out), so cancellation churn cannot grow
+///   the heap beyond the live pending set.
 ///
 /// # Examples
 ///
@@ -66,11 +96,22 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!(cal.pop(), None);
 /// ```
 pub struct Calendar<E> {
-    heap: BinaryHeap<Reverse<Scheduled<E>>>,
-    /// Seqs of events that are scheduled and neither fired nor cancelled.
-    /// An event in the heap whose seq is absent here was cancelled and is
-    /// skipped lazily on pop.
-    live: HashSet<u64>,
+    /// The 4-ary min-heap, struct-of-arrays: `heap_keys` drives every
+    /// comparison in the sift loops, so it lives in its own dense array
+    /// (measurably faster than an array-of-nodes layout); `heap_slots[i]`
+    /// is the slab slot backing the node whose key is `heap_keys[i]`.
+    heap_keys: Vec<u128>,
+    heap_slots: Vec<u32>,
+    /// Slab, struct-of-arrays, indexed by slot. `slot_pos` mirrors each
+    /// occupied slot's current heap position (written on every sift step,
+    /// so it gets its own dense array); `slot_gen` is the generation stamp
+    /// checked against [`EventHandle`]s; `slot_payload` holds the event
+    /// payloads (`None` = vacant).
+    slot_pos: Vec<u32>,
+    slot_gen: Vec<u32>,
+    slot_payload: Vec<Option<E>>,
+    /// Vacant slab slots available for reuse.
+    free: Vec<u32>,
     next_seq: u64,
     now: Time,
     fired: u64,
@@ -82,8 +123,12 @@ impl<E> Calendar<E> {
     #[must_use]
     pub fn new() -> Self {
         Calendar {
-            heap: BinaryHeap::new(),
-            live: HashSet::new(),
+            heap_keys: Vec::new(),
+            heap_slots: Vec::new(),
+            slot_pos: Vec::new(),
+            slot_gen: Vec::new(),
+            slot_payload: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             now: Time::ZERO,
             fired: 0,
@@ -114,13 +159,29 @@ impl<E> Calendar<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled += 1;
-        self.live.insert(seq);
-        self.heap.push(Reverse(Scheduled {
-            time: at,
-            seq,
-            payload,
-        }));
-        EventHandle(seq)
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let p = &mut self.slot_payload[slot as usize];
+                debug_assert!(p.is_none(), "free list returned an occupied slot");
+                *p = Some(payload);
+                slot
+            }
+            None => {
+                assert!(
+                    self.slot_payload.len() < NO_POS as usize,
+                    "calendar exceeded {NO_POS} concurrent pending events"
+                );
+                self.slot_pos.push(NO_POS);
+                self.slot_gen.push(0);
+                self.slot_payload.push(Some(payload));
+                (self.slot_payload.len() - 1) as u32
+            }
+        };
+        let pos = self.heap_keys.len();
+        self.heap_keys.push(pack_key(at, seq));
+        self.heap_slots.push(slot);
+        self.sift_up(pos);
+        EventHandle::new(slot, self.slot_gen[slot as usize])
     }
 
     /// Schedules `payload` to fire `delay` seconds from the current time.
@@ -139,42 +200,53 @@ impl<E> Calendar<E> {
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event was still pending, `false` if it already
-    /// fired or was already cancelled (stale handle).
+    /// fired or was already cancelled (stale handle). A live cancellation
+    /// sifts the event's node out of the heap in O(log n) and returns its
+    /// slot to the free list.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        self.live.remove(&handle.0)
+        let slot = handle.slot() as usize;
+        let Some(p) = self.slot_payload.get(slot) else {
+            return false;
+        };
+        if p.is_none() || self.slot_gen[slot] != handle.generation() {
+            return false; // stale: already fired, cancelled, or recycled
+        }
+        let pos = self.slot_pos[slot] as usize;
+        debug_assert_eq!(self.heap_slots[pos], handle.slot(), "heap index corrupt");
+        self.remove_heap_node(pos);
+        self.slot_payload[slot] = None;
+        self.vacate(handle.slot());
+        true
     }
 
     /// Removes and returns the next event, advancing the clock to its time.
     ///
-    /// Cancelled events are skipped transparently. Returns `None` when the
-    /// calendar is empty.
+    /// Returns `None` when the calendar is empty.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        while let Some(Reverse(ev)) = self.heap.pop() {
-            if !self.live.remove(&ev.seq) {
-                continue; // cancelled
-            }
-            debug_assert!(ev.time >= self.now, "calendar produced out-of-order event");
-            self.now = ev.time;
-            self.fired += 1;
-            return Some((ev.time, ev.payload));
-        }
-        None
+        let key = *self.heap_keys.first()?;
+        let slot = self.heap_slots[0];
+        self.remove_heap_node(0);
+        let time = key_time(key);
+        let payload = self.slot_payload[slot as usize]
+            .take()
+            .expect("heap node pointed at a vacant slot");
+        self.vacate(slot);
+        debug_assert!(time >= self.now, "calendar produced out-of-order event");
+        self.now = time;
+        self.fired += 1;
+        Some((time, payload))
     }
 
-    /// Returns the timestamp of the next (non-cancelled) pending event.
+    /// Returns the timestamp of the next pending event, in O(1).
     #[must_use]
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap
-            .iter()
-            .filter(|Reverse(ev)| self.live.contains(&ev.seq))
-            .map(|Reverse(ev)| ev.time)
-            .min()
+        self.heap_keys.first().map(|&key| key_time(key))
     }
 
-    /// Number of pending (non-cancelled) events.
+    /// Number of pending events.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.live.len()
+        self.heap_keys.len()
     }
 
     /// Whether no events remain.
@@ -193,6 +265,115 @@ impl<E> Calendar<E> {
     #[must_use]
     pub fn events_scheduled(&self) -> u64 {
         self.scheduled
+    }
+
+    /// Number of heap nodes backing the pending set.
+    ///
+    /// Always equals [`Calendar::pending`]: cancellation removes nodes
+    /// eagerly, so there are no tombstones to accumulate. Exposed so benches
+    /// and tests can assert that cancel/reschedule churn keeps the backing
+    /// storage bounded.
+    #[must_use]
+    pub fn backing_events(&self) -> usize {
+        self.heap_keys.len()
+    }
+
+    /// Number of slab slots ever allocated — the high-water mark of
+    /// concurrent pending events. Stays flat under churn because vacated
+    /// slots are recycled through the free list.
+    #[must_use]
+    pub fn slot_capacity(&self) -> usize {
+        self.slot_payload.len()
+    }
+
+    /// Marks `slot` vacant: bumps its generation (invalidating outstanding
+    /// handles) and returns it to the free list.
+    #[inline]
+    fn vacate(&mut self, slot: u32) {
+        let s = slot as usize;
+        debug_assert!(self.slot_payload[s].is_none(), "vacating an occupied slot");
+        self.slot_gen[s] = self.slot_gen[s].wrapping_add(1);
+        self.slot_pos[s] = NO_POS;
+        self.free.push(slot);
+    }
+
+    /// Removes the heap node at `pos`, restoring the heap invariant by
+    /// sifting the node moved into its place. The caller owns the slot the
+    /// removed node pointed at.
+    #[inline]
+    fn remove_heap_node(&mut self, pos: usize) {
+        let last_key = self.heap_keys.pop().expect("remove from empty heap");
+        let last_slot = self.heap_slots.pop().expect("heap arrays out of sync");
+        if pos == self.heap_keys.len() {
+            return; // removed the tail node; nothing moved
+        }
+        let removed_key = self.heap_keys[pos];
+        self.heap_keys[pos] = last_key;
+        self.heap_slots[pos] = last_slot;
+        if last_key < removed_key {
+            self.sift_up(pos);
+        } else {
+            self.sift_down(pos);
+        }
+    }
+
+    /// Moves the node at `pos` toward the root until its parent's key is
+    /// smaller, updating slot→position back-references along the way.
+    #[inline]
+    fn sift_up(&mut self, mut pos: usize) {
+        let key = self.heap_keys[pos];
+        let slot = self.heap_slots[pos];
+        while pos > 0 {
+            let parent = (pos - 1) / ARITY;
+            let pkey = self.heap_keys[parent];
+            if pkey <= key {
+                break;
+            }
+            let pslot = self.heap_slots[parent];
+            self.heap_keys[pos] = pkey;
+            self.heap_slots[pos] = pslot;
+            self.slot_pos[pslot as usize] = pos as u32;
+            pos = parent;
+        }
+        self.heap_keys[pos] = key;
+        self.heap_slots[pos] = slot;
+        self.slot_pos[slot as usize] = pos as u32;
+    }
+
+    /// Moves the node at `pos` toward the leaves until no child's key is
+    /// smaller, updating slot→position back-references along the way.
+    #[inline]
+    fn sift_down(&mut self, mut pos: usize) {
+        let key = self.heap_keys[pos];
+        let slot = self.heap_slots[pos];
+        let len = self.heap_keys.len();
+        loop {
+            let first = pos * ARITY + 1;
+            if first >= len {
+                break;
+            }
+            let mut min_pos = first;
+            let mut min_key = self.heap_keys[first];
+            let end = (first + ARITY).min(len);
+            for child in (first + 1)..end {
+                let k = self.heap_keys[child];
+                if k < min_key {
+                    min_key = k;
+                    min_pos = child;
+                }
+            }
+            if key <= min_key {
+                break;
+            }
+            let cslot = self.heap_slots[min_pos];
+            self.heap_keys[pos] = min_key;
+            self.heap_slots[pos] = cslot;
+            self.slot_pos[cslot as usize] = pos as u32;
+            pos = min_pos;
+        }
+        self.heap_keys[pos] = key;
+        self.heap_slots[pos] = slot;
+        self.slot_pos[slot as usize] = pos as u32;
     }
 }
 
@@ -274,6 +455,19 @@ mod tests {
     }
 
     #[test]
+    fn stale_handle_misses_recycled_slot() {
+        let mut cal = Calendar::new();
+        let h1 = cal.schedule(Time::from_seconds(1.0), "old");
+        assert!(cal.cancel(h1));
+        // The new event reuses h1's slab slot; the stale handle must not
+        // cancel it.
+        let h2 = cal.schedule(Time::from_seconds(2.0), "new");
+        assert!(!cal.cancel(h1));
+        assert_eq!(cal.pop(), Some((Time::from_seconds(2.0), "new")));
+        assert!(!cal.cancel(h2));
+    }
+
+    #[test]
     fn schedule_in_uses_current_time() {
         let mut cal = Calendar::new();
         cal.schedule(Time::from_seconds(10.0), "first");
@@ -308,6 +502,19 @@ mod tests {
     }
 
     #[test]
+    fn peek_time_matches_next_pop() {
+        let mut cal = Calendar::new();
+        for i in 0..50u64 {
+            cal.schedule(Time::from_seconds(((i * 37) % 19) as f64), i);
+        }
+        while let Some(peeked) = cal.peek_time() {
+            let (t, _) = cal.pop().expect("peek implied non-empty");
+            assert_eq!(peeked, t);
+        }
+        assert_eq!(cal.peek_time(), None);
+    }
+
+    #[test]
     fn counters_track_activity() {
         let mut cal = Calendar::new();
         let h = cal.schedule(Time::from_seconds(1.0), ());
@@ -330,5 +537,64 @@ mod tests {
         cal.schedule(Time::from_seconds(9.0), "dep-v3");
         let order: Vec<_> = std::iter::from_fn(|| cal.pop()).collect();
         assert_eq!(order, vec![(Time::from_seconds(9.0), "dep-v3")]);
+    }
+
+    #[test]
+    fn churn_keeps_backing_storage_bounded() {
+        // The tombstone-heap failure mode: cancel + reschedule loops used to
+        // leave a dead node behind per cancellation. The sift-out heap must
+        // stay exactly as large as the live pending set, and the slab must
+        // stop growing once the free list can satisfy every reuse.
+        let mut cal = Calendar::new();
+        let mut handles: Vec<EventHandle> = (0..100u64)
+            .map(|i| cal.schedule(Time::from_seconds(1.0 + i as f64), i))
+            .collect();
+        for round in 0..50u64 {
+            for h in handles.drain(..) {
+                assert!(cal.cancel(h));
+            }
+            for i in 0..100u64 {
+                handles.push(cal.schedule(Time::from_seconds(1.0 + i as f64), round * 100 + i));
+            }
+            assert_eq!(cal.pending(), 100);
+            assert_eq!(cal.backing_events(), 100);
+            assert_eq!(cal.slot_capacity(), 100);
+        }
+    }
+
+    #[test]
+    fn minus_zero_time_sorts_with_zero() {
+        // from_seconds admits -0.0 (it satisfies >= 0.0); the packed key
+        // must treat it as 0.0, keeping FIFO order among the ties.
+        let mut cal = Calendar::new();
+        cal.schedule(Time::from_seconds(0.0), 1);
+        cal.schedule(Time::from_seconds(-0.0), 2);
+        cal.schedule(Time::from_seconds(0.0), 3);
+        let order: Vec<_> = std::iter::from_fn(|| cal.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cancel_in_the_middle_keeps_heap_order() {
+        let mut cal = Calendar::new();
+        let handles: Vec<_> = (0..64u64)
+            .map(|i| cal.schedule(Time::from_seconds(((i * 29) % 31) as f64), i))
+            .collect();
+        // Cancel every third event, then verify the rest pop in exact
+        // (time, seq) order.
+        for (i, h) in handles.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(cal.cancel(*h));
+            }
+        }
+        let mut expected: Vec<(f64, u64)> = (0..64u64)
+            .filter(|i| i % 3 != 0)
+            .map(|i| (((i * 29) % 31) as f64, i))
+            .collect();
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let popped: Vec<(f64, u64)> = std::iter::from_fn(|| cal.pop())
+            .map(|(t, e)| (t.as_seconds(), e))
+            .collect();
+        assert_eq!(popped, expected);
     }
 }

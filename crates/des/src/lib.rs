@@ -10,7 +10,9 @@
 //! - [`Engine`] and the [`Simulation`] trait, the generic event loop,
 //! - [`SeedStream`] and [`SimRng`], deterministic per-component random number
 //!   streams (each slave in a parallel simulation must use a unique seed,
-//!   §2.4 of the paper).
+//!   §2.4 of the paper),
+//! - [`FastMap`]/[`FastSet`], deterministic fast-hash containers for
+//!   hot-path bookkeeping keyed by trusted ids.
 //!
 //! # Examples
 //!
@@ -45,10 +47,12 @@
 
 mod calendar;
 mod engine;
+pub mod hash;
 mod rng;
 mod time;
 
 pub use calendar::{Calendar, EventHandle};
 pub use engine::{Control, Engine, RunStats, Simulation};
+pub use hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use rng::{SeedStream, SimRng};
 pub use time::Time;

@@ -137,6 +137,80 @@ proptest! {
         }
     }
 
+    /// Differential check against a naive reference model: a flat
+    /// `Vec<(time, seq, id)>` where pop scans for the minimum
+    /// `(time, seq)` and cancel is a linear remove. Any divergence in
+    /// pop results, cancel outcomes, `peek_time`, or `pending` under a
+    /// random interleaving of schedule/cancel/pop falsifies the slab
+    /// heap's bookkeeping (slot reuse, generation stamps, sift-out).
+    /// Delays come from a coarse grid so equal-time ties are common.
+    #[test]
+    fn calendar_matches_sorted_vec_reference(
+        ops in prop::collection::vec((0u8..4, 0u8..12, any::<u16>()), 1..400)
+    ) {
+        let mut cal: Calendar<u64> = Calendar::new();
+        // Reference model: unordered pending list + every handle ever
+        // issued (kept after pop/cancel so stale cancels get exercised).
+        let mut model: Vec<(Time, u64, u64)> = Vec::new();
+        let mut handles: Vec<(u64, bighouse_des::EventHandle)> = Vec::new();
+        let mut next_seq = 0u64;
+        let model_min = |model: &[(Time, u64, u64)]| {
+            model
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.0.cmp(&b.0).then(a.1.cmp(&b.1)))
+                .map(|(pos, _)| pos)
+        };
+        for &(op, slot, pick) in &ops {
+            match op {
+                0 => {
+                    let delay = f64::from(slot) / 4.0;
+                    let at = cal.now() + delay;
+                    let id = next_seq;
+                    let handle = cal.schedule_in(delay, id);
+                    model.push((at, next_seq, id));
+                    handles.push((next_seq, handle));
+                    next_seq += 1;
+                }
+                1 => {
+                    if !handles.is_empty() {
+                        let (seq, handle) = handles[pick as usize % handles.len()];
+                        let expect = model.iter().position(|&(_, s, _)| s == seq);
+                        prop_assert_eq!(cal.cancel(handle), expect.is_some(),
+                            "cancel outcome diverged for seq {}", seq);
+                        if let Some(pos) = expect {
+                            model.swap_remove(pos);
+                        }
+                    }
+                }
+                2 => {
+                    let got = cal.pop();
+                    let expect = model_min(&model).map(|pos| {
+                        let (at, _, id) = model.remove(pos);
+                        (at, id)
+                    });
+                    prop_assert_eq!(got, expect, "pop diverged");
+                }
+                _ => {
+                    let expect = model_min(&model).map(|pos| model[pos].0);
+                    prop_assert_eq!(cal.peek_time(), expect, "peek_time diverged");
+                }
+            }
+            prop_assert_eq!(cal.pending(), model.len());
+            prop_assert_eq!(
+                cal.peek_time(),
+                model_min(&model).map(|pos| model[pos].0)
+            );
+        }
+        // Drain: the tail must replay the reference order exactly.
+        while let Some(pos) = model_min(&model) {
+            let (at, _, id) = model.remove(pos);
+            prop_assert_eq!(cal.pop(), Some((at, id)), "drain diverged");
+        }
+        prop_assert_eq!(cal.pop(), None);
+        prop_assert!(cal.is_empty());
+    }
+
     /// Time arithmetic: (t + a) + b == t + (a + b) up to float assoc.
     #[test]
     fn time_addition_is_consistent(t in 0.0f64..1e9, a in 0.0f64..1e3, b in 0.0f64..1e3) {

@@ -73,6 +73,22 @@ impl LoadBalancer {
             self.servers,
             "queue_lengths has wrong arity"
         );
+        self.pick_by(|i| queue_lengths[i], rng)
+    }
+
+    /// Picks a server for the next arrival, reading queue lengths through
+    /// `queue_len` instead of a materialized slice. This is the hot-path
+    /// entry point: callers with per-server state can route without building
+    /// a snapshot `Vec` per arrival. `queue_len` is only consulted for
+    /// queue-aware policies, and only for indices in `0..self.servers()`.
+    ///
+    /// Identical pick sequence (including RNG draw order) to
+    /// [`LoadBalancer::pick`] over a slice of the same values.
+    pub fn pick_by(
+        &mut self,
+        mut queue_len: impl FnMut(usize) -> usize,
+        rng: &mut dyn RngCore,
+    ) -> usize {
         match self.policy {
             BalancerPolicy::Random => (rng.next_u64() % self.servers as u64) as usize,
             BalancerPolicy::RoundRobin => {
@@ -80,11 +96,8 @@ impl LoadBalancer {
                 self.next_rr = (self.next_rr + 1) % self.servers;
                 pick
             }
-            BalancerPolicy::JoinShortestQueue => queue_lengths
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &len)| len)
-                .map(|(i, _)| i)
+            BalancerPolicy::JoinShortestQueue => (0..self.servers)
+                .min_by_key(|&i| queue_len(i))
                 .expect("at least one server"),
         }
     }
@@ -109,36 +122,46 @@ impl LoadBalancer {
             "queue_lengths has wrong arity"
         );
         assert_eq!(available.len(), self.servers, "available has wrong arity");
-        let alive = available.iter().filter(|&&a| a).count();
+        self.pick_available_by(|i| queue_lengths[i], |i| available[i], rng)
+    }
+
+    /// Fault-aware placement through accessor closures, for callers that
+    /// would otherwise snapshot per-server state into temporary `Vec`s on
+    /// every arrival. Both closures are only called with indices in
+    /// `0..self.servers()`; `available` may be called more than once per
+    /// index.
+    ///
+    /// Identical pick sequence (including RNG draw order — no draw happens
+    /// when every server is down) to [`LoadBalancer::pick_available`] over
+    /// slices of the same values.
+    pub fn pick_available_by(
+        &mut self,
+        mut queue_len: impl FnMut(usize) -> usize,
+        mut available: impl FnMut(usize) -> bool,
+        rng: &mut dyn RngCore,
+    ) -> Option<usize> {
+        let alive = (0..self.servers).filter(|&i| available(i)).count();
         if alive == 0 {
             return None;
         }
         match self.policy {
             BalancerPolicy::Random => {
                 let k = (rng.next_u64() % alive as u64) as usize;
-                available
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &a)| a)
-                    .nth(k)
-                    .map(|(i, _)| i)
+                (0..self.servers).filter(|&i| available(i)).nth(k)
             }
             BalancerPolicy::RoundRobin => {
                 for _ in 0..self.servers {
                     let candidate = self.next_rr;
                     self.next_rr = (self.next_rr + 1) % self.servers;
-                    if available[candidate] {
+                    if available(candidate) {
                         return Some(candidate);
                     }
                 }
                 None
             }
-            BalancerPolicy::JoinShortestQueue => queue_lengths
-                .iter()
-                .enumerate()
-                .filter(|&(i, _)| available[i])
-                .min_by_key(|&(_, &len)| len)
-                .map(|(i, _)| i),
+            BalancerPolicy::JoinShortestQueue => (0..self.servers)
+                .filter(|&i| available(i))
+                .min_by_key(|&i| queue_len(i)),
         }
     }
 }
@@ -222,6 +245,45 @@ mod tests {
         assert_eq!(seen[1], 0, "failed server never picked");
         for i in [0, 2, 3] {
             assert!(seen[i] > 600, "server {i} picked only {} times", seen[i]);
+        }
+    }
+
+    #[test]
+    fn closure_picks_match_slice_picks() {
+        use bighouse_des::SimRng;
+        // Same seed, same state: pick_by / pick_available_by must replay the
+        // exact pick and RNG-draw sequence of the slice-based API.
+        for policy in [
+            BalancerPolicy::Random,
+            BalancerPolicy::RoundRobin,
+            BalancerPolicy::JoinShortestQueue,
+        ] {
+            let queues = [4usize, 2, 7, 2, 9];
+            let avail = [true, true, false, true, false];
+            let mut by_slice = LoadBalancer::new(policy, 5);
+            let mut by_closure = LoadBalancer::new(policy, 5);
+            let mut rng_a = SimRng::from_seed(11);
+            let mut rng_b = SimRng::from_seed(11);
+            for _ in 0..200 {
+                assert_eq!(
+                    by_slice.pick(&queues, &mut rng_a),
+                    by_closure.pick_by(|i| queues[i], &mut rng_b)
+                );
+                assert_eq!(
+                    by_slice.pick_available(&queues, &avail, &mut rng_a),
+                    by_closure.pick_available_by(|i| queues[i], |i| avail[i], &mut rng_b)
+                );
+            }
+            // All-down: no pick, and crucially no RNG draw on either path.
+            assert_eq!(
+                by_slice.pick_available(&queues, &[false; 5], &mut rng_a),
+                None
+            );
+            assert_eq!(
+                by_closure.pick_available_by(|i| queues[i], |_| false, &mut rng_b),
+                None
+            );
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "RNG streams diverged");
         }
     }
 

@@ -2,7 +2,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bighouse_des::{Calendar, Control, EventHandle, SimRng, Simulation, Time};
+use bighouse_des::{Calendar, Control, EventHandle, FastMap, SimRng, Simulation, Time};
 use bighouse_dists::Distribution;
 use bighouse_models::{Job, JobId, LoadBalancer, PowerCapper, Server};
 use bighouse_stats::{HistogramSpec, MetricId, Phase, StatsCollection};
@@ -100,9 +100,16 @@ pub struct ClusterSim {
     /// True when faults or retries are configured; the entire request
     /// tracking machinery below is bypassed (zero cost) when false.
     fault_mode: bool,
-    requests: HashMap<u64, RequestState>,
+    /// Per-request state, touched on every admit/complete/timeout in fault
+    /// mode — a deterministic fast-hash map, never iterated.
+    requests: FastMap<u64, RequestState>,
     /// Requests with no live server to run on, awaiting a repair.
     stranded: VecDeque<u64>,
+    /// Scratch for [`ClusterSim::epoch_tick`]'s per-server utilizations,
+    /// reused across epochs instead of allocating per tick.
+    epoch_utilizations: Vec<f64>,
+    /// Scratch for [`ClusterSim::handle_repair`]'s stranded-request drain.
+    stranded_scratch: Vec<u64>,
     n_failures: u64,
     n_admitted: u64,
     n_goodput: u64,
@@ -204,8 +211,10 @@ impl ClusterSim {
             job_counter: 0,
             stop_on_convergence: true,
             fault_mode,
-            requests: HashMap::new(),
+            requests: FastMap::default(),
             stranded: VecDeque::new(),
+            epoch_utilizations: Vec::new(),
+            stranded_scratch: Vec::new(),
             n_failures: 0,
             n_admitted: 0,
             n_goodput: 0,
@@ -420,18 +429,19 @@ impl ClusterSim {
         };
         let target = match home {
             Some(h) => (!self.servers[h].is_failed()).then_some(h),
-            None => {
-                let queue_lengths: Vec<usize> =
-                    self.servers.iter().map(Server::outstanding).collect();
-                let available: Vec<bool> =
-                    self.servers.iter().map(|s| !s.is_failed()).collect();
-                match self.balancer.as_mut() {
-                    Some(balancer) => {
-                        balancer.pick_available(&queue_lengths, &available, &mut self.rng)
-                    }
-                    None => None,
+            None => match self.balancer.as_mut() {
+                Some(balancer) => {
+                    // Route straight off server state — no per-arrival
+                    // queue/availability snapshot Vecs.
+                    let servers = &self.servers;
+                    balancer.pick_available_by(
+                        |i| servers[i].outstanding(),
+                        |i| !servers[i].is_failed(),
+                        &mut self.rng,
+                    )
                 }
-            }
+                None => None,
+            },
         };
         match target {
             Some(s) => {
@@ -478,8 +488,10 @@ impl ClusterSim {
         }
         // Give every stranded request one placement chance; those that
         // still have nowhere to go re-strand inside try_place.
-        let pending: Vec<u64> = self.stranded.drain(..).collect();
-        for key in pending {
+        let mut pending = std::mem::take(&mut self.stranded_scratch);
+        pending.clear();
+        pending.extend(self.stranded.drain(..));
+        for &key in &pending {
             let eligible = matches!(
                 self.requests.get(&key),
                 Some(req) if req.server.is_none() && !req.pending_redispatch
@@ -488,6 +500,7 @@ impl ClusterSim {
                 self.try_place(key, now, cal);
             }
         }
+        self.stranded_scratch = pending;
     }
 
     fn handle_timeout(&mut self, key: u64, now: Time, cal: &mut Calendar<ClusterEvent>) {
@@ -550,7 +563,8 @@ impl ClusterSim {
     }
 
     fn epoch_tick(&mut self, now: Time, rebudget: bool, cal: &mut Calendar<ClusterEvent>) {
-        let mut utilizations = Vec::with_capacity(self.servers.len());
+        let mut utilizations = std::mem::take(&mut self.epoch_utilizations);
+        utilizations.clear();
         for s in 0..self.servers.len() {
             let finished = self.servers[s].sync(now);
             self.record_finished(&finished, cal);
@@ -597,6 +611,7 @@ impl ClusterSim {
         for s in 0..self.servers.len() {
             self.reschedule_attention(s, now, cal);
         }
+        self.epoch_utilizations = utilizations;
     }
 }
 
@@ -624,10 +639,15 @@ impl Simulation for ClusterSim {
                 if self.fault_mode {
                     self.admit(None, now, cal);
                 } else {
-                    let queue_lengths: Vec<usize> =
-                        self.servers.iter().map(Server::outstanding).collect();
-                    if let Some(balancer) = self.balancer.as_mut() {
-                        let server = balancer.pick(&queue_lengths, &mut self.rng);
+                    // Route straight off server state — no per-arrival
+                    // queue-length snapshot Vec.
+                    let picked = {
+                        let servers = &self.servers;
+                        self.balancer
+                            .as_mut()
+                            .map(|b| b.pick_by(|i| servers[i].outstanding(), &mut self.rng))
+                    };
+                    if let Some(server) = picked {
                         self.inject(server, now, cal);
                         self.reschedule_attention(server, now, cal);
                     }

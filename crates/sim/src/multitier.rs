@@ -9,9 +9,7 @@
 //! service distribution), and the statistics engine observes both the
 //! end-to-end response time and each tier's residence time.
 
-use std::collections::HashMap;
-
-use bighouse_des::{Calendar, Control, Engine, EventHandle, SimRng, Simulation, Time};
+use bighouse_des::{Calendar, Control, Engine, EventHandle, FastMap, SimRng, Simulation, Time};
 use bighouse_dists::{Distribution, Empirical};
 use bighouse_models::{
     BalancerPolicy, FinishedJob, IdlePolicy, Job, JobId, LoadBalancer, Server,
@@ -193,8 +191,10 @@ struct TierNetworkSim {
     tiers: Vec<Vec<Server>>,
     balancers: Vec<LoadBalancer>,
     attention: Vec<Vec<Option<EventHandle>>>,
-    /// Original (tier-0) arrival time of each in-flight request.
-    in_flight: HashMap<JobId, Time>,
+    /// Original (tier-0) arrival time of each in-flight request; touched on
+    /// every admission and completion, so it uses the deterministic fast
+    /// hasher (never iterated).
+    in_flight: FastMap<JobId, Time>,
     rng: SimRng,
     stats: StatsCollection,
     end_to_end: MetricId,
@@ -234,7 +234,7 @@ impl TierNetworkSim {
             tiers,
             balancers,
             attention,
-            in_flight: HashMap::new(),
+            in_flight: FastMap::default(),
             rng: SimRng::from_seed(seed),
             stats,
             end_to_end,
@@ -254,9 +254,12 @@ impl TierNetworkSim {
             .service
             .sample(&mut self.rng)
             .max(1e-12);
-        let queue_lengths: Vec<usize> =
-            self.tiers[tier].iter().map(Server::outstanding).collect();
-        let server = self.balancers[tier].pick(&queue_lengths, &mut self.rng);
+        // Route straight off server state — no per-dispatch queue-length
+        // snapshot Vec (this runs once per request per tier).
+        let server = {
+            let servers = &self.tiers[tier];
+            self.balancers[tier].pick_by(|i| servers[i].outstanding(), &mut self.rng)
+        };
         let finished = self.tiers[tier][server].arrive(Job::new(id, now, size), now);
         self.handle_finished(tier, finished, now, cal);
         self.reschedule(tier, server, now, cal);

@@ -134,6 +134,43 @@ mod tests {
     }
 
     #[test]
+    fn fixed_seed_estimates_are_bit_identical() {
+        // The hot-path optimizations (slab calendar, closure-based routing,
+        // fast-hash request maps) must be pure perf: two runs of the same
+        // seed must agree on every estimate down to the last f64 bit. JSON
+        // round-trips f64s losslessly, so string equality is bit equality.
+        use crate::config::ArrivalMode;
+        use bighouse_faults::FaultProcess;
+        use bighouse_models::BalancerPolicy;
+        let configs = [
+            quick_config(),
+            quick_config()
+                .with_servers(4)
+                .with_arrival_mode(ArrivalMode::LoadBalanced(BalancerPolicy::JoinShortestQueue)),
+            quick_config()
+                .with_servers(2)
+                .with_faults(FaultProcess::exponential(20.0, 2.0).unwrap())
+                .with_metric(MetricKind::Availability)
+                .with_calibration(200),
+        ];
+        for (i, config) in configs.iter().enumerate() {
+            let a = run_serial(config, 40 + i as u64).unwrap();
+            let b = run_serial(config, 40 + i as u64).unwrap();
+            assert_eq!(a.events_fired, b.events_fired, "config {i}");
+            assert_eq!(
+                a.simulated_seconds.to_bits(),
+                b.simulated_seconds.to_bits(),
+                "config {i}"
+            );
+            assert_eq!(
+                serde_json::to_string(&a.estimates).unwrap(),
+                serde_json::to_string(&b.estimates).unwrap(),
+                "config {i}: estimates differ between identical seeded runs"
+            );
+        }
+    }
+
+    #[test]
     fn tighter_accuracy_needs_more_events() {
         let coarse = run_serial(&quick_config().with_target_accuracy(0.2), 23).unwrap();
         let fine = run_serial(&quick_config().with_target_accuracy(0.05), 23).unwrap();
