@@ -2,17 +2,73 @@
 //!
 //! ```text
 //! bighouse run <experiment.json> [seed=N] [out=report.json]
+//!              [checkpoint-dir=DIR] [checkpoint-interval=EPOCHS]
+//!              [epoch-events=N] [--resume]
 //! bighouse workloads
 //! bighouse export-workload <name> <path>
 //! bighouse example-config [path]
 //! ```
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use bighouse::dists::Distribution;
-use bighouse::sim::{run_serial, ParallelRunner, SimulationReport};
+use bighouse::sim::{
+    run_resumable, run_serial, CheckpointConfig, ParallelRunner, RunOptions, SimulationReport,
+    TerminationReason,
+};
 use bighouse::workloads::{StandardWorkload, Workload};
 use bighouse_cli::ExperimentSpec;
+
+/// Raw SIGINT/SIGTERM handling with no dependencies: the C `signal(2)`
+/// entry point flips a static flag that a bridge thread forwards to the
+/// runner's cooperative interrupt. Installed only for resumable runs —
+/// plain runs keep the default (immediate) Ctrl+C behavior.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn handle(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::Relaxed);
+    }
+
+    /// Installs SIGINT (2) and SIGTERM (15) handlers; returns the flag
+    /// they set. Idempotent.
+    pub fn install() -> &'static AtomicBool {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, handle as usize);
+            signal(SIGTERM, handle as usize);
+        }
+        &INTERRUPTED
+    }
+}
+
+/// Installs signal handlers (where supported) and returns an interrupt
+/// flag kept in sync by a background bridge thread.
+fn interrupt_flag() -> Arc<AtomicBool> {
+    let flag = Arc::new(AtomicBool::new(false));
+    #[cfg(unix)]
+    {
+        let raw = signals::install();
+        let bridge = Arc::clone(&flag);
+        std::thread::spawn(move || loop {
+            if raw.load(Ordering::Relaxed) {
+                bridge.store(true, Ordering::Relaxed);
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
+    flag
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,8 +97,14 @@ fn print_usage() {
     println!();
     println!("USAGE:");
     println!("  bighouse run <experiment.json> [seed=N] [out=report.json]");
+    println!("               [checkpoint-dir=DIR] [checkpoint-interval=EPOCHS]");
+    println!("               [epoch-events=N] [--resume]");
     println!("      Run the experiment described by a JSON configuration file;");
     println!("      prints estimates, optionally writing the full report as JSON.");
+    println!("      With checkpoint-dir the run snapshots itself at epoch");
+    println!("      boundaries and winds down gracefully on SIGINT/SIGTERM;");
+    println!("      --resume continues a killed run from its last snapshot with");
+    println!("      bit-identical final estimates.");
     println!("  bighouse workloads");
     println!("      List the built-in Table 1 workload models and their moments.");
     println!("  bighouse export-workload <name> <path>");
@@ -51,40 +113,79 @@ fn print_usage() {
     println!("      Print (or write) a template experiment configuration.");
 }
 
+/// `key=value` lookup; leading dashes on the key are ignored so both
+/// `checkpoint-dir=...` and `--checkpoint-dir=...` work.
 fn kv_arg(args: &[String], key: &str) -> Option<String> {
     args.iter()
-        .filter_map(|a| a.split_once('='))
+        .filter_map(|a| a.trim_start_matches('-').split_once('='))
         .find(|(k, _)| *k == key)
         .map(|(_, v)| v.to_owned())
+}
+
+/// Bare boolean flag: `--resume`, `resume`, or `resume=true`.
+fn flag_arg(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a.trim_start_matches('-') == key)
+        || kv_arg(args, key).is_some_and(|v| v == "1" || v == "true")
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args
         .iter()
-        .find(|a| !a.contains('='))
-        .ok_or("usage: bighouse run <experiment.json> [seed=N] [out=report.json]")?;
+        .find(|a| !a.contains('=') && !a.starts_with('-'))
+        .ok_or("usage: bighouse run <experiment.json> [seed=N] [out=report.json] [checkpoint-dir=DIR] [--resume]")?;
     let seed: u64 = kv_arg(args, "seed")
         .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
         .transpose()?
         .unwrap_or(2012);
+    let checkpoint_dir = kv_arg(args, "checkpoint-dir");
+    let checkpoint_interval: u64 = kv_arg(args, "checkpoint-interval")
+        .map(|s| s.parse().map_err(|_| format!("bad checkpoint-interval `{s}`")))
+        .transpose()?
+        .unwrap_or(1);
+    if checkpoint_interval == 0 {
+        return Err("checkpoint-interval must be at least 1".into());
+    }
+    let epoch_events: u64 = kv_arg(args, "epoch-events")
+        .map(|s| s.parse().map_err(|_| format!("bad epoch-events `{s}`")))
+        .transpose()?
+        .unwrap_or(RunOptions::DEFAULT_EPOCH_EVENTS);
+    let resume = flag_arg(args, "resume");
+    if resume && checkpoint_dir.is_none() {
+        return Err("--resume requires checkpoint-dir=DIR".into());
+    }
     let spec = ExperimentSpec::from_file(path).map_err(|e| e.to_string())?;
     let config = spec.resolve().map_err(|e| e.to_string())?;
 
     let report: SimulationReport = match spec.slaves {
         Some(slaves) if slaves > 1 => {
+            if resume {
+                return Err("resume is only supported for serial runs (slaves=1)".into());
+            }
             eprintln!("running with {slaves} parallel slaves (master seed {seed})...");
             let outcome = ParallelRunner::new(config, slaves)
+                .with_interrupt(interrupt_flag())
                 .run(seed)
                 .map_err(|e| e.to_string())?;
+            println!(
+                "supervision: {} resurrections, {} dead slaves{}",
+                outcome.resurrections,
+                outcome.dead_slaves.len(),
+                if outcome.dead_slaves.is_empty() {
+                    String::new()
+                } else {
+                    format!(" {:?}", outcome.dead_slaves)
+                }
+            );
             if !outcome.dead_slaves.is_empty() {
                 eprintln!(
-                    "warning: slaves {:?} died; estimates merged from survivors",
+                    "warning: slaves {:?} died permanently; estimates merged from survivors",
                     outcome.dead_slaves
                 );
             }
             // Wrap the merged estimates in a report shell for printing.
             SimulationReport {
                 converged: outcome.converged,
+                termination: outcome.termination,
                 estimates: outcome.estimates.clone(),
                 events_fired: outcome.total_events(),
                 simulated_seconds: 0.0,
@@ -101,6 +202,22 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 },
             }
         }
+        _ if checkpoint_dir.is_some() => {
+            // Resumable serial run: epoch-structured, checkpointed, and
+            // wound down gracefully (final checkpoint + partial report)
+            // on SIGINT/SIGTERM.
+            eprintln!("running serially with checkpoints (seed {seed})...");
+            let opts = RunOptions {
+                epoch_events,
+                checkpoint: checkpoint_dir.map(|dir| {
+                    CheckpointConfig::new(dir).with_interval(checkpoint_interval)
+                }),
+                resume,
+                max_epochs: None,
+                interrupt: Some(interrupt_flag()),
+            };
+            run_resumable(&config, seed, &opts).map_err(|e| e.to_string())?
+        }
         _ => {
             eprintln!("running serially (seed {seed})...");
             run_serial(&config, seed).map_err(|e| e.to_string())?
@@ -108,8 +225,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
 
     println!(
-        "converged: {}   events: {}   wall: {:.2}s",
-        report.converged, report.events_fired, report.wall_seconds
+        "converged: {} ({})   events: {}   wall: {:.2}s",
+        report.converged, report.termination, report.events_fired, report.wall_seconds
     );
     for est in &report.estimates {
         print!(
@@ -127,6 +244,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         println!(
             "  faults: {} server failures, goodput {}/{} admitted, {} timed out, {} retries",
             fs.server_failures, fs.goodput, fs.admitted, fs.timed_out, fs.retries
+        );
+    }
+    if report.termination == TerminationReason::Interrupted {
+        eprintln!(
+            "interrupted: estimates are partial — unbiased but with wider confidence \
+             intervals than the accuracy target; resume with --resume to finish"
         );
     }
 

@@ -102,6 +102,71 @@ fn export_then_run_round_trip() {
 }
 
 #[test]
+fn checkpointed_run_can_resume() {
+    let dir = temp_dir().join("resume-e2e");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let spec = serde_json::json!({
+        "workload": { "standard": "web" },
+        "utilization": 0.5,
+        "accuracy": 0.2,
+        "warmup": 50,
+        "calibration": 500,
+    });
+    let spec_path = dir.join("exp.json");
+    std::fs::write(&spec_path, spec.to_string()).expect("write spec");
+    let ckpt_dir = dir.join("ckpt");
+    let first_out = dir.join("first.json");
+    let out = bighouse()
+        .args([
+            "run",
+            spec_path.to_str().unwrap(),
+            "seed=11",
+            &format!("checkpoint-dir={}", ckpt_dir.display()),
+            "epoch-events=20000",
+            &format!("out={}", first_out.display()),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(ckpt_dir.join("bighouse.ckpt").exists(), "snapshot written");
+
+    // Resuming the finished run re-emits its report without simulating.
+    let second_out = dir.join("second.json");
+    let out = bighouse()
+        .args([
+            "run",
+            spec_path.to_str().unwrap(),
+            "seed=11",
+            &format!("checkpoint-dir={}", ckpt_dir.display()),
+            "epoch-events=20000",
+            "--resume",
+            &format!("out={}", second_out.display()),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(resumed)"));
+    let read = |p: &std::path::Path| -> serde_json::Value {
+        serde_json::from_str(&std::fs::read_to_string(p).expect("report written"))
+            .expect("report is JSON")
+    };
+    let (a, b) = (read(&first_out), read(&second_out));
+    assert_eq!(a["estimates"], b["estimates"], "resume must re-emit the same estimates");
+    assert_eq!(a["events_fired"], b["events_fired"]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_without_checkpoint_dir_is_rejected() {
+    let out = bighouse()
+        .args(["run", "/nonexistent/exp.json", "--resume"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("checkpoint-dir"));
+}
+
+#[test]
 fn run_rejects_missing_file() {
     let out = bighouse()
         .args(["run", "/nonexistent/exp.json"])

@@ -263,6 +263,39 @@ impl ClusterSim {
         &self.stats
     }
 
+    /// Consumes the simulation, yielding its statistics collection — the
+    /// epoch-boundary hand-off of resumable runs: the calendar and all
+    /// in-flight requests are discarded, the accumulated statistics are
+    /// carried into the next epoch (or into a checkpoint).
+    #[must_use]
+    pub fn into_stats(self) -> StatsCollection {
+        self.stats
+    }
+
+    /// Replaces this simulation's (fresh) statistics with a collection
+    /// carried over from an earlier epoch or restored from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Checkpoint`] if the restored collection does not
+    /// match the configured metric set (different count, names, or order) —
+    /// the signature of resuming against the wrong experiment.
+    pub fn restore_stats(&mut self, stats: StatsCollection) -> Result<(), SimError> {
+        let matches = stats.len() == self.stats.len()
+            && self
+                .stats
+                .iter()
+                .zip(stats.iter())
+                .all(|(mine, theirs)| mine.spec().name() == theirs.spec().name());
+        if !matches {
+            return Err(SimError::Checkpoint(
+                "restored statistics do not match the configured metric set".into(),
+            ));
+        }
+        self.stats = stats;
+        Ok(())
+    }
+
     /// Whether every metric has finished calibration (reached measurement
     /// or convergence) — the master's hand-off point in Figure 3.
     #[must_use]

@@ -31,6 +31,8 @@ pub enum SimError {
         /// How many slaves panicked.
         panicked: usize,
     },
+    /// A checkpoint could not be written, read, or applied.
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -46,6 +48,7 @@ impl std::fmt::Display for SimError {
             SimError::NoSurvivingSlaves { panicked } => {
                 write!(f, "all {panicked} parallel slaves panicked; no results to merge")
             }
+            SimError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -66,5 +69,6 @@ mod tests {
             .to_string()
             .contains("10"));
         assert!(SimError::NoSurvivingSlaves { panicked: 4 }.to_string().contains('4'));
+        assert!(SimError::Checkpoint("bad magic".into()).to_string().contains("bad magic"));
     }
 }

@@ -18,6 +18,12 @@
 //!   to failure/repair processes; [`ExperimentConfig::with_retry`] adds
 //!   client-side request timeouts with capped-exponential-backoff retries.
 //!   Exact accounting lands in [`FaultSummary`].
+//! - [`run_resumable`] executes the same statistics epoch-structured, so
+//!   the run can checkpoint itself ([`CheckpointConfig`]), survive a kill
+//!   (`--resume` restores bit-identical estimates), and wind down
+//!   gracefully on SIGINT/SIGTERM. [`ParallelRunner`] doubles as a
+//!   supervisor: crashed slaves are resurrected from in-memory epoch
+//!   checkpoints before the runner falls back to dropping them.
 //!
 //! # Examples
 //!
@@ -39,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod checkpoint;
 mod cluster;
 mod config;
 mod error;
@@ -48,11 +55,14 @@ mod report;
 mod runner;
 mod trace;
 
+pub use checkpoint::{
+    config_fingerprint, CheckpointConfig, CheckpointStore, FaultTotals, RunState, RunTotals,
+};
 pub use cluster::ClusterSim;
 pub use config::{ArrivalMode, ExperimentConfig, MetricKind};
 pub use error::SimError;
 pub use multitier::{run_multi_tier, MultiTierConfig, TierConfig};
 pub use parallel::{ParallelOutcome, ParallelRunner};
-pub use report::{ClusterSummary, FaultSummary, SimulationReport};
-pub use runner::{run_serial, run_until_calibrated};
+pub use report::{ClusterSummary, FaultSummary, SimulationReport, TerminationReason};
+pub use runner::{run_resumable, run_serial, run_until_calibrated, RunOptions};
 pub use trace::{replay_trace, Trace, TraceEntry, TraceError, TraceReplayReport};

@@ -392,8 +392,14 @@ pub fn run_multi_tier(config: &MultiTierConfig, seed: u64) -> SimulationReport {
     let run = engine.run_with_limit(config.max_events);
     let now = engine.now();
     let sim = engine.into_simulation();
+    let converged = sim.stats.all_converged();
     let mut report = SimulationReport {
-        converged: sim.stats.all_converged(),
+        converged,
+        termination: if converged {
+            crate::report::TerminationReason::Converged
+        } else {
+            crate::report::TerminationReason::Deadline
+        },
         estimates: sim.stats.estimates(),
         events_fired: run.events_fired,
         simulated_seconds: now.as_seconds(),

@@ -1,4 +1,4 @@
-//! The master/slave parallel runner (Figure 3).
+//! The master/slave parallel runner (Figure 3), with supervision.
 //!
 //! "First, the simulation undergoes a warm-up and calibration phase on the
 //! master. A histogram is generated from the calibration sample and the bin
@@ -13,38 +13,54 @@
 //! histogram merge) is exactly the paper's. The paper's hosts were separate
 //! machines — see DESIGN.md substitution 3.
 //!
-//! The master is fault-tolerant: a slave that panics is recorded in
-//! [`ParallelOutcome::dead_slaves`] and the run continues on the survivors,
-//! mirroring how a distributed master would survive a crashed host. An
-//! optional wall-clock watchdog ([`ParallelRunner::with_watchdog`]) bounds
-//! runs whose accuracy target is unreachable, returning partial estimates
-//! with `converged: false`.
+//! The master is a **supervisor**: each slave runs in deterministic epochs
+//! and sends the master an in-memory checkpoint of its statistics at every
+//! epoch boundary. A slave that panics (or stalls past an optional
+//! per-slave timeout) is *resurrected* from its last checkpoint — with a
+//! fresh incarnation number fencing off any stale messages — up to a
+//! bounded number of restarts with exponential backoff. Because each epoch
+//! draws its seed deterministically from the slave's seed and epoch index,
+//! the resurrected slave replays the lost partial epoch identically, so
+//! the sample pool keeps its full size. Only when restarts are exhausted
+//! does the runner fall back to the original drop-dead-slave semantics
+//! ([`ParallelOutcome::dead_slaves`]).
+//!
+//! An optional wall-clock watchdog ([`ParallelRunner::with_watchdog`])
+//! bounds runs whose accuracy target is unreachable, and a cooperative
+//! interrupt flag ([`ParallelRunner::with_interrupt`]) lets a signal
+//! handler wind the run down gracefully; both produce partial estimates
+//! with an honest [`TerminationReason`].
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 
 use bighouse_des::{Calendar, Engine, SeedStream};
 use bighouse_stats::{
-    required_samples_mean, required_samples_quantile, Histogram, MetricEstimate, MetricSpec,
-    RunningStats,
+    required_samples_mean, required_samples_quantile, Histogram, HistogramSpec, MetricEstimate,
+    MetricSpec, RunningStats, StatsCollection,
 };
 
 use crate::cluster::ClusterSim;
 use crate::config::ExperimentConfig;
 use crate::error::SimError;
+use crate::report::TerminationReason;
 use crate::runner::run_until_calibrated;
 
 /// How many events each slave simulates between progress reports to the
 /// master.
 const CHUNK_EVENTS: u64 = 20_000;
 
-/// How often the master re-checks its watchdog deadline while waiting for
-/// slave messages.
+/// How often the master re-checks deadlines, interrupts, and due respawns
+/// while waiting for slave messages.
 const WATCHDOG_TICK: Duration = Duration::from_millis(25);
+
+/// Base delay before a crashed slave's first restart; doubles per attempt.
+const RESTART_BACKOFF: Duration = Duration::from_millis(25);
 
 /// The result of a parallel run.
 #[derive(Debug, Clone)]
@@ -54,14 +70,21 @@ pub struct ParallelOutcome {
     /// Whether the aggregate sample reached the required size (as opposed
     /// to slaves exhausting their event caps or the watchdog firing).
     pub converged: bool,
+    /// Why the run stopped monitoring for new samples.
+    pub termination: TerminationReason,
     /// Events the master consumed for its warm-up + calibration phase —
     /// the serial fraction (Figure 10's Amdahl bottleneck, together with
     /// each slave's own calibration).
     pub master_calibration_events: u64,
     /// Events simulated by each slave (zero for a slave that died).
     pub slave_events: Vec<u64>,
-    /// Slaves that panicked; their samples are excluded from the merge.
+    /// Slaves that died *permanently* (restarts exhausted); their samples
+    /// are excluded from the merge.
     pub dead_slaves: Vec<usize>,
+    /// Slave restarts performed from in-memory checkpoints. A resurrected
+    /// slave keeps its sample pool, so it does **not** appear in
+    /// [`ParallelOutcome::dead_slaves`].
+    pub resurrections: u64,
     /// Whether the wall-clock watchdog stopped the run before the
     /// aggregate sample sufficed.
     pub watchdog_fired: bool,
@@ -83,21 +106,130 @@ impl ParallelOutcome {
     }
 }
 
-/// Messages slaves send the master.
+/// A slave's resumable state: everything the master needs to restart it
+/// without losing samples. Checkpointed at epoch boundaries, when no
+/// calendar state is in flight.
+#[derive(Debug, Clone, Default)]
+struct SlaveState {
+    /// Next epoch index to simulate.
+    epoch: u64,
+    /// Events simulated across completed epochs.
+    events: u64,
+    /// Statistics accumulated so far (`None` before the first epoch).
+    stats: Option<StatsCollection>,
+}
+
+/// Messages slaves send the master. Every message carries the sender's
+/// incarnation so the master can ignore stragglers from an abandoned
+/// (timed-out but still running) incarnation of the same slave.
 enum SlaveMessage {
     Progress {
         slave: usize,
+        incarnation: u32,
         moments: Vec<Option<RunningStats>>,
+    },
+    /// An epoch boundary: the slave's full resumable state.
+    Checkpoint {
+        slave: usize,
+        incarnation: u32,
+        state: Box<SlaveState>,
     },
     Final {
         slave: usize,
+        incarnation: u32,
         histograms: Vec<Option<Histogram>>,
         lags: Vec<usize>,
         total_observed: Vec<u64>,
         events: u64,
     },
     /// The slave panicked (or failed to build); it will send nothing else.
-    Died { slave: usize },
+    Died { slave: usize, incarnation: u32 },
+}
+
+/// Per-slave supervision bookkeeping held by the master.
+struct Supervision {
+    /// Current incarnation of each slave; messages from older incarnations
+    /// are fenced off.
+    incarnations: Vec<u32>,
+    /// Restarts still available to each slave.
+    restarts_left: Vec<u32>,
+    /// Last checkpoint received from each slave (fresh state initially).
+    checkpoints: Vec<SlaveState>,
+    /// When each slave's pending respawn becomes due.
+    respawn_at: Vec<Option<Instant>>,
+    /// Slaves that delivered their Final.
+    finished: Vec<bool>,
+    /// Slaves that died permanently (restarts exhausted).
+    dead: Vec<bool>,
+    /// Last time the master heard from each slave's live incarnation.
+    last_heard: Vec<Instant>,
+}
+
+impl Supervision {
+    fn new(slaves: usize, max_restarts: u32) -> Self {
+        let now = Instant::now();
+        Supervision {
+            incarnations: vec![0; slaves],
+            restarts_left: vec![max_restarts; slaves],
+            checkpoints: vec![SlaveState::default(); slaves],
+            respawn_at: vec![None; slaves],
+            finished: vec![false; slaves],
+            dead: vec![false; slaves],
+            last_heard: vec![now; slaves],
+        }
+    }
+
+    /// Whether the slave has reached a terminal state (Final delivered or
+    /// permanently dead).
+    fn settled(&self, slave: usize) -> bool {
+        self.finished[slave] || self.dead[slave]
+    }
+}
+
+/// Handles one observed slave death (panic or stall): either schedules a
+/// resurrection from the last checkpoint, or — restarts exhausted — marks
+/// the slave permanently dead and re-evaluates convergence without it.
+fn record_death(
+    slave: usize,
+    sup: &mut Supervision,
+    latest: &mut [Vec<Option<RunningStats>>],
+    specs: &[MetricSpec],
+    outcome: &mut ParallelOutcome,
+    max_restarts: u32,
+) {
+    sup.incarnations[slave] += 1;
+    if sup.restarts_left[slave] > 0 {
+        sup.restarts_left[slave] -= 1;
+        let attempt = max_restarts - sup.restarts_left[slave]; // 1-based
+        let backoff = RESTART_BACKOFF * 2u32.pow((attempt - 1).min(6));
+        sup.respawn_at[slave] = Some(Instant::now() + backoff);
+        // Until the resurrection reports in, count the slave's sample pool
+        // at its checkpointed (guaranteed-recoverable) size.
+        latest[slave] = checkpoint_moments(&sup.checkpoints[slave], specs.len());
+    } else {
+        sup.dead[slave] = true;
+        outcome.dead_slaves.push(slave);
+        // A dead slave's samples never reach the merge; forget its
+        // progress so convergence is not declared on data that will not
+        // be delivered.
+        latest[slave] = vec![None; specs.len()];
+        if outcome.converged && !aggregate_sufficient(specs, latest) {
+            outcome.converged = false;
+            // Too late to restart the survivors (they may already be
+            // finishing); report honestly.
+        }
+    }
+}
+
+/// The per-metric sample moments recoverable from a slave checkpoint.
+fn checkpoint_moments(state: &SlaveState, metrics: usize) -> Vec<Option<RunningStats>> {
+    match &state.stats {
+        Some(stats) => stats
+            .iter()
+            .map(|m| m.histogram().map(|h| *h.moments()))
+            .collect(),
+        None => vec![None; metrics],
+    }
 }
 
 /// The distributed-simulation coordinator.
@@ -118,7 +250,12 @@ pub struct ParallelRunner {
     config: ExperimentConfig,
     slaves: usize,
     watchdog: Option<f64>,
+    max_restarts: u32,
+    slave_epoch_events: u64,
+    slave_stall_timeout: Option<Duration>,
+    interrupt: Option<Arc<AtomicBool>>,
     forced_panic: Option<usize>,
+    persistent_panic: Option<usize>,
 }
 
 impl ParallelRunner {
@@ -134,7 +271,12 @@ impl ParallelRunner {
             config,
             slaves,
             watchdog: None,
+            max_restarts: 3,
+            slave_epoch_events: 500_000,
+            slave_stall_timeout: None,
+            interrupt: None,
             forced_panic: None,
+            persistent_panic: None,
         }
     }
 
@@ -156,7 +298,57 @@ impl ParallelRunner {
         self
     }
 
-    /// Test hook: the given slave panics immediately instead of simulating.
+    /// Sets how many times a crashed slave may be resurrected from its
+    /// checkpoint before the runner falls back to dropping it (0 restores
+    /// the original drop-dead-slave semantics).
+    #[must_use]
+    pub fn with_max_restarts(mut self, restarts: u32) -> Self {
+        self.max_restarts = restarts;
+        self
+    }
+
+    /// Sets the slave checkpoint epoch in events. Smaller epochs bound the
+    /// work a resurrection replays; larger epochs reduce checkpoint
+    /// traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is zero.
+    #[must_use]
+    pub fn with_slave_epoch(mut self, events: u64) -> Self {
+        assert!(events > 0, "slave epoch must be at least one event");
+        self.slave_epoch_events = events;
+        self
+    }
+
+    /// Arms a per-slave stall watchdog: a slave the master has not heard
+    /// from in `seconds` is presumed wedged, its incarnation abandoned,
+    /// and a resurrection scheduled from its last checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is non-positive or non-finite.
+    #[must_use]
+    pub fn with_slave_timeout(mut self, seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds > 0.0,
+            "slave timeout must be a positive number of seconds, got {seconds}"
+        );
+        self.slave_stall_timeout = Some(Duration::from_secs_f64(seconds));
+        self
+    }
+
+    /// Installs a cooperative interrupt flag: once set (e.g. by a
+    /// SIGINT/SIGTERM handler), the run winds down, merges whatever the
+    /// slaves collected, and reports [`TerminationReason::Interrupted`].
+    #[must_use]
+    pub fn with_interrupt(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.interrupt = Some(flag);
+        self
+    }
+
+    /// Test hook: the given slave panics on its **first** incarnation only
+    /// — a transient fault the supervisor recovers from by resurrection.
     #[doc(hidden)]
     #[must_use]
     pub fn with_forced_panic(mut self, slave: usize) -> Self {
@@ -164,17 +356,28 @@ impl ParallelRunner {
         self
     }
 
+    /// Test hook: the given slave panics on **every** incarnation — a hard
+    /// fault that exhausts its restart budget and exercises the fallback
+    /// drop semantics.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_persistent_panic(mut self, slave: usize) -> Self {
+        self.persistent_panic = Some(slave);
+        self
+    }
+
     /// Executes the full Figure 3 protocol and returns merged estimates.
     ///
-    /// Slave panics are contained: the run proceeds on the survivors and
-    /// the dead are listed in [`ParallelOutcome::dead_slaves`].
+    /// Slave panics are contained: the supervisor resurrects the slave
+    /// from its last epoch checkpoint (up to the restart budget), and only
+    /// then drops it, listing it in [`ParallelOutcome::dead_slaves`].
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] / [`SimError::CalendarDrained`] /
     /// [`SimError::EventCapExhausted`] if the master's own calibration fails,
-    /// and [`SimError::NoSurvivingSlaves`] if every slave dies before
-    /// delivering results.
+    /// and [`SimError::NoSurvivingSlaves`] if every slave dies permanently
+    /// before delivering results.
     pub fn run(&self, master_seed: u64) -> Result<ParallelOutcome, SimError> {
         let start = Instant::now();
 
@@ -198,59 +401,88 @@ impl ParallelRunner {
         let mut outcome = ParallelOutcome {
             estimates: Vec::new(),
             converged: false,
+            termination: TerminationReason::Deadline,
             master_calibration_events: master_events,
             slave_events: vec![0; self.slaves],
             dead_slaves: Vec::new(),
+            resurrections: 0,
             watchdog_fired: false,
             wall_seconds: 0.0,
         };
+        let mut interrupted = false;
 
         let deadline = self.watchdog.map(|s| start + Duration::from_secs_f64(s));
 
         std::thread::scope(|scope| {
-            for (slave, &seed) in slave_seeds.iter().enumerate() {
+            // Spawns (or respawns) one incarnation of a slave, resuming
+            // from the given checkpoint state. The channel sender is
+            // cloned per incarnation; the master keeps the original alive
+            // so respawns stay possible until the run settles.
+            let spawn_slave = |slave: usize, incarnation: u32, state: SlaveState| {
                 let tx = tx.clone();
                 let stop = &stop;
                 let config = &self.config;
                 let bin_schemes = &bin_schemes;
-                let forced_panic = self.forced_panic;
+                let seed = slave_seeds[slave];
+                let epoch_events = self.slave_epoch_events;
+                let forced = (self.forced_panic == Some(slave) && incarnation == 0)
+                    || self.persistent_panic == Some(slave);
                 scope.spawn(move || {
                     let result = catch_unwind(AssertUnwindSafe(|| {
-                        if forced_panic == Some(slave) {
+                        if forced {
                             panic!("forced slave panic (test hook)");
                         }
-                        run_slave(slave, seed, config, bin_schemes, stop, &tx)
+                        run_slave(
+                            slave,
+                            incarnation,
+                            seed,
+                            config,
+                            bin_schemes,
+                            state,
+                            epoch_events,
+                            stop,
+                            &tx,
+                        )
                     }));
                     // A panic (or a build error) means no Final will come;
                     // tell the master not to wait for one.
                     if !matches!(result, Ok(Ok(()))) {
-                        let _ = tx.send(SlaveMessage::Died { slave });
+                        let _ = tx.send(SlaveMessage::Died { slave, incarnation });
                     }
                 });
-            }
-            drop(tx);
+            };
 
-            // Master: monitor aggregate sample size; declare convergence
-            // when every metric's merged sample reaches its requirement.
+            let mut sup = Supervision::new(self.slaves, self.max_restarts);
+            for slave in 0..self.slaves {
+                spawn_slave(slave, 0, SlaveState::default());
+            }
+
+            // Master: monitor aggregate sample size, supervise slave
+            // lifecycles, declare convergence when every metric's merged
+            // sample reaches its requirement.
             let mut latest: Vec<Vec<Option<RunningStats>>> =
                 vec![vec![None; specs.len()]; self.slaves];
             let mut finals: Vec<Option<SlaveMessage>> = (0..self.slaves).map(|_| None).collect();
-            let mut finals_seen = 0;
-            while finals_seen + outcome.dead_slaves.len() < self.slaves {
-                let msg = if deadline.is_some() {
-                    match rx.recv_timeout(WATCHDOG_TICK) {
-                        Ok(msg) => Some(msg),
-                        Err(channel::RecvTimeoutError::Timeout) => None,
-                        Err(channel::RecvTimeoutError::Disconnected) => break,
-                    }
-                } else {
-                    match rx.recv() {
-                        Ok(msg) => Some(msg),
-                        Err(_) => break,
-                    }
+            while (0..self.slaves).any(|s| !sup.settled(s)) {
+                let msg = match rx.recv_timeout(WATCHDOG_TICK) {
+                    Ok(msg) => Some(msg),
+                    Err(channel::RecvTimeoutError::Timeout) => None,
+                    // Unreachable while the master holds `tx`, but bail
+                    // rather than spin if it ever happens.
+                    Err(channel::RecvTimeoutError::Disconnected) => break,
                 };
+
+                if let Some(flag) = &self.interrupt {
+                    if !interrupted && flag.load(Ordering::Relaxed) {
+                        // Graceful wind-down: stop the slaves and merge
+                        // whatever they deliver.
+                        interrupted = true;
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
                 if let Some(d) = deadline {
-                    if !outcome.watchdog_fired && !stop.load(Ordering::Relaxed)
+                    if !outcome.watchdog_fired
+                        && !stop.load(Ordering::Relaxed)
                         && Instant::now() >= d
                     {
                         // Out of wall-clock budget: stop the slaves and
@@ -259,42 +491,109 @@ impl ParallelRunner {
                         stop.store(true, Ordering::Relaxed);
                     }
                 }
+
                 match msg {
                     None => {}
-                    Some(SlaveMessage::Progress { slave, moments }) => {
-                        latest[slave] = moments;
-                        if !stop.load(Ordering::Relaxed)
-                            && aggregate_sufficient(&specs, &latest)
-                        {
-                            outcome.converged = true;
-                            stop.store(true, Ordering::Relaxed);
+                    Some(SlaveMessage::Progress {
+                        slave,
+                        incarnation,
+                        moments,
+                    }) => {
+                        if incarnation == sup.incarnations[slave] && !sup.settled(slave) {
+                            sup.last_heard[slave] = Instant::now();
+                            latest[slave] = moments;
+                            if !stop.load(Ordering::Relaxed)
+                                && aggregate_sufficient(&specs, &latest)
+                            {
+                                outcome.converged = true;
+                                stop.store(true, Ordering::Relaxed);
+                            }
                         }
                     }
-                    Some(SlaveMessage::Died { slave }) => {
-                        outcome.dead_slaves.push(slave);
-                        // A dead slave's samples never reach the merge;
-                        // forget its progress so convergence is not
-                        // declared on data that will not be delivered.
-                        latest[slave] = vec![None; specs.len()];
-                        if outcome.converged && !aggregate_sufficient(&specs, &latest) {
-                            outcome.converged = false;
-                            // Too late to restart the survivors (they may
-                            // already be finishing); report honestly.
+                    Some(SlaveMessage::Checkpoint {
+                        slave,
+                        incarnation,
+                        state,
+                    }) => {
+                        if incarnation == sup.incarnations[slave] && !sup.settled(slave) {
+                            sup.last_heard[slave] = Instant::now();
+                            sup.checkpoints[slave] = *state;
+                        }
+                    }
+                    Some(SlaveMessage::Died { slave, incarnation }) => {
+                        if incarnation == sup.incarnations[slave] && !sup.settled(slave) {
+                            record_death(
+                                slave,
+                                &mut sup,
+                                &mut latest,
+                                &specs,
+                                &mut outcome,
+                                self.max_restarts,
+                            );
                         }
                     }
                     Some(final_msg @ SlaveMessage::Final { .. }) => {
-                        let SlaveMessage::Final { slave, .. } = &final_msg else {
+                        let SlaveMessage::Final {
+                            slave, incarnation, ..
+                        } = &final_msg
+                        else {
                             unreachable!("matched Final above");
                         };
-                        let slave = *slave;
-                        finals[slave] = Some(final_msg);
-                        finals_seen += 1;
+                        let (slave, incarnation) = (*slave, *incarnation);
+                        if incarnation == sup.incarnations[slave] && !sup.settled(slave) {
+                            sup.finished[slave] = true;
+                            finals[slave] = Some(final_msg);
+                        }
+                    }
+                }
+
+                // Stall watchdog: a slave the master has not heard from in
+                // too long is presumed wedged. Abandon its incarnation
+                // (stale messages are fenced) and schedule a resurrection.
+                if let Some(timeout) = self.slave_stall_timeout {
+                    let now = Instant::now();
+                    for slave in 0..self.slaves {
+                        if !sup.settled(slave)
+                            && sup.respawn_at[slave].is_none()
+                            && now.duration_since(sup.last_heard[slave]) > timeout
+                        {
+                            record_death(
+                                slave,
+                                &mut sup,
+                                &mut latest,
+                                &specs,
+                                &mut outcome,
+                                self.max_restarts,
+                            );
+                        }
+                    }
+                }
+
+                // Launch due resurrections. Respawns proceed even after
+                // `stop`: a resurrected slave immediately finalizes from
+                // its restored checkpoint, preserving its sample pool in
+                // the merge.
+                let now = Instant::now();
+                for slave in 0..self.slaves {
+                    if sup.respawn_at[slave].is_some_and(|at| now >= at) {
+                        sup.respawn_at[slave] = None;
+                        sup.last_heard[slave] = now;
+                        outcome.resurrections += 1;
+                        spawn_slave(
+                            slave,
+                            sup.incarnations[slave],
+                            sup.checkpoints[slave].clone(),
+                        );
                     }
                 }
             }
 
             // Merge phase: combine surviving slave histograms bin-wise.
             outcome.estimates = merge_finals(&specs, &finals, &mut outcome.slave_events);
+            // The spawner borrows the master's sender; release both before
+            // the scope joins any straggler threads.
+            drop(spawn_slave);
+            drop(tx);
         });
 
         outcome.dead_slaves.sort_unstable();
@@ -303,45 +602,105 @@ impl ParallelRunner {
                 panicked: outcome.dead_slaves.len(),
             });
         }
+        outcome.termination = if interrupted {
+            TerminationReason::Interrupted
+        } else if outcome.converged {
+            TerminationReason::Converged
+        } else {
+            TerminationReason::Deadline
+        };
         outcome.wall_seconds = start.elapsed().as_secs_f64();
         Ok(outcome)
     }
 }
 
+/// The seed for one epoch of one slave, derived deterministically from the
+/// slave's seed and the epoch index — so a resurrected slave replays a
+/// lost partial epoch with exactly the trajectory the dead incarnation
+/// would have had.
+fn epoch_seed(slave_seed: u64, epoch: u64) -> u64 {
+    let mut stream = SeedStream::new(slave_seed);
+    let mut seed = stream.next_seed();
+    for _ in 0..epoch {
+        seed = stream.next_seed();
+    }
+    seed
+}
+
+/// One incarnation of one slave: epoch-structured simulation resumed from
+/// `state`, reporting progress every chunk and a checkpoint every epoch.
+#[allow(clippy::too_many_arguments)]
 fn run_slave(
     slave: usize,
-    seed: u64,
+    incarnation: u32,
+    slave_seed: u64,
     config: &ExperimentConfig,
-    bin_schemes: &HashMap<String, bighouse_stats::HistogramSpec>,
+    bin_schemes: &HashMap<String, HistogramSpec>,
+    mut state: SlaveState,
+    epoch_events: u64,
     stop: &AtomicBool,
     tx: &channel::Sender<SlaveMessage>,
 ) -> Result<(), SimError> {
-    let mut sim = ClusterSim::new_slave(config.clone(), seed, bin_schemes)?;
-    let mut cal = Calendar::new();
-    sim.prime(&mut cal);
-    let mut engine = Engine::from_parts(sim, cal);
-    let mut events = 0u64;
-    while !stop.load(Ordering::Relaxed) && events < config.max_events {
-        let run = engine.run_with_limit(CHUNK_EVENTS);
-        events += run.events_fired;
-        if run.events_fired == 0 {
-            break; // calendar drained (cannot happen with open arrivals)
+    while !stop.load(Ordering::Relaxed) && state.events < config.max_events {
+        let seed = epoch_seed(slave_seed, state.epoch);
+        let mut sim = ClusterSim::new_slave(config.clone(), seed, bin_schemes)?;
+        if let Some(stats) = state.stats.take() {
+            sim.restore_stats(stats)?;
         }
-        let moments: Vec<Option<RunningStats>> = engine
-            .simulation()
-            .stats()
-            .iter()
-            .map(|m| m.histogram().map(|h| *h.moments()))
-            .collect();
-        let _ = tx.send(SlaveMessage::Progress { slave, moments });
+        let mut cal = Calendar::new();
+        sim.prime(&mut cal);
+        let mut engine = Engine::from_parts(sim, cal);
+        let budget = epoch_events.min(config.max_events - state.events);
+        let mut fired = 0u64;
+        let mut drained = false;
+        while !stop.load(Ordering::Relaxed) && fired < budget {
+            let run = engine.run_with_limit(CHUNK_EVENTS.min(budget - fired));
+            fired += run.events_fired;
+            if run.events_fired == 0 {
+                drained = true; // cannot happen with open arrivals
+                break;
+            }
+            let moments: Vec<Option<RunningStats>> = engine
+                .simulation()
+                .stats()
+                .iter()
+                .map(|m| m.histogram().map(|h| *h.moments()))
+                .collect();
+            let _ = tx.send(SlaveMessage::Progress {
+                slave,
+                incarnation,
+                moments,
+            });
+        }
+        state.events += fired;
+        let finished_epoch = fired == budget && !drained;
+        state.stats = Some(engine.into_simulation().into_stats());
+        if finished_epoch && !stop.load(Ordering::Relaxed) {
+            state.epoch += 1;
+            let _ = tx.send(SlaveMessage::Checkpoint {
+                slave,
+                incarnation,
+                state: Box::new(state.clone()),
+            });
+        } else {
+            break;
+        }
     }
-    let sim = engine.simulation();
+    let (histograms, lags, total_observed) = match &state.stats {
+        Some(stats) => (
+            stats.iter().map(|m| m.histogram().cloned()).collect(),
+            stats.iter().map(|m| m.lag()).collect(),
+            stats.iter().map(|m| m.total_observed()).collect(),
+        ),
+        None => (Vec::new(), Vec::new(), Vec::new()),
+    };
     let _ = tx.send(SlaveMessage::Final {
         slave,
-        histograms: sim.stats().iter().map(|m| m.histogram().cloned()).collect(),
-        lags: sim.stats().iter().map(|m| m.lag()).collect(),
-        total_observed: sim.stats().iter().map(|m| m.total_observed()).collect(),
-        events,
+        incarnation,
+        histograms,
+        lags,
+        total_observed,
+        events: state.events,
     });
     Ok(())
 }
@@ -398,6 +757,7 @@ fn merge_finals(
     for message in finals.iter().flatten() {
         let SlaveMessage::Final {
             slave,
+            incarnation: _,
             histograms,
             lags: slave_lags,
             total_observed,
@@ -455,7 +815,9 @@ mod tests {
     fn parallel_run_converges_and_merges() {
         let outcome = ParallelRunner::new(quick_config(), 2).run(99).unwrap();
         assert!(outcome.converged);
+        assert_eq!(outcome.termination, TerminationReason::Converged);
         assert!(outcome.dead_slaves.is_empty());
+        assert_eq!(outcome.resurrections, 0);
         assert!(!outcome.watchdog_fired);
         assert_eq!(outcome.slave_events.len(), 2);
         assert!(outcome.slave_events.iter().all(|&e| e > 0));
@@ -500,16 +862,37 @@ mod tests {
             .with_max_events(60_000);
         let outcome = ParallelRunner::new(config, 2).run(55).unwrap();
         assert!(!outcome.converged);
+        assert_eq!(outcome.termination, TerminationReason::Deadline);
     }
 
     #[test]
-    fn panicked_slave_is_survived() {
+    fn forced_panic_slave_is_resurrected() {
+        // The acceptance criterion of the supervisor: a transiently
+        // panicking slave is resurrected from its checkpoint, the run
+        // converges, and nobody is reported dead.
         let outcome = ParallelRunner::new(quick_config(), 3)
             .with_forced_panic(1)
             .run(88)
             .unwrap();
+        assert!(outcome.dead_slaves.is_empty(), "slave 1 was resurrected, not dropped");
+        assert!(outcome.resurrections >= 1, "the panic forced at least one restart");
+        assert!(outcome.converged);
+        assert_eq!(outcome.termination, TerminationReason::Converged);
+        assert!(outcome.metric("response_time").is_some());
+    }
+
+    #[test]
+    fn persistently_panicking_slave_falls_back_to_drop_semantics() {
+        // A slave that dies on every incarnation exhausts its restart
+        // budget and the runner degrades to the original drop behavior.
+        let outcome = ParallelRunner::new(quick_config(), 3)
+            .with_persistent_panic(1)
+            .with_max_restarts(1)
+            .run(88)
+            .unwrap();
         assert_eq!(outcome.dead_slaves, vec![1]);
-        assert_eq!(outcome.slave_events[1], 0, "dead slave simulated nothing");
+        assert_eq!(outcome.resurrections, 1, "exactly one restart was attempted");
+        assert_eq!(outcome.slave_events[1], 0, "dead slave delivered nothing");
         assert!(outcome.slave_events[0] > 0 && outcome.slave_events[2] > 0);
         // Survivors still deliver a merged estimate.
         let est = outcome.metric("response_time").expect("survivor estimates");
@@ -520,12 +903,30 @@ mod tests {
     #[test]
     fn sole_slave_panicking_is_an_error() {
         let result = ParallelRunner::new(quick_config(), 1)
-            .with_forced_panic(0)
+            .with_persistent_panic(0)
+            .with_max_restarts(1)
             .run(66);
         assert!(matches!(
             result,
             Err(SimError::NoSurvivingSlaves { panicked: 1 })
         ));
+    }
+
+    #[test]
+    fn interrupt_flag_winds_down_with_partial_estimates() {
+        // Pre-armed flag + unreachable accuracy: the run must stop almost
+        // immediately and report Interrupted with whatever was collected.
+        let flag = Arc::new(AtomicBool::new(true));
+        let config = quick_config()
+            .with_target_accuracy(0.0005)
+            .with_max_events(u64::MAX / 2);
+        let outcome = ParallelRunner::new(config, 2)
+            .with_interrupt(Arc::clone(&flag))
+            .run(43)
+            .unwrap();
+        assert_eq!(outcome.termination, TerminationReason::Interrupted);
+        assert!(!outcome.converged);
+        assert!(outcome.wall_seconds < 30.0, "interrupt failed to bound the run");
     }
 
     #[test]
@@ -541,6 +942,7 @@ mod tests {
             .unwrap();
         assert!(outcome.watchdog_fired, "watchdog should have fired");
         assert!(!outcome.converged);
+        assert_eq!(outcome.termination, TerminationReason::Deadline);
         // Partial estimates are still merged and usable.
         assert!(outcome.metric("response_time").is_some());
         assert!(outcome.wall_seconds < 30.0, "watchdog failed to bound the run");

@@ -55,12 +55,53 @@ pub struct ClusterSummary {
     pub faults: Option<FaultSummary>,
 }
 
+/// Why a simulation run stopped producing observations.
+///
+/// `converged` alone cannot distinguish "hit the event cap" from "the
+/// operator pressed Ctrl+C" — but the two demand very different trust in
+/// the reported confidence intervals. Interrupted runs carry honest but
+/// *wider* CIs: the estimates are unbiased, there are simply fewer samples
+/// behind them than the accuracy target asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TerminationReason {
+    /// Every metric reached its accuracy/confidence target.
+    Converged,
+    /// The configured event cap (or epoch limit) was exhausted first.
+    Deadline,
+    /// A SIGINT/SIGTERM (or programmatic interrupt flag) wound the run
+    /// down early; a final checkpoint and partial report were written.
+    Interrupted,
+    /// `--resume` found a checkpoint of an already-finished run and
+    /// re-emitted its report without simulating further.
+    Resumed,
+}
+
+impl std::fmt::Display for TerminationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TerminationReason::Converged => write!(f, "converged"),
+            TerminationReason::Deadline => write!(f, "deadline"),
+            TerminationReason::Interrupted => write!(f, "interrupted"),
+            TerminationReason::Resumed => write!(f, "resumed"),
+        }
+    }
+}
+
+/// `termination` default for reports serialized before the field existed:
+/// `Deadline` is the conservative reading (never over-claims convergence).
+fn legacy_termination() -> TerminationReason {
+    TerminationReason::Deadline
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationReport {
     /// Whether every metric reached its accuracy/confidence target (as
     /// opposed to hitting the event cap).
     pub converged: bool,
+    /// Why the run stopped.
+    #[serde(default = "legacy_termination")]
+    pub termination: TerminationReason,
     /// Final estimates for each registered metric.
     pub estimates: Vec<MetricEstimate>,
     /// Total discrete events dispatched.
@@ -110,6 +151,7 @@ mod tests {
     fn report() -> SimulationReport {
         SimulationReport {
             converged: true,
+            termination: TerminationReason::Converged,
             estimates: vec![MetricEstimate {
                 name: "response_time".into(),
                 mean: 0.1,
@@ -185,5 +227,30 @@ mod tests {
         let legacy = serde_json::to_string(&report()).unwrap().replace(",\"faults\":null", "");
         let back: SimulationReport = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back.cluster.faults, None);
+    }
+
+    #[test]
+    fn termination_reason_round_trips_and_defaults() {
+        let mut r = report();
+        r.termination = TerminationReason::Interrupted;
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimulationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.termination, TerminationReason::Interrupted);
+        // Reports written before the field existed parse as Deadline —
+        // the reading that never over-claims convergence.
+        let legacy = serde_json::to_string(&report())
+            .unwrap()
+            .replace("\"termination\":\"Converged\",", "");
+        assert!(!legacy.contains("termination"), "field must be stripped for the test");
+        let back: SimulationReport = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.termination, TerminationReason::Deadline);
+    }
+
+    #[test]
+    fn termination_reason_displays() {
+        assert_eq!(TerminationReason::Converged.to_string(), "converged");
+        assert_eq!(TerminationReason::Deadline.to_string(), "deadline");
+        assert_eq!(TerminationReason::Interrupted.to_string(), "interrupted");
+        assert_eq!(TerminationReason::Resumed.to_string(), "resumed");
     }
 }

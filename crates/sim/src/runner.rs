@@ -1,15 +1,19 @@
 //! The serial simulation runner (Figure 2's phase sequence, end to end).
 
 use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use bighouse_des::{Calendar, Engine};
-use bighouse_stats::HistogramSpec;
+use bighouse_stats::{HistogramSpec, StatsCollection};
 
+use crate::checkpoint::{config_fingerprint, CheckpointConfig, CheckpointStore, RunState};
 use crate::cluster::ClusterSim;
 use crate::config::ExperimentConfig;
 use crate::error::SimError;
-use crate::report::SimulationReport;
+use crate::report::{SimulationReport, TerminationReason};
 
 /// Runs a complete serial simulation: warm-up, calibration, measurement,
 /// and convergence, terminating when every metric meets its target (or the
@@ -32,14 +36,209 @@ pub fn run_serial(config: &ExperimentConfig, seed: u64) -> Result<SimulationRepo
     let run = engine.run_with_limit(config.max_events);
     let now = engine.now();
     let sim = engine.into_simulation();
+    let converged = sim.stats().all_converged();
     Ok(SimulationReport {
-        converged: sim.stats().all_converged(),
+        converged,
+        termination: if converged {
+            TerminationReason::Converged
+        } else {
+            TerminationReason::Deadline
+        },
         estimates: sim.stats().estimates(),
         events_fired: run.events_fired,
         simulated_seconds: now.as_seconds(),
         wall_seconds: start.elapsed().as_secs_f64(),
         cluster: sim.summary(now),
     })
+}
+
+/// Options for [`run_resumable`]: epoch structure, checkpointing, resume,
+/// and graceful interruption.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Event budget per epoch (0 means the default of one million).
+    ///
+    /// The run's trajectory depends on the epoch size — two runs only
+    /// produce bit-identical estimates if they use the same `epoch_events`
+    /// — but **not** on the checkpoint interval, the number of
+    /// interruptions, or where a resume happened.
+    pub epoch_events: u64,
+    /// Where and how often to write checkpoints (`None` disables them).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Resume from the checkpoint directory instead of starting fresh.
+    /// Requires `checkpoint` to be set and a loadable snapshot to exist.
+    pub resume: bool,
+    /// Stop (with [`TerminationReason::Interrupted`]) after this many
+    /// epochs — a programmatic pause point, used by tests to simulate a
+    /// kill at a deterministic spot.
+    pub max_epochs: Option<u64>,
+    /// Cooperative interrupt flag: set it (e.g. from a SIGINT handler) and
+    /// the run winds down at the next epoch boundary, writing a final
+    /// checkpoint and an honest partial report.
+    pub interrupt: Option<Arc<AtomicBool>>,
+}
+
+impl RunOptions {
+    /// Default epoch size: large enough that checkpoint overhead is noise,
+    /// small enough that a kill loses at most a few seconds of work.
+    pub const DEFAULT_EPOCH_EVENTS: u64 = 1_000_000;
+
+    fn epoch_budget(&self) -> u64 {
+        if self.epoch_events == 0 {
+            Self::DEFAULT_EPOCH_EVENTS
+        } else {
+            self.epoch_events
+        }
+    }
+
+    fn interrupted(&self) -> bool {
+        self.interrupt
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+}
+
+/// Builds the final report from accumulated run state.
+fn report_from_state(
+    config: &ExperimentConfig,
+    state: &RunState,
+    termination: TerminationReason,
+) -> SimulationReport {
+    SimulationReport {
+        converged: state.converged(),
+        termination,
+        estimates: state
+            .stats
+            .as_ref()
+            .map(StatsCollection::estimates)
+            .unwrap_or_default(),
+        events_fired: state.events_done,
+        simulated_seconds: state.totals.simulated_seconds,
+        wall_seconds: state.wall_seconds,
+        cluster: state.totals.summary(config.servers),
+    }
+}
+
+/// Runs an **epoch-structured, resumable** simulation.
+///
+/// The run is divided into epochs of `opts.epoch_events` events. Each
+/// epoch builds a fresh cluster from the next seed in a [`SeedStream`]
+/// (serialized in the checkpoint), restores the statistics accumulated so
+/// far, simulates its budget, and folds the results back. Between epochs
+/// the state is calendar-free, which is what makes it checkpointable
+/// without serializing in-flight events.
+///
+/// **Determinism contract:** the trajectory depends only on the
+/// configuration, master seed, and epoch size — never on the checkpoint
+/// interval or on *where* the run was killed and resumed. A killed and
+/// resumed run produces bit-identical estimates, event counts, and
+/// simulated time to an uninterrupted run of the same seed.
+///
+/// [`SeedStream`]: bighouse_des::SeedStream
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for an inconsistent configuration,
+/// [`SimError::Checkpoint`] for resume/checkpoint failures (no snapshot,
+/// corrupt snapshots, or a snapshot from a different experiment), and
+/// [`SimError::CalendarDrained`] if an epoch fires no events.
+pub fn run_resumable(
+    config: &ExperimentConfig,
+    master_seed: u64,
+    opts: &RunOptions,
+) -> Result<SimulationReport, SimError> {
+    let start = Instant::now();
+    let fingerprint = config_fingerprint(config, master_seed);
+    let store = opts
+        .checkpoint
+        .as_ref()
+        .map(|ckpt| CheckpointStore::new(&ckpt.dir).map(|s| (s, ckpt.interval_epochs)))
+        .transpose()?;
+
+    let mut state = if opts.resume {
+        let Some((store, _)) = &store else {
+            return Err(SimError::Checkpoint(
+                "resume requested without a checkpoint directory".into(),
+            ));
+        };
+        let Some(state) = store.load()? else {
+            return Err(SimError::Checkpoint(format!(
+                "resume requested but no checkpoint exists in {}",
+                store.current_path().parent().unwrap_or(Path::new(".")).display()
+            )));
+        };
+        if state.config_fingerprint != fingerprint {
+            return Err(SimError::Checkpoint(
+                "stale checkpoint: it was written by a different experiment \
+                 configuration or master seed"
+                    .into(),
+            ));
+        }
+        state
+    } else {
+        RunState::fresh(master_seed, fingerprint)
+    };
+
+    if opts.resume && state.converged() {
+        // The previous incarnation already finished; re-emit its report.
+        return Ok(report_from_state(config, &state, TerminationReason::Resumed));
+    }
+
+    let base_wall = state.wall_seconds;
+    let start_epoch = state.next_epoch;
+    let termination = loop {
+        if state.converged() {
+            break TerminationReason::Converged;
+        }
+        if state.events_done >= config.max_events {
+            break TerminationReason::Deadline;
+        }
+        if opts.interrupted() {
+            break TerminationReason::Interrupted;
+        }
+        if let Some(max) = opts.max_epochs {
+            if state.next_epoch - start_epoch >= max {
+                break TerminationReason::Interrupted;
+            }
+        }
+
+        let seed = state.seeds.next_seed();
+        let mut sim = ClusterSim::new(config.clone(), seed)?;
+        if let Some(stats) = state.stats.take() {
+            sim.restore_stats(stats)?;
+        }
+        let mut cal = Calendar::new();
+        sim.prime(&mut cal);
+        let mut engine = Engine::from_parts(sim, cal);
+        let budget = opts.epoch_budget().min(config.max_events - state.events_done);
+        let run = engine.run_with_limit(budget);
+        if run.events_fired == 0 {
+            return Err(SimError::CalendarDrained {
+                phase: "measurement",
+            });
+        }
+        let now = engine.now();
+        let sim = engine.into_simulation();
+        state.totals.absorb(&sim.summary(now), now.as_seconds());
+        state.stats = Some(sim.into_stats());
+        state.events_done += run.events_fired;
+        state.next_epoch += 1;
+
+        if let Some((store, interval)) = &store {
+            if state.next_epoch.is_multiple_of(*interval) {
+                state.wall_seconds = base_wall + start.elapsed().as_secs_f64();
+                store.save(&state)?;
+            }
+        }
+    };
+
+    state.wall_seconds = base_wall + start.elapsed().as_secs_f64();
+    if let Some((store, _)) = &store {
+        // Always persist the final state, whatever the interval: a
+        // graceful wind-down must never lose the tail of the run.
+        store.save(&state)?;
+    }
+    Ok(report_from_state(config, &state, termination))
 }
 
 /// Runs the **master's** portion of a parallel simulation (Figure 3): just
@@ -180,6 +379,225 @@ mod tests {
             fine.events_fired,
             coarse.events_fired
         );
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bighouse-runner-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn estimates_json(report: &SimulationReport) -> String {
+        serde_json::to_string(&report.estimates).unwrap()
+    }
+
+    #[test]
+    fn resumable_run_converges() {
+        let report = run_resumable(&quick_config(), 31, &RunOptions::default()).unwrap();
+        assert!(report.converged);
+        assert_eq!(report.termination, TerminationReason::Converged);
+        assert!(report.events_fired > 0);
+        assert!(report.simulated_seconds > 0.0);
+        assert!(report.metric("response_time").is_some());
+        assert!(report.cluster.jobs_completed > 0);
+    }
+
+    #[test]
+    fn resumable_run_respects_event_cap() {
+        let config = quick_config().with_max_events(5_000);
+        let opts = RunOptions {
+            epoch_events: 2_000,
+            ..RunOptions::default()
+        };
+        let report = run_resumable(&config, 32, &opts).unwrap();
+        assert!(!report.converged);
+        assert_eq!(report.termination, TerminationReason::Deadline);
+        assert_eq!(report.events_fired, 5_000);
+    }
+
+    #[test]
+    fn checkpoint_timing_does_not_change_estimates() {
+        // The trajectory may depend on the epoch size but must NOT depend
+        // on whether (or how often) checkpoints are written.
+        let config = quick_config();
+        let plain = RunOptions {
+            epoch_events: 10_000,
+            ..RunOptions::default()
+        };
+        let a = run_resumable(&config, 33, &plain).unwrap();
+        let dir = temp_dir("timing");
+        let with_ckpt = RunOptions {
+            epoch_events: 10_000,
+            checkpoint: Some(crate::checkpoint::CheckpointConfig::new(&dir)),
+            ..RunOptions::default()
+        };
+        let b = run_resumable(&config, 33, &with_ckpt).unwrap();
+        assert_eq!(a.events_fired, b.events_fired);
+        assert_eq!(a.simulated_seconds.to_bits(), b.simulated_seconds.to_bits());
+        assert_eq!(estimates_json(&a), estimates_json(&b));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_and_resumed_run_is_bit_identical() {
+        // The robustness contract of the checkpoint subsystem: interrupt a
+        // run at an epoch boundary, drop everything, resume from disk, and
+        // the final estimates — mean, CI half-width, quantiles — match the
+        // uninterrupted same-seed run bit for bit.
+        let config = quick_config().with_target_accuracy(0.05);
+        let uninterrupted = RunOptions {
+            epoch_events: 10_000,
+            ..RunOptions::default()
+        };
+        let reference = run_resumable(&config, 34, &uninterrupted).unwrap();
+        assert!(reference.converged, "reference must converge for the test to bite");
+
+        let dir = temp_dir("kill-resume");
+        let interrupted = RunOptions {
+            epoch_events: 10_000,
+            checkpoint: Some(crate::checkpoint::CheckpointConfig::new(&dir)),
+            max_epochs: Some(2),
+            ..RunOptions::default()
+        };
+        let partial = run_resumable(&config, 34, &interrupted).unwrap();
+        assert_eq!(partial.termination, TerminationReason::Interrupted);
+        assert!(!partial.converged, "two epochs must not satisfy 5% accuracy");
+
+        // "Process restart": nothing carried over but the files on disk.
+        let resumed_opts = RunOptions {
+            epoch_events: 10_000,
+            checkpoint: Some(crate::checkpoint::CheckpointConfig::new(&dir)),
+            resume: true,
+            ..RunOptions::default()
+        };
+        let resumed = run_resumable(&config, 34, &resumed_opts).unwrap();
+        assert!(resumed.converged);
+        assert_eq!(resumed.termination, TerminationReason::Converged);
+        assert_eq!(reference.events_fired, resumed.events_fired);
+        assert_eq!(
+            reference.simulated_seconds.to_bits(),
+            resumed.simulated_seconds.to_bits()
+        );
+        assert_eq!(estimates_json(&reference), estimates_json(&resumed));
+        assert_eq!(
+            serde_json::to_string(&reference.cluster).unwrap(),
+            serde_json::to_string(&resumed.cluster).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_of_finished_run_reports_resumed() {
+        let config = quick_config();
+        let dir = temp_dir("finished");
+        let opts = RunOptions {
+            epoch_events: 10_000,
+            checkpoint: Some(crate::checkpoint::CheckpointConfig::new(&dir)),
+            ..RunOptions::default()
+        };
+        let first = run_resumable(&config, 35, &opts).unwrap();
+        assert!(first.converged);
+        let resumed_opts = RunOptions {
+            resume: true,
+            ..opts
+        };
+        let again = run_resumable(&config, 35, &resumed_opts).unwrap();
+        assert_eq!(again.termination, TerminationReason::Resumed);
+        assert!(again.converged);
+        assert_eq!(estimates_json(&first), estimates_json(&again));
+        assert_eq!(first.events_fired, again.events_fired);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_checkpoint_is_rejected() {
+        let config = quick_config();
+        let dir = temp_dir("stale");
+        let opts = RunOptions {
+            epoch_events: 10_000,
+            checkpoint: Some(crate::checkpoint::CheckpointConfig::new(&dir)),
+            max_epochs: Some(1),
+            ..RunOptions::default()
+        };
+        run_resumable(&config, 36, &opts).unwrap();
+        // Same directory, different master seed: the fingerprint differs.
+        let resume_opts = RunOptions {
+            epoch_events: 10_000,
+            checkpoint: Some(crate::checkpoint::CheckpointConfig::new(&dir)),
+            resume: true,
+            ..RunOptions::default()
+        };
+        let err = run_resumable(&config, 99, &resume_opts).unwrap_err();
+        assert!(
+            matches!(&err, SimError::Checkpoint(msg) if msg.contains("stale")),
+            "got: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_without_checkpoint_errors() {
+        let no_dir = RunOptions {
+            resume: true,
+            ..RunOptions::default()
+        };
+        assert!(matches!(
+            run_resumable(&quick_config(), 37, &no_dir),
+            Err(SimError::Checkpoint(_))
+        ));
+        let dir = temp_dir("empty");
+        let empty_dir = RunOptions {
+            resume: true,
+            checkpoint: Some(crate::checkpoint::CheckpointConfig::new(&dir)),
+            ..RunOptions::default()
+        };
+        let err = run_resumable(&quick_config(), 37, &empty_dir).unwrap_err();
+        assert!(
+            matches!(&err, SimError::Checkpoint(msg) if msg.contains("no checkpoint")),
+            "got: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupt_flag_stops_and_writes_final_checkpoint() {
+        let config = quick_config().with_target_accuracy(0.05);
+        let dir = temp_dir("interrupt");
+        let flag = Arc::new(AtomicBool::new(true)); // pre-armed: stop at once
+        let opts = RunOptions {
+            epoch_events: 10_000,
+            checkpoint: Some(crate::checkpoint::CheckpointConfig::new(&dir)),
+            interrupt: Some(Arc::clone(&flag)),
+            ..RunOptions::default()
+        };
+        let report = run_resumable(&config, 38, &opts).unwrap();
+        assert_eq!(report.termination, TerminationReason::Interrupted);
+        assert!(!report.converged);
+        assert_eq!(report.events_fired, 0);
+        // The wind-down wrote a resumable snapshot; a fresh process picks
+        // it up and finishes bit-identically to the uninterrupted run.
+        let resume_opts = RunOptions {
+            epoch_events: 10_000,
+            checkpoint: Some(crate::checkpoint::CheckpointConfig::new(&dir)),
+            resume: true,
+            ..RunOptions::default()
+        };
+        let resumed = run_resumable(&config, 38, &resume_opts).unwrap();
+        assert!(resumed.converged);
+        let reference = run_resumable(
+            &config,
+            38,
+            &RunOptions {
+                epoch_events: 10_000,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(estimates_json(&reference), estimates_json(&resumed));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

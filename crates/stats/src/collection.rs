@@ -2,13 +2,15 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
+
 use crate::metric::{MetricEstimate, MetricSpec, OutputMetric, Phase};
 
 /// A cheap, copyable handle to a metric inside a [`StatsCollection`].
 ///
 /// Obtained from [`StatsCollection::add_metric`]; lets hot simulation loops
 /// record observations without a name lookup.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MetricId(usize);
 
 /// Aggregate phase of a whole simulation's metric set.
@@ -52,7 +54,10 @@ pub enum CollectionPhase {
 /// assert_eq!(estimates.len(), 1);
 /// assert!((estimates[0].mean - 1.5).abs() < 0.1);
 /// ```
-#[derive(Debug, Clone, Default)]
+/// The collection serializes with serde so a checkpointed simulation can
+/// carry its entire statistical state — every metric's phase machine and
+/// the global warm-up gate — across a process restart.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct StatsCollection {
     metrics: Vec<OutputMetric>,
     by_name: HashMap<String, MetricId>,

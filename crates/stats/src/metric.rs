@@ -357,7 +357,11 @@ impl MetricEstimate {
 /// One output metric moving through the Figure 2 phase sequence.
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
-#[derive(Debug, Clone)]
+///
+/// The whole phase machine serializes with serde: a checkpointed metric —
+/// mid-warm-up, mid-calibration, or mid-measurement — resumes with exactly
+/// the behavior the uninterrupted metric would have had.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OutputMetric {
     spec: MetricSpec,
     phase: Phase,
