@@ -75,9 +75,10 @@ pub mod prelude {
     };
     pub use bighouse_faults::{FaultProcess, RetryPolicy};
     pub use bighouse_sim::{
-        run_resumable, run_serial, run_until_calibrated, ArrivalMode, CheckpointConfig,
-        ClusterSim, ExperimentConfig, FaultSummary, MetricKind, ParallelOutcome, ParallelRunner,
-        RunOptions, SimError, SimulationReport, TerminationReason,
+        run_resumable, run_serial, run_until_calibrated, ArrivalMode, AuditConfig, AuditReport,
+        AuditViolation, AuditWarning, CheckpointConfig, ClusterSim, ExperimentConfig,
+        FaultSummary, MetricKind, ParallelOutcome, ParallelRunner, RunOptions, SimError,
+        SimulationReport, TerminationReason,
     };
     pub use bighouse_stats::{
         Histogram, HistogramSpec, MetricEstimate, MetricSpec, OutputMetric, Phase, RunningStats,

@@ -3,7 +3,7 @@
 //! ```text
 //! bighouse run <experiment.json> [seed=N] [out=report.json]
 //!              [checkpoint-dir=DIR] [checkpoint-interval=EPOCHS]
-//!              [epoch-events=N] [--resume]
+//!              [epoch-events=N] [--resume] [--paranoid]
 //! bighouse workloads
 //! bighouse export-workload <name> <path>
 //! bighouse example-config [path]
@@ -15,8 +15,8 @@ use std::sync::Arc;
 
 use bighouse::dists::Distribution;
 use bighouse::sim::{
-    run_resumable, run_serial, CheckpointConfig, ParallelRunner, RunOptions, SimulationReport,
-    TerminationReason,
+    run_resumable, run_serial, AuditConfig, CheckpointConfig, ParallelRunner, RunOptions,
+    SimulationReport, TerminationReason,
 };
 use bighouse::workloads::{StandardWorkload, Workload};
 use bighouse_cli::ExperimentSpec;
@@ -98,13 +98,15 @@ fn print_usage() {
     println!("USAGE:");
     println!("  bighouse run <experiment.json> [seed=N] [out=report.json]");
     println!("               [checkpoint-dir=DIR] [checkpoint-interval=EPOCHS]");
-    println!("               [epoch-events=N] [--resume]");
+    println!("               [epoch-events=N] [--resume] [--paranoid]");
     println!("      Run the experiment described by a JSON configuration file;");
     println!("      prints estimates, optionally writing the full report as JSON.");
     println!("      With checkpoint-dir the run snapshots itself at epoch");
     println!("      boundaries and winds down gracefully on SIGINT/SIGTERM;");
     println!("      --resume continues a killed run from its last snapshot with");
-    println!("      bit-identical final estimates.");
+    println!("      bit-identical final estimates. --paranoid arms the runtime");
+    println!("      invariant auditor: conservation/energy sweeps, NaN tripwires,");
+    println!("      and livelock circuit breakers, at no change to the estimates.");
     println!("  bighouse workloads");
     println!("      List the built-in Table 1 workload models and their moments.");
     println!("  bighouse export-workload <name> <path>");
@@ -153,8 +155,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if resume && checkpoint_dir.is_none() {
         return Err("--resume requires checkpoint-dir=DIR".into());
     }
+    let paranoid = flag_arg(args, "paranoid");
     let spec = ExperimentSpec::from_file(path).map_err(|e| e.to_string())?;
-    let config = spec.resolve().map_err(|e| e.to_string())?;
+    let mut config = spec.resolve().map_err(|e| e.to_string())?;
+    if paranoid {
+        config = config.with_audit(AuditConfig::default());
+    }
 
     let report: SimulationReport = match spec.slaves {
         Some(slaves) if slaves > 1 => {
@@ -200,6 +206,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     average_power_watts: 0.0,
                     faults: None,
                 },
+                audit: outcome.audit.clone(),
             }
         }
         _ if checkpoint_dir.is_some() => {
@@ -215,6 +222,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 resume,
                 max_epochs: None,
                 interrupt: Some(interrupt_flag()),
+                // The config already carries the audit when --paranoid is
+                // set; no per-run override needed.
+                audit: None,
             };
             run_resumable(&config, seed, &opts).map_err(|e| e.to_string())?
         }
@@ -240,6 +250,27 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         println!("   [n={}, lag={}]", est.samples_kept, est.lag);
     }
+    if let Some(audit) = &report.audit {
+        println!(
+            "  audit: {} sweeps, {} observations vetted, {} violations, {} warnings",
+            audit.checks_run,
+            audit.observations_checked,
+            audit.violations.len(),
+            audit.warnings.len()
+        );
+        for violation in &audit.violations {
+            eprintln!("  audit violation: {violation}");
+        }
+        for warning in &audit.warnings {
+            eprintln!("  audit warning: {warning}");
+        }
+        if !audit.passed() {
+            eprintln!(
+                "paranoid mode stopped the run: the estimates above are partial and \
+                 the accounting behind them is suspect"
+            );
+        }
+    }
     if let Some(fs) = &report.cluster.faults {
         println!(
             "  faults: {} server failures, goodput {}/{} admitted, {} timed out, {} retries",
@@ -257,6 +288,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
         std::fs::write(&out, json).map_err(|e| e.to_string())?;
         eprintln!("report written to {out}");
+    }
+    // An audit failure is an exit-code failure: scripts watching a paranoid
+    // run must not mistake a tripped breaker for a clean convergence. The
+    // report (and out= file) above still carries the partial estimates.
+    if let Some(audit) = &report.audit {
+        if !audit.passed() {
+            let first = audit
+                .violations
+                .first()
+                .map_or_else(|| "violation list empty".to_owned(), ToString::to_string);
+            return Err(format!("invariant audit failed: {first}"));
+        }
     }
     Ok(())
 }

@@ -235,21 +235,89 @@ impl ExperimentSpec {
         }
     }
 
+    /// Range-checks every numeric field **before** any config builder
+    /// sees it, naming the offending field. The builders enforce the same
+    /// ranges by panicking — fine for programmatic misuse, wrong for a
+    /// JSON file a user (or a fuzzer) feeds the CLI: `serde_json` happily
+    /// parses `1e999` as `inf` and `-0.5` as itself, and neither must
+    /// ever reach an `assert!`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] naming the field and its requirement.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        fn check(
+            ok: bool,
+            field: &str,
+            value: &dyn std::fmt::Display,
+            requirement: &str,
+        ) -> Result<(), SpecError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(SpecError::Invalid(format!(
+                    "{field} = {value}: must be {requirement}"
+                )))
+            }
+        }
+        check(self.servers >= 1, "servers", &self.servers, "at least 1")?;
+        check(self.cores >= 1, "cores", &self.cores, "at least 1")?;
+        if let Some(u) = self.utilization {
+            check(u > 0.0 && u < 1.0, "utilization", &u, "in (0, 1)")?;
+        }
+        check(
+            self.accuracy > 0.0 && self.accuracy < 1.0,
+            "accuracy",
+            &self.accuracy,
+            "in (0, 1)",
+        )?;
+        check(
+            self.confidence > 0.0 && self.confidence < 1.0,
+            "confidence",
+            &self.confidence,
+            "in (0, 1)",
+        )?;
+        check(
+            self.quantile > 0.0 && self.quantile < 1.0,
+            "quantile",
+            &self.quantile,
+            "in (0, 1)",
+        )?;
+        check(
+            self.calibration >= 1,
+            "calibration",
+            &self.calibration,
+            "at least 1",
+        )?;
+        if let Some(capping) = &self.capping {
+            check(
+                capping.budget_fraction.is_finite() && capping.budget_fraction > 0.0,
+                "capping.budget_fraction",
+                &capping.budget_fraction,
+                "positive and finite",
+            )?;
+            check(
+                (0.0..=1.0).contains(&capping.alpha),
+                "capping.alpha",
+                &capping.alpha,
+                "in [0, 1]",
+            )?;
+        }
+        if let Some(slaves) = self.slaves {
+            check(slaves >= 1, "slaves", &slaves, "at least 1")?;
+        }
+        Ok(())
+    }
+
     /// Resolves the spec into a runnable [`ExperimentConfig`].
     ///
     /// # Errors
     ///
     /// Returns an error for unknown workloads or metric names, or values
-    /// outside their valid ranges.
+    /// outside their valid ranges (see [`ExperimentSpec::validate`]).
     pub fn resolve(&self) -> Result<ExperimentConfig, SpecError> {
+        self.validate()?;
         let workload = self.workload.resolve()?;
-        if let Some(u) = self.utilization {
-            if !(0.0..1.0).contains(&u) || u == 0.0 {
-                return Err(SpecError::Invalid(format!(
-                    "utilization must be in (0, 1), got {u}"
-                )));
-            }
-        }
         let mut config = ExperimentConfig::new(workload)
             .with_servers(self.servers)
             .with_cores(self.cores)
@@ -266,17 +334,18 @@ impl ExperimentSpec {
             config = config.with_idle_policy(policy);
         }
         if let Some(capping) = &self.capping {
-            if capping.budget_fraction <= 0.0 || !capping.budget_fraction.is_finite() {
+            let model = LinearPowerModel::typical_server();
+            let budget = model.peak_watts() * self.servers as f64 * capping.budget_fraction;
+            if !budget.is_finite() {
                 return Err(SpecError::Invalid(format!(
-                    "budget_fraction must be positive, got {}",
+                    "capping.budget_fraction = {}: cluster budget overflows f64",
                     capping.budget_fraction
                 )));
             }
-            let model = LinearPowerModel::typical_server();
             config = config.with_capper(PowerCapper::new(
                 model,
                 DvfsModel::new(capping.alpha),
-                model.peak_watts() * self.servers as f64 * capping.budget_fraction,
+                budget,
             ));
         }
         if let Some(faults) = &self.faults {
@@ -424,6 +493,37 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(spec.resolve(), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn hostile_numeric_fields_are_errors_not_panics() {
+        // serde_json parses `1e999` as infinity — every range check must
+        // catch it (and NaN, and zeros) before a builder can assert.
+        let cases = [
+            (r#""accuracy": 1e999"#, "accuracy"),
+            (r#""accuracy": -0.5"#, "accuracy"),
+            (r#""confidence": 0.0"#, "confidence"),
+            (r#""confidence": 17.0"#, "confidence"),
+            (r#""quantile": 1.0"#, "quantile"),
+            (r#""servers": 0"#, "servers"),
+            (r#""cores": 0"#, "cores"),
+            (r#""calibration": 0"#, "calibration"),
+            (r#""slaves": 0"#, "slaves"),
+            (r#""utilization": 1e999"#, "utilization"),
+            (r#""capping": {"budget_fraction": 1e999}"#, "capping.budget_fraction"),
+            (r#""capping": {"budget_fraction": 0.7, "alpha": 1.5}"#, "capping.alpha"),
+            (r#""capping": {"budget_fraction": 1e308}"#, "capping.budget_fraction"),
+        ];
+        for (field, expected) in cases {
+            let json = format!(r#"{{"workload": {{"standard": "web"}}, {field}}}"#);
+            let spec = ExperimentSpec::from_json(&json).expect("valid JSON shape");
+            let err = spec.resolve().expect_err(&format!("{field} must be rejected"));
+            let msg = err.to_string();
+            assert!(
+                msg.contains(expected),
+                "error for `{field}` should name `{expected}`: {msg}"
+            );
+        }
     }
 
     #[test]

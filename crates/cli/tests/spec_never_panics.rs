@@ -1,0 +1,105 @@
+//! Property tests for the CLI's panic-free error surface: no input to
+//! `ExperimentSpec::from_json` or `ExperimentSpec::resolve` may panic.
+//! Hostile specs must come back as typed [`SpecError`]s — the CLI is the
+//! trust boundary between user-supplied JSON and the builder asserts
+//! inside `ExperimentConfig`.
+
+use proptest::prelude::*;
+
+use bighouse_cli::{CappingSpec, ExperimentSpec};
+
+/// Floats including every hazard class the JSON parser can produce
+/// (`1e999` parses as `inf`; `-1e999` as `-inf`) plus NaN, which can only
+/// be reached through direct construction.
+fn weird_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        any::<f64>(),
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::MAX),
+        Just(-f64::MAX),
+        Just(f64::MIN_POSITIVE),
+        Just(0.0),
+        Just(-0.0),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup through the JSON front door: parse errors are
+    /// fine, panics are not.
+    #[test]
+    fn from_json_never_panics_on_arbitrary_strings(input in ".*") {
+        let _ = ExperimentSpec::from_json(&input);
+    }
+
+    /// Almost-JSON soup: the characters JSON is made of, recombined at
+    /// random, probing the parser's edge cases harder than uniform noise.
+    #[test]
+    fn from_json_never_panics_on_jsonish_soup(
+        input in r#"[\[\]{}",:0-9eE+\-. a-z]{0,64}"#,
+    ) {
+        let _ = ExperimentSpec::from_json(&input);
+    }
+
+    /// Structurally valid JSON with hostile numeric payloads: whatever
+    /// parses must then resolve to Ok or a typed error, never a panic.
+    #[test]
+    fn hostile_numeric_json_resolves_without_panicking(
+        field in prop_oneof![
+            Just("utilization"),
+            Just("accuracy"),
+            Just("confidence"),
+            Just("quantile"),
+        ],
+        raw in prop_oneof![
+            Just("1e999".to_owned()),
+            Just("-1e999".to_owned()),
+            Just("0".to_owned()),
+            Just("-0.0".to_owned()),
+            Just("1e308".to_owned()),
+            (-1e12f64..1e12).prop_map(|v| format!("{v}")),
+        ],
+    ) {
+        let json = format!(r#"{{"workload": {{"standard": "web"}}, "{field}": {raw}}}"#);
+        if let Ok(spec) = ExperimentSpec::from_json(&json) {
+            let _ = spec.resolve();
+        }
+    }
+
+    /// Every field set to an arbitrary value at once, bypassing the JSON
+    /// layer entirely (the only road to NaN): `resolve` never panics.
+    #[test]
+    fn resolve_never_panics_on_arbitrary_fields(
+        servers in any::<usize>(),
+        cores in any::<usize>(),
+        utilization in proptest::option::of(weird_f64()),
+        accuracy in weird_f64(),
+        confidence in weird_f64(),
+        quantile in weird_f64(),
+        warmup in any::<u64>(),
+        calibration in any::<usize>(),
+        max_events in any::<u64>(),
+        slaves in proptest::option::of(any::<usize>()),
+        capping in proptest::option::of((weird_f64(), weird_f64())),
+    ) {
+        let mut spec = ExperimentSpec::template();
+        spec.servers = servers;
+        spec.cores = cores;
+        spec.utilization = utilization;
+        spec.accuracy = accuracy;
+        spec.confidence = confidence;
+        spec.quantile = quantile;
+        spec.warmup = warmup;
+        spec.calibration = calibration;
+        spec.max_events = max_events;
+        spec.slaves = slaves;
+        spec.capping = capping.map(|(budget_fraction, alpha)| CappingSpec {
+            budget_fraction,
+            alpha,
+        });
+        let _ = spec.resolve();
+    }
+}

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::calendar::Calendar;
+use crate::progress::ProgressGuard;
 use crate::time::Time;
 
 /// What the simulation wants the engine to do after handling an event.
@@ -38,6 +39,9 @@ pub struct RunStats {
     pub stopped_by_simulation: bool,
     /// Whether the run ended because the event limit was reached.
     pub hit_event_limit: bool,
+    /// Whether the run ended because a [`ProgressGuard`] tripped (see
+    /// [`Engine::run_guarded`]); the violation itself stays on the guard.
+    pub stopped_by_guard: bool,
 }
 
 /// The discrete-event engine: a [`Calendar`] plus a [`Simulation`].
@@ -119,6 +123,39 @@ impl<S: Simulation> Engine<S> {
             let Some((now, event)) = self.calendar.pop() else {
                 return stats;
             };
+            stats.events_fired += 1;
+            if self.simulation.handle(now, event, &mut self.calendar) == Control::Stop {
+                stats.stopped_by_simulation = true;
+                return stats;
+            }
+        }
+        stats.hit_event_limit = true;
+        stats
+    }
+
+    /// As [`Engine::run_with_limit`], with every dispatch timestamp fed
+    /// through a [`ProgressGuard`] circuit breaker.
+    ///
+    /// The guard observes the timestamp *before* the handler runs; if it
+    /// trips, the run stops with [`RunStats::stopped_by_guard`] set and the
+    /// offending event undispatched (the run is being abandoned, so the
+    /// lost event is moot). The guard never touches simulation state or
+    /// randomness: up to the trip point a guarded run fires the identical
+    /// event sequence as an unguarded one.
+    ///
+    /// The guard is borrowed, not owned, so one guard can span several
+    /// engine invocations (e.g. chunked or epoch-structured runs) and
+    /// accumulate progress state across them.
+    pub fn run_guarded(&mut self, max_events: u64, guard: &mut ProgressGuard) -> RunStats {
+        let mut stats = RunStats::default();
+        while stats.events_fired < max_events {
+            let Some((now, event)) = self.calendar.pop() else {
+                return stats;
+            };
+            if guard.observe(now).is_some() {
+                stats.stopped_by_guard = true;
+                return stats;
+            }
             stats.events_fired += 1;
             if self.simulation.handle(now, event, &mut self.calendar) == Control::Stop {
                 stats.stopped_by_simulation = true;
@@ -214,6 +251,69 @@ mod tests {
         assert_eq!(engine.step(), Some(Control::Continue));
         assert_eq!(engine.step(), Some(Control::Stop));
         assert_eq!(engine.step(), None);
+    }
+
+    /// Schedules every follow-up at the *current* time: a zero-advance
+    /// livelock that would spin `run()` forever.
+    struct Livelock;
+
+    impl Simulation for Livelock {
+        type Event = ();
+
+        fn handle(&mut self, now: Time, _event: (), cal: &mut Calendar<()>) -> Control {
+            cal.schedule(now, ());
+            Control::Continue
+        }
+    }
+
+    #[test]
+    fn guard_breaks_zero_advance_livelock() {
+        let mut engine = Engine::new(Livelock);
+        engine.calendar_mut().schedule(Time::ZERO, ());
+        let mut guard = crate::ProgressGuard::new().with_stall_limit(1000);
+        let stats = engine.run_guarded(u64::MAX, &mut guard);
+        assert!(stats.stopped_by_guard);
+        assert!(!stats.stopped_by_simulation);
+        assert!(!stats.hit_event_limit);
+        assert!(stats.events_fired <= 1001);
+        assert!(matches!(
+            guard.violation(),
+            Some(crate::ProgressViolation::ZeroAdvance { .. })
+        ));
+    }
+
+    #[test]
+    fn guarded_run_matches_unguarded_on_healthy_simulation() {
+        let mut plain = chain_engine(50);
+        let plain_stats = plain.run();
+
+        let mut guarded = chain_engine(50);
+        let mut guard = crate::ProgressGuard::new();
+        let guarded_stats = guarded.run_guarded(u64::MAX, &mut guard);
+
+        assert_eq!(plain_stats.events_fired, guarded_stats.events_fired);
+        assert_eq!(plain.now(), guarded.now());
+        assert!(!guarded_stats.stopped_by_guard);
+        assert_eq!(guard.violation(), None);
+    }
+
+    #[test]
+    fn guard_state_spans_chunked_runs() {
+        let mut engine = Engine::new(Livelock);
+        engine.calendar_mut().schedule(Time::ZERO, ());
+        let mut guard = crate::ProgressGuard::new().with_stall_limit(1000);
+        let mut total = 0u64;
+        let mut tripped = false;
+        for _ in 0..100 {
+            let stats = engine.run_guarded(100, &mut guard);
+            total += stats.events_fired;
+            if stats.stopped_by_guard {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "chunked livelock escaped the guard");
+        assert!(total <= 1001);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!   streams (each slave in a parallel simulation must use a unique seed,
 //!   §2.4 of the paper),
 //! - [`FastMap`]/[`FastSet`], deterministic fast-hash containers for
-//!   hot-path bookkeeping keyed by trusted ids.
+//!   hot-path bookkeeping keyed by trusted ids,
+//! - [`ProgressGuard`], a circuit breaker that stops zero-advance
+//!   livelocks, event storms, and time regressions instead of hanging
+//!   (see [`Engine::run_guarded`]).
 //!
 //! # Examples
 //!
@@ -48,11 +51,13 @@
 mod calendar;
 mod engine;
 pub mod hash;
+mod progress;
 mod rng;
 mod time;
 
 pub use calendar::{Calendar, EventHandle};
 pub use engine::{Control, Engine, RunStats, Simulation};
 pub use hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
+pub use progress::{ProgressGuard, ProgressViolation};
 pub use rng::{SeedStream, SimRng};
 pub use time::Time;

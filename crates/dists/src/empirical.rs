@@ -69,8 +69,9 @@ impl Empirical {
     ///
     /// # Errors
     ///
-    /// Returns [`DistributionError::EmptySample`] for an empty slice, or an
-    /// error if any observation is negative or non-finite.
+    /// Returns [`DistributionError::EmptySample`] for an empty slice,
+    /// [`DistributionError::NonFiniteSample`] if any observation is NaN or
+    /// infinite, or an error if any observation is negative.
     pub fn from_samples(samples: &[f64]) -> Result<Self, DistributionError> {
         Self::from_samples_with_resolution(samples, Self::DEFAULT_RESOLUTION)
     }
@@ -95,17 +96,26 @@ impl Empirical {
                 requirement: "must be at least 2",
             });
         }
-        for &x in samples {
-            if !x.is_finite() || x < 0.0 {
+        for (index, &x) in samples.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(DistributionError::NonFiniteSample {
+                    index,
+                    value: format!("{x}"),
+                });
+            }
+            if x < 0.0 {
                 return Err(DistributionError::InvalidParameter {
                     name: "sample",
                     value: x,
-                    requirement: "must be finite and non-negative",
+                    requirement: "must be non-negative",
                 });
             }
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        // total_cmp never panics; the validation above already rejected
+        // non-finite observations, so NaN ordering is moot here — this is
+        // pure belt-and-braces against the old `partial_cmp().expect` abort.
+        sorted.sort_by(f64::total_cmp);
         let quantile_of = |q: f64| -> f64 {
             let pos = q * (sorted.len() - 1) as f64;
             let lo = pos.floor() as usize;
@@ -152,10 +162,17 @@ impl Empirical {
             });
         }
         let grid = Self::grid(resolution, histogram.count() as usize);
-        let points: Vec<(f64, f64)> = grid
-            .into_iter()
-            .map(|q| (q, histogram.quantile(q).expect("non-empty histogram")))
-            .collect();
+        let mut points = Vec::with_capacity(grid.len());
+        for q in grid {
+            let v = histogram.quantile(q).ok_or(DistributionError::EmptySample)?;
+            if !v.is_finite() {
+                return Err(DistributionError::NonFiniteSample {
+                    index: points.len(),
+                    value: format!("{v}"),
+                });
+            }
+            points.push((q, v));
+        }
         Ok(Self::from_points(points))
     }
 
@@ -393,7 +410,14 @@ mod tests {
             Err(DistributionError::EmptySample)
         ));
         assert!(Empirical::from_samples(&[1.0, -2.0]).is_err());
-        assert!(Empirical::from_samples(&[f64::NAN]).is_err());
+        assert!(matches!(
+            Empirical::from_samples(&[1.0, f64::NAN]),
+            Err(DistributionError::NonFiniteSample { index: 1, .. })
+        ));
+        assert!(matches!(
+            Empirical::from_samples(&[f64::INFINITY]),
+            Err(DistributionError::NonFiniteSample { index: 0, .. })
+        ));
         assert!(Empirical::from_samples_with_resolution(&[1.0, 2.0], 1).is_err());
         let d = Empirical::from_samples(&[1.0, 2.0]).unwrap();
         assert!(d.scaled(0.0).is_err());

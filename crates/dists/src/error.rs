@@ -16,6 +16,14 @@ pub enum DistributionError {
     },
     /// An empirical distribution was built from an empty sample.
     EmptySample,
+    /// An empirical sample contained a NaN or infinite observation.
+    NonFiniteSample {
+        /// Index of the first offending observation.
+        index: usize,
+        /// The offending value, rendered as text (NaN/inf survive `Display`
+        /// but not JSON).
+        value: String,
+    },
     /// A mixture was built with no components or non-positive total weight.
     InvalidMixture,
     /// A moment-matching fit was requested for unreachable moments.
@@ -37,6 +45,9 @@ impl fmt::Display for DistributionError {
             } => write!(f, "parameter `{name}` = {value} {requirement}"),
             DistributionError::EmptySample => {
                 write!(f, "cannot build an empirical distribution from an empty sample")
+            }
+            DistributionError::NonFiniteSample { index, value } => {
+                write!(f, "sample[{index}] = {value} is not finite")
             }
             DistributionError::InvalidMixture => {
                 write!(f, "mixture needs at least one component with positive weight")
@@ -119,5 +130,10 @@ mod tests {
             DistributionError::EmptySample.to_string(),
             "cannot build an empirical distribution from an empty sample"
         );
+        let nan = DistributionError::NonFiniteSample {
+            index: 3,
+            value: format!("{}", f64::NAN),
+        };
+        assert_eq!(nan.to_string(), "sample[3] = NaN is not finite");
     }
 }

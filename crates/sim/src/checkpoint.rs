@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 use bighouse_des::SeedStream;
 use bighouse_stats::StatsCollection;
 
+use crate::audit::AuditReport;
 use crate::config::ExperimentConfig;
 use crate::error::SimError;
 use crate::report::{ClusterSummary, FaultSummary};
@@ -185,6 +186,10 @@ pub struct RunState {
     pub stats: Option<StatsCollection>,
     /// Time-weighted cluster totals.
     pub totals: RunTotals,
+    /// Merged audit findings across completed epochs (`None` when paranoid
+    /// mode is off; absent in checkpoints written before auditing existed).
+    #[serde(default)]
+    pub audit: Option<AuditReport>,
 }
 
 impl RunState {
@@ -200,6 +205,7 @@ impl RunState {
             seeds: SeedStream::new(master_seed),
             stats: None,
             totals: RunTotals::default(),
+            audit: None,
         }
     }
 
@@ -377,8 +383,14 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// process, …) changes the fingerprint, so a resume against a checkpoint
 /// from a *different* experiment is rejected instead of silently merging
 /// incompatible statistics.
+///
+/// The audit configuration is deliberately excluded: paranoid mode is
+/// purely observational (bit-identical estimates), so toggling it must not
+/// invalidate an existing checkpoint.
 #[must_use]
 pub fn config_fingerprint(config: &ExperimentConfig, master_seed: u64) -> u64 {
+    let mut config = config.clone();
+    config.audit = None;
     let rendered = format!("{config:?}|seed={master_seed}");
     fnv1a(rendered.as_bytes())
 }
@@ -494,6 +506,25 @@ mod tests {
         assert_ne!(config_fingerprint(&a, 1), config_fingerprint(&b, 1));
         assert_ne!(config_fingerprint(&a, 1), config_fingerprint(&a, 2));
         assert_eq!(config_fingerprint(&a, 1), config_fingerprint(&a, 1));
+    }
+
+    #[test]
+    fn fingerprint_ignores_audit_toggle() {
+        // Paranoid mode is observational; switching it on must still
+        // accept a checkpoint written with it off (and vice versa).
+        let plain = ExperimentConfig::new(Workload::standard(StandardWorkload::Web));
+        let audited = plain.clone().with_audit(crate::audit::AuditConfig::default());
+        assert_eq!(config_fingerprint(&plain, 1), config_fingerprint(&audited, 1));
+    }
+
+    #[test]
+    fn legacy_state_without_audit_field_parses() {
+        let state = sample_state();
+        let rendered = json(&state).replace(",\"audit\":null", "");
+        assert!(!rendered.contains("\"audit\""), "field must be stripped for the test");
+        let back: RunState = serde_json::from_str(&rendered).unwrap();
+        assert_eq!(back.audit, None);
+        assert_eq!(back.events_done, state.events_done);
     }
 
     #[test]

@@ -2,11 +2,12 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bighouse_des::{Calendar, Control, EventHandle, FastMap, SimRng, Simulation, Time};
+use bighouse_des::{Calendar, Control, EventHandle, FastMap, ProgressViolation, SimRng, Simulation, Time};
 use bighouse_dists::Distribution;
 use bighouse_models::{Job, JobId, LoadBalancer, PowerCapper, Server};
 use bighouse_stats::{HistogramSpec, MetricId, Phase, StatsCollection};
 
+use crate::audit::{AuditLedger, AuditReport, Auditor, SeededBug};
 use crate::config::{ArrivalMode, ExperimentConfig, MetricKind};
 use crate::error::SimError;
 use crate::report::{ClusterSummary, FaultSummary};
@@ -116,6 +117,13 @@ pub struct ClusterSim {
     n_timed_out: u64,
     n_retries: u64,
     n_preempted: u64,
+    /// The runtime invariant auditor (`None` when paranoid mode is off —
+    /// the entire audit machinery then costs one null check per event).
+    audit: Option<Box<Auditor>>,
+    /// Deliberately seeded accounting bug (mutation-test hook).
+    seeded_bug: Option<SeededBug>,
+    /// Whether the seeded bug is still waiting to fire.
+    bug_pending: bool,
 }
 
 impl ClusterSim {
@@ -194,6 +202,14 @@ impl ClusterSim {
         })?;
         let n = config.servers;
         let fault_mode = config.faults.is_some() || config.retry.is_some();
+        let audit = config.audit.as_ref().map(|cfg| {
+            // The energy budget bound must cover every power state a
+            // server can occupy, not just nominal peak.
+            let peak = config.power_model.as_ref().map(|m| {
+                m.peak_watts().max(m.failed_watts()).max(m.nap_watts())
+            });
+            Box::new(Auditor::new(cfg.clone(), n, peak))
+        });
         Ok(ClusterSim {
             capper: config.capper.clone(),
             servers,
@@ -221,6 +237,9 @@ impl ClusterSim {
             n_timed_out: 0,
             n_retries: 0,
             n_preempted: 0,
+            audit,
+            seeded_bug: None,
+            bug_pending: false,
             config,
         })
     }
@@ -380,19 +399,124 @@ impl ClusterSim {
         }
     }
 
+    /// Records an observation, vetting it through the auditor first: a
+    /// non-finite or negative value is dropped (never poisoning an
+    /// estimator) and the recorded violation stops the run at the current
+    /// event boundary. With auditing off this is exactly `stats.record`.
+    #[inline]
+    fn observe(&mut self, id: MetricId, metric: &'static str, x: f64) {
+        if let Some(audit) = self.audit.as_deref_mut() {
+            if !audit.check_observation(metric, x) {
+                return;
+            }
+        }
+        self.stats.record(id, x);
+    }
+
+    /// Per-event audit hook: counts the event, runs an invariant sweep on
+    /// the configured cadence, and reports whether a violation (from a
+    /// sweep or an earlier observation tripwire) requires the run to stop.
+    #[inline]
+    fn audit_tick(&mut self, now: Time) -> bool {
+        let Some(audit) = self.audit.as_deref_mut() else {
+            return false;
+        };
+        if audit.event_due() {
+            let ledger = AuditLedger {
+                fault_mode: self.fault_mode,
+                injected: self.job_counter,
+                admitted: self.n_admitted,
+                goodput: self.n_goodput,
+                timed_out: self.n_timed_out,
+                in_flight: self.requests.len() as u64,
+            };
+            audit.sweep(now, &self.servers, &ledger);
+        }
+        audit.failed()
+    }
+
+    /// Whether the auditor has recorded an invariant violation.
+    #[must_use]
+    pub fn audit_failed(&self) -> bool {
+        self.audit.as_deref().is_some_and(Auditor::failed)
+    }
+
+    /// Folds a progress-guard violation (livelock, event storm, time
+    /// regression) into the audit report. No-op when auditing is off.
+    pub fn record_progress_violation(&mut self, violation: ProgressViolation) {
+        if let Some(audit) = self.audit.as_deref_mut() {
+            audit.record_progress_violation(violation);
+        }
+    }
+
+    /// Runs the final audit sweep and the Little's-law probe. Call once
+    /// when the run stops, before taking the report.
+    pub fn finalize_audit(&mut self, now: Time) {
+        if self.audit.is_none() {
+            return;
+        }
+        let mean_response = self
+            .stats
+            .metric(self.response_id)
+            .estimate()
+            .map(|e| e.mean);
+        let ledger = AuditLedger {
+            fault_mode: self.fault_mode,
+            injected: self.job_counter,
+            admitted: self.n_admitted,
+            goodput: self.n_goodput,
+            timed_out: self.n_timed_out,
+            in_flight: self.requests.len() as u64,
+        };
+        if let Some(audit) = self.audit.as_deref_mut() {
+            audit.finalize(now, &self.servers, &ledger, mean_response);
+        }
+    }
+
+    /// Takes the audit report (`None` when paranoid mode is off). The
+    /// auditor is consumed; call after [`ClusterSim::finalize_audit`].
+    #[must_use]
+    pub fn take_audit(&mut self) -> Option<AuditReport> {
+        self.audit.take().map(|a| a.into_report())
+    }
+
+    /// Mutation-test hook: arms a deliberately seeded accounting bug. The
+    /// audit test suite uses this to prove the auditor catches real
+    /// corruption, not just synthetic inputs.
+    #[doc(hidden)]
+    pub fn seed_bug(&mut self, bug: SeededBug) {
+        self.seeded_bug = Some(bug);
+        self.bug_pending = true;
+    }
+
     fn record_finished(
         &mut self,
         finished: &[bighouse_models::FinishedJob],
         cal: &mut Calendar<ClusterEvent>,
     ) {
         for f in finished {
-            self.stats.record(self.response_id, f.response_time());
+            if self.bug_pending && self.seeded_bug == Some(SeededBug::DropCompletion) {
+                // Mutation hook: lose this completion entirely — no stats,
+                // no ledger retirement, no timeout cancellation. The
+                // auditor's completion cross-check must catch the drift.
+                self.bug_pending = false;
+                continue;
+            }
+            let mut response = f.response_time();
+            if self.bug_pending && self.seeded_bug == Some(SeededBug::NanObservation) {
+                self.bug_pending = false;
+                response = f64::NAN;
+            }
+            if let Some(audit) = self.audit.as_deref_mut() {
+                audit.note_completion();
+            }
+            self.observe(self.response_id, "response_time", response);
             if let Some(id) = self.waiting_id {
                 let wait = f.waiting_time();
                 // Waiting observations exist only for tasks that queued —
                 // the rarity driving Figure 9's "+Waiting" runtimes.
                 if wait > 0.0 {
-                    self.stats.record(id, wait);
+                    self.observe(id, "waiting_time", wait);
                 }
             }
             if self.fault_mode {
@@ -614,7 +738,7 @@ impl ClusterSim {
                 if let Some(id) = self.capping_id {
                     // One cluster-level observation per budgeting epoch: the
                     // metric's pace is set by simulated time, not request rate.
-                    self.stats.record(id, total_capping);
+                    self.observe(id, "capping_level", total_capping);
                 }
             }
         }
@@ -627,7 +751,7 @@ impl ClusterSim {
                 let energy = self.servers[s].energy_joules();
                 let watts = (energy - self.energy_marks[s]) / epoch;
                 self.energy_marks[s] = energy;
-                self.stats.record(id, watts);
+                self.observe(id, "server_power", watts);
             }
         }
         if let Some(id) = self.availability_id {
@@ -638,7 +762,7 @@ impl ClusterSim {
                 let failed = self.servers[s].failed_seconds();
                 let delta = failed - self.failed_marks[s];
                 self.failed_marks[s] = failed;
-                self.stats.record(id, (1.0 - delta / epoch).clamp(0.0, 1.0));
+                self.observe(id, "availability", (1.0 - delta / epoch).clamp(0.0, 1.0));
             }
         }
         for s in 0..self.servers.len() {
@@ -721,6 +845,14 @@ impl Simulation for ClusterSim {
             ClusterEvent::Redispatch { job } => {
                 self.handle_redispatch(job, now, cal);
             }
+        }
+        if self.bug_pending && self.seeded_bug == Some(SeededBug::Livelock) {
+            // Mutation hook: reschedule at `now` from every handler — a
+            // zero-advance livelock for the progress guard to break.
+            cal.schedule(now, ClusterEvent::Attention { server: 0 });
+        }
+        if self.audit_tick(now) {
+            return Control::Stop;
         }
         if self.stop_on_convergence && self.stats.all_converged() {
             Control::Stop

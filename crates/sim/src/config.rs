@@ -5,6 +5,7 @@ use bighouse_models::{BalancerPolicy, DvfsModel, IdlePolicy, LinearPowerModel, P
 use bighouse_stats::MetricSpec;
 use bighouse_workloads::Workload;
 
+use crate::audit::AuditConfig;
 use crate::error::SimError;
 
 /// How arrivals reach the cluster's servers.
@@ -84,6 +85,7 @@ pub struct ExperimentConfig {
     pub(crate) max_events: u64,
     pub(crate) faults: Option<FaultProcess>,
     pub(crate) retry: Option<RetryPolicy>,
+    pub(crate) audit: Option<AuditConfig>,
 }
 
 impl ExperimentConfig {
@@ -109,6 +111,7 @@ impl ExperimentConfig {
             max_events: u64::MAX,
             faults: None,
             retry: None,
+            audit: None,
         }
     }
 
@@ -305,6 +308,24 @@ impl ExperimentConfig {
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = Some(retry);
         self
+    }
+
+    /// Enables the runtime invariant auditor ("paranoid mode"): every
+    /// observation is vetted before entering the statistics, conservation
+    /// and energy accounting are swept on an event cadence, and the
+    /// runners break livelocks and event storms with an honest partial
+    /// report instead of hanging. Purely observational: estimates are
+    /// bit-identical with auditing on or off.
+    #[must_use]
+    pub fn with_audit(mut self, audit: AuditConfig) -> Self {
+        self.audit = Some(audit);
+        self
+    }
+
+    /// The audit configuration, if paranoid mode is enabled.
+    #[must_use]
+    pub fn audit(&self) -> Option<&AuditConfig> {
+        self.audit.as_ref()
     }
 
     /// The configured workload.

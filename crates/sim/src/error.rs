@@ -33,6 +33,26 @@ pub enum SimError {
     },
     /// A checkpoint could not be written, read, or applied.
     Checkpoint(String),
+    /// The runtime invariant auditor (or its progress circuit breaker)
+    /// tripped during the named phase, so the run was stopped rather than
+    /// allowed to hang or converge on corrupt accounting.
+    AuditFailed {
+        /// The phase that was running ("calibration", …).
+        phase: &'static str,
+        /// A rendering of the first violation.
+        violation: String,
+    },
+    /// A caller-supplied parameter is outside its legal range. Used by
+    /// builders that validate instead of asserting, so malformed input
+    /// (e.g. a hostile experiment spec) surfaces as an error, not a panic.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// The offending value, rendered (NaN/∞ survive this way).
+        value: String,
+        /// What the parameter must satisfy.
+        requirement: &'static str,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -49,6 +69,16 @@ impl std::fmt::Display for SimError {
                 write!(f, "all {panicked} parallel slaves panicked; no results to merge")
             }
             SimError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            SimError::AuditFailed { phase, violation } => {
+                write!(f, "invariant audit failed during {phase}: {violation}")
+            }
+            SimError::InvalidParameter {
+                name,
+                value,
+                requirement,
+            } => {
+                write!(f, "invalid parameter {name}={value}: must be {requirement}")
+            }
         }
     }
 }
@@ -70,5 +100,17 @@ mod tests {
             .contains("10"));
         assert!(SimError::NoSurvivingSlaves { panicked: 4 }.to_string().contains('4'));
         assert!(SimError::Checkpoint("bad magic".into()).to_string().contains("bad magic"));
+        let audit = SimError::AuditFailed {
+            phase: "calibration",
+            violation: "livelock after 65536 events".into(),
+        };
+        assert!(audit.to_string().contains("livelock"));
+        let param = SimError::InvalidParameter {
+            name: "watchdog_seconds",
+            value: "NaN".into(),
+            requirement: "positive and finite",
+        };
+        assert!(param.to_string().contains("watchdog_seconds"));
+        assert!(param.to_string().contains("NaN"));
     }
 }

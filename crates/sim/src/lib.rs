@@ -24,6 +24,12 @@
 //!   gracefully on SIGINT/SIGTERM. [`ParallelRunner`] doubles as a
 //!   supervisor: crashed slaves are resurrected from in-memory epoch
 //!   checkpoints before the runner falls back to dropping them.
+//! - Paranoid mode ([`ExperimentConfig::with_audit`]) threads a runtime
+//!   invariant auditor through the hot loop: conservation and energy
+//!   accounting are swept on an event cadence, every observation is vetted
+//!   before it can poison an estimator, and livelocks/event storms are
+//!   broken with an honest partial report ([`AuditReport`]) instead of a
+//!   hang. With auditing off the estimates are bit-identical.
 //!
 //! # Examples
 //!
@@ -45,6 +51,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod audit;
 mod checkpoint;
 mod cluster;
 mod config;
@@ -55,6 +62,9 @@ mod report;
 mod runner;
 mod trace;
 
+pub use audit::{AuditConfig, AuditReport, AuditViolation, AuditWarning};
+#[doc(hidden)]
+pub use audit::SeededBug;
 pub use checkpoint::{
     config_fingerprint, CheckpointConfig, CheckpointStore, FaultTotals, RunState, RunTotals,
 };

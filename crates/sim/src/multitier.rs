@@ -405,6 +405,7 @@ pub fn run_multi_tier(config: &MultiTierConfig, seed: u64) -> SimulationReport {
         simulated_seconds: now.as_seconds(),
         wall_seconds: start.elapsed().as_secs_f64(),
         cluster: sim.summary(now),
+        audit: None,
     };
     report.cluster.average_power_watts = if now.as_seconds() > 0.0 {
         report.cluster.total_energy_joules / now.as_seconds()

@@ -45,6 +45,7 @@ use bighouse_stats::{
     MetricSpec, RunningStats, StatsCollection,
 };
 
+use crate::audit::{AuditConfig, AuditReport};
 use crate::cluster::ClusterSim;
 use crate::config::ExperimentConfig;
 use crate::error::SimError;
@@ -90,6 +91,10 @@ pub struct ParallelOutcome {
     pub watchdog_fired: bool,
     /// Wall-clock runtime of the whole parallel run in seconds.
     pub wall_seconds: f64,
+    /// Merged invariant-audit report across all surviving slaves (`None`
+    /// unless the experiment enables paranoid mode). Any slave's violation
+    /// fails the whole run.
+    pub audit: Option<AuditReport>,
 }
 
 impl ParallelOutcome {
@@ -141,6 +146,7 @@ enum SlaveMessage {
         lags: Vec<usize>,
         total_observed: Vec<u64>,
         events: u64,
+        audit: Option<Box<AuditReport>>,
     },
     /// The slave panicked (or failed to build); it will send nothing else.
     Died { slave: usize, incarnation: u32 },
@@ -285,17 +291,21 @@ impl ParallelRunner {
     /// slaves and merges whatever they collected, reporting
     /// `converged: false` and `watchdog_fired: true`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `wall_seconds` is non-positive or non-finite.
-    #[must_use]
-    pub fn with_watchdog(mut self, wall_seconds: f64) -> Self {
-        assert!(
-            wall_seconds.is_finite() && wall_seconds > 0.0,
-            "watchdog must be a positive number of seconds, got {wall_seconds}"
-        );
+    /// Returns [`SimError::InvalidParameter`] if `wall_seconds` is
+    /// non-positive or non-finite (a NaN deadline would silently disarm
+    /// the watchdog).
+    pub fn with_watchdog(mut self, wall_seconds: f64) -> Result<Self, SimError> {
+        if !(wall_seconds.is_finite() && wall_seconds > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "watchdog_seconds",
+                value: wall_seconds.to_string(),
+                requirement: "positive and finite",
+            });
+        }
         self.watchdog = Some(wall_seconds);
-        self
+        Ok(self)
     }
 
     /// Sets how many times a crashed slave may be resurrected from its
@@ -325,17 +335,21 @@ impl ParallelRunner {
     /// from in `seconds` is presumed wedged, its incarnation abandoned,
     /// and a resurrection scheduled from its last checkpoint.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `seconds` is non-positive or non-finite.
-    #[must_use]
-    pub fn with_slave_timeout(mut self, seconds: f64) -> Self {
-        assert!(
-            seconds.is_finite() && seconds > 0.0,
-            "slave timeout must be a positive number of seconds, got {seconds}"
-        );
+    /// Returns [`SimError::InvalidParameter`] if `seconds` is non-positive
+    /// or non-finite (`Duration::from_secs_f64` would panic on it later,
+    /// deep inside the supervision loop).
+    pub fn with_slave_timeout(mut self, seconds: f64) -> Result<Self, SimError> {
+        if !(seconds.is_finite() && seconds > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "slave_timeout_seconds",
+                value: seconds.to_string(),
+                requirement: "positive and finite",
+            });
+        }
         self.slave_stall_timeout = Some(Duration::from_secs_f64(seconds));
-        self
+        Ok(self)
     }
 
     /// Installs a cooperative interrupt flag: once set (e.g. by a
@@ -408,6 +422,7 @@ impl ParallelRunner {
             resurrections: 0,
             watchdog_fired: false,
             wall_seconds: 0.0,
+            audit: None,
         };
         let mut interrupted = false;
 
@@ -542,6 +557,16 @@ impl ParallelRunner {
                         let (slave, incarnation) = (*slave, *incarnation);
                         if incarnation == sup.incarnations[slave] && !sup.settled(slave) {
                             sup.finished[slave] = true;
+                            if let SlaveMessage::Final {
+                                audit: Some(audit), ..
+                            } = &final_msg
+                            {
+                                if !audit.passed() {
+                                    // One slave's broken invariants poison
+                                    // the merge; wind everyone down now.
+                                    stop.store(true, Ordering::Relaxed);
+                                }
+                            }
                             finals[slave] = Some(final_msg);
                         }
                     }
@@ -590,6 +615,17 @@ impl ParallelRunner {
 
             // Merge phase: combine surviving slave histograms bin-wise.
             outcome.estimates = merge_finals(&specs, &finals, &mut outcome.slave_events);
+            for message in finals.iter().flatten() {
+                if let SlaveMessage::Final {
+                    audit: Some(audit), ..
+                } = message
+                {
+                    outcome
+                        .audit
+                        .get_or_insert_with(AuditReport::default)
+                        .merge(audit);
+                }
+            }
             // The spawner borrows the master's sender; release both before
             // the scope joins any straggler threads.
             drop(spawn_slave);
@@ -602,7 +638,19 @@ impl ParallelRunner {
                 panicked: outcome.dead_slaves.len(),
             });
         }
-        outcome.termination = if interrupted {
+        let audit_failed = outcome.audit.as_ref().is_some_and(|a| !a.passed());
+        if audit_failed {
+            // Merged estimates built on violated invariants must never be
+            // reported as converged.
+            outcome.converged = false;
+        }
+        outcome.termination = if audit_failed {
+            if outcome.audit.as_ref().is_some_and(AuditReport::livelocked) {
+                TerminationReason::Livelock
+            } else {
+                TerminationReason::AuditViolation
+            }
+        } else if interrupted {
             TerminationReason::Interrupted
         } else if outcome.converged {
             TerminationReason::Converged
@@ -641,7 +689,13 @@ fn run_slave(
     stop: &AtomicBool,
     tx: &channel::Sender<SlaveMessage>,
 ) -> Result<(), SimError> {
-    while !stop.load(Ordering::Relaxed) && state.events < config.max_events {
+    // The circuit breaker and the audit report both span epochs within an
+    // incarnation. (A resurrection restarts them — the lost incarnation's
+    // report died with it — which only loses sweeps, never samples.)
+    let mut guard = config.audit().map(AuditConfig::progress_guard);
+    let mut audit_total: Option<AuditReport> = None;
+    let mut audit_tripped = false;
+    while !stop.load(Ordering::Relaxed) && !audit_tripped && state.events < config.max_events {
         let seed = epoch_seed(slave_seed, state.epoch);
         let mut sim = ClusterSim::new_slave(config.clone(), seed, bin_schemes)?;
         if let Some(stats) = state.stats.take() {
@@ -654,8 +708,19 @@ fn run_slave(
         let mut fired = 0u64;
         let mut drained = false;
         while !stop.load(Ordering::Relaxed) && fired < budget {
-            let run = engine.run_with_limit(CHUNK_EVENTS.min(budget - fired));
+            let chunk = CHUNK_EVENTS.min(budget - fired);
+            let run = match guard.as_mut() {
+                Some(guard) => engine.run_guarded(chunk, guard),
+                None => engine.run_with_limit(chunk),
+            };
             fired += run.events_fired;
+            if run.stopped_by_guard || engine.simulation().audit_failed() {
+                if let Some(violation) = guard.as_ref().and_then(|g| g.violation()) {
+                    engine.simulation_mut().record_progress_violation(violation);
+                }
+                audit_tripped = true;
+                break;
+            }
             if run.events_fired == 0 {
                 drained = true; // cannot happen with open arrivals
                 break;
@@ -673,8 +738,16 @@ fn run_slave(
             });
         }
         state.events += fired;
-        let finished_epoch = fired == budget && !drained;
-        state.stats = Some(engine.into_simulation().into_stats());
+        let finished_epoch = fired == budget && !drained && !audit_tripped;
+        let now = engine.now();
+        let mut sim = engine.into_simulation();
+        sim.finalize_audit(now);
+        if let Some(epoch_audit) = sim.take_audit() {
+            audit_total
+                .get_or_insert_with(AuditReport::default)
+                .merge(&epoch_audit);
+        }
+        state.stats = Some(sim.into_stats());
         if finished_epoch && !stop.load(Ordering::Relaxed) {
             state.epoch += 1;
             let _ = tx.send(SlaveMessage::Checkpoint {
@@ -701,6 +774,7 @@ fn run_slave(
         lags,
         total_observed,
         events: state.events,
+        audit: audit_total.map(Box::new),
     });
     Ok(())
 }
@@ -762,6 +836,7 @@ fn merge_finals(
             lags: slave_lags,
             total_observed,
             events,
+            audit: _,
         } = message
         else {
             continue;
@@ -938,6 +1013,7 @@ mod tests {
             .with_max_events(u64::MAX / 2);
         let outcome = ParallelRunner::new(config, 2)
             .with_watchdog(0.3)
+            .unwrap()
             .run(44)
             .unwrap();
         assert!(outcome.watchdog_fired, "watchdog should have fired");
@@ -952,5 +1028,46 @@ mod tests {
     #[should_panic(expected = "at least one slave")]
     fn zero_slaves_rejected() {
         let _ = ParallelRunner::new(quick_config(), 0);
+    }
+
+    #[test]
+    fn hostile_watchdog_and_timeout_values_are_typed_errors() {
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -1.0] {
+            let err = ParallelRunner::new(quick_config(), 1)
+                .with_watchdog(bad)
+                .unwrap_err();
+            assert!(
+                matches!(err, SimError::InvalidParameter { name: "watchdog_seconds", .. }),
+                "watchdog({bad}) gave {err}"
+            );
+            let err = ParallelRunner::new(quick_config(), 1)
+                .with_slave_timeout(bad)
+                .unwrap_err();
+            assert!(
+                matches!(err, SimError::InvalidParameter { name: "slave_timeout_seconds", .. }),
+                "slave_timeout({bad}) gave {err}"
+            );
+        }
+        // The legal path still works and the rendered NaN survives Display.
+        assert!(ParallelRunner::new(quick_config(), 1).with_watchdog(1.5).is_ok());
+        let msg = ParallelRunner::new(quick_config(), 1)
+            .with_watchdog(f64::NAN)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("NaN"), "got: {msg}");
+    }
+
+    #[test]
+    fn audited_parallel_run_converges_with_clean_report() {
+        let config = quick_config().with_audit(crate::audit::AuditConfig::default());
+        let outcome = ParallelRunner::new(config, 2).run(45).unwrap();
+        assert!(outcome.converged);
+        assert_eq!(outcome.termination, TerminationReason::Converged);
+        let audit = outcome.audit.expect("audited slaves must report");
+        assert!(audit.passed(), "violations: {:?}", audit.violations);
+        assert!(audit.enabled);
+        assert!(audit.checks_run > 0);
+        // Both slaves contributed sweeps to the merged report.
+        assert!(audit.observations_checked > 0);
     }
 }

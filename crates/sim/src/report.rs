@@ -4,6 +4,8 @@ use serde::{Deserialize, Serialize};
 
 use bighouse_stats::MetricEstimate;
 
+use crate::audit::AuditReport;
+
 /// Exact bookkeeping of a fault-injected run: how every admitted request
 /// was disposed of, and how much machine time was lost to failures.
 ///
@@ -74,6 +76,14 @@ pub enum TerminationReason {
     /// `--resume` found a checkpoint of an already-finished run and
     /// re-emitted its report without simulating further.
     Resumed,
+    /// The runtime invariant auditor recorded a violation (conservation,
+    /// energy accounting, a poisoned observation, an event storm, …); the
+    /// run stopped with an honest partial report.
+    AuditViolation,
+    /// The progress circuit breaker detected a zero-advance livelock —
+    /// events kept firing with no simulated-time progress — and stopped
+    /// the run instead of hanging.
+    Livelock,
 }
 
 impl std::fmt::Display for TerminationReason {
@@ -83,6 +93,8 @@ impl std::fmt::Display for TerminationReason {
             TerminationReason::Deadline => write!(f, "deadline"),
             TerminationReason::Interrupted => write!(f, "interrupted"),
             TerminationReason::Resumed => write!(f, "resumed"),
+            TerminationReason::AuditViolation => write!(f, "audit-violation"),
+            TerminationReason::Livelock => write!(f, "livelock"),
         }
     }
 }
@@ -112,6 +124,10 @@ pub struct SimulationReport {
     pub wall_seconds: f64,
     /// Cluster-level summary facts.
     pub cluster: ClusterSummary,
+    /// What the runtime invariant auditor found (`None` when paranoid
+    /// mode is off; absent in reports written before auditing existed).
+    #[serde(default)]
+    pub audit: Option<AuditReport>,
 }
 
 impl SimulationReport {
@@ -181,6 +197,7 @@ mod tests {
                 average_power_watts: 80.0,
                 faults: None,
             },
+            audit: None,
         }
     }
 
@@ -252,5 +269,33 @@ mod tests {
         assert_eq!(TerminationReason::Deadline.to_string(), "deadline");
         assert_eq!(TerminationReason::Interrupted.to_string(), "interrupted");
         assert_eq!(TerminationReason::Resumed.to_string(), "resumed");
+        assert_eq!(TerminationReason::AuditViolation.to_string(), "audit-violation");
+        assert_eq!(TerminationReason::Livelock.to_string(), "livelock");
+    }
+
+    #[test]
+    fn audit_report_round_trips_and_defaults() {
+        use crate::audit::AuditViolation;
+        let mut r = report();
+        r.converged = false;
+        r.termination = TerminationReason::AuditViolation;
+        r.audit = Some(AuditReport {
+            enabled: true,
+            checks_run: 12,
+            observations_checked: 900,
+            violations: vec![AuditViolation::CompletionMismatch {
+                server_completed: 10,
+                observed: 9,
+            }],
+            warnings: Vec::new(),
+        });
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimulationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+        // Reports written before the auditor existed still parse.
+        let legacy = serde_json::to_string(&report()).unwrap().replace(",\"audit\":null", "");
+        assert!(!legacy.contains("audit"), "field must be stripped for the test");
+        let back: SimulationReport = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.audit, None);
     }
 }

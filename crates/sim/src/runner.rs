@@ -9,6 +9,7 @@ use std::time::Instant;
 use bighouse_des::{Calendar, Engine};
 use bighouse_stats::{HistogramSpec, StatsCollection};
 
+use crate::audit::{AuditConfig, AuditReport};
 use crate::checkpoint::{config_fingerprint, CheckpointConfig, CheckpointStore, RunState};
 use crate::cluster::ClusterSim;
 use crate::config::ExperimentConfig;
@@ -33,23 +34,47 @@ pub fn run_serial(config: &ExperimentConfig, seed: u64) -> Result<SimulationRepo
     let mut cal = Calendar::new();
     sim.prime(&mut cal);
     let mut engine = Engine::from_parts(sim, cal);
-    let run = engine.run_with_limit(config.max_events);
+    let mut guard = config.audit().map(AuditConfig::progress_guard);
+    let run = match guard.as_mut() {
+        Some(guard) => engine.run_guarded(config.max_events, guard),
+        None => engine.run_with_limit(config.max_events),
+    };
     let now = engine.now();
-    let sim = engine.into_simulation();
-    let converged = sim.stats().all_converged();
+    let mut sim = engine.into_simulation();
+    if let Some(violation) = guard.and_then(|g| g.violation()) {
+        sim.record_progress_violation(violation);
+    }
+    sim.finalize_audit(now);
+    let audit = sim.take_audit();
+    let audit_failed = audit.as_ref().is_some_and(|a| !a.passed());
+    let converged = sim.stats().all_converged() && !audit_failed;
     Ok(SimulationReport {
         converged,
-        termination: if converged {
-            TerminationReason::Converged
-        } else {
-            TerminationReason::Deadline
-        },
+        termination: termination_for(converged, audit.as_ref()),
         estimates: sim.stats().estimates(),
         events_fired: run.events_fired,
         simulated_seconds: now.as_seconds(),
         wall_seconds: start.elapsed().as_secs_f64(),
         cluster: sim.summary(now),
+        audit,
     })
+}
+
+/// Classifies a finished run: audit violations dominate (a run must never
+/// claim convergence on corrupt accounting), livelocks are called out
+/// distinctly, and otherwise the convergence flag decides.
+fn termination_for(converged: bool, audit: Option<&AuditReport>) -> TerminationReason {
+    match audit {
+        Some(report) if !report.passed() => {
+            if report.livelocked() {
+                TerminationReason::Livelock
+            } else {
+                TerminationReason::AuditViolation
+            }
+        }
+        _ if converged => TerminationReason::Converged,
+        _ => TerminationReason::Deadline,
+    }
 }
 
 /// Options for [`run_resumable`]: epoch structure, checkpointing, resume,
@@ -76,6 +101,10 @@ pub struct RunOptions {
     /// the run winds down at the next epoch boundary, writing a final
     /// checkpoint and an honest partial report.
     pub interrupt: Option<Arc<AtomicBool>>,
+    /// Enables the runtime invariant auditor for this run, overriding the
+    /// configuration (paranoid mode is observational, so toggling it never
+    /// invalidates an existing checkpoint).
+    pub audit: Option<AuditConfig>,
 }
 
 impl RunOptions {
@@ -104,8 +133,9 @@ fn report_from_state(
     state: &RunState,
     termination: TerminationReason,
 ) -> SimulationReport {
+    let audit_failed = state.audit.as_ref().is_some_and(|a| !a.passed());
     SimulationReport {
-        converged: state.converged(),
+        converged: state.converged() && !audit_failed,
         termination,
         estimates: state
             .stats
@@ -116,6 +146,7 @@ fn report_from_state(
         simulated_seconds: state.totals.simulated_seconds,
         wall_seconds: state.wall_seconds,
         cluster: state.totals.summary(config.servers),
+        audit: state.audit.clone(),
     }
 }
 
@@ -148,6 +179,13 @@ pub fn run_resumable(
     opts: &RunOptions,
 ) -> Result<SimulationReport, SimError> {
     let start = Instant::now();
+    let audited_config;
+    let config = if let Some(audit) = &opts.audit {
+        audited_config = config.clone().with_audit(audit.clone());
+        &audited_config
+    } else {
+        config
+    };
     let fingerprint = config_fingerprint(config, master_seed);
     let store = opts
         .checkpoint
@@ -186,7 +224,21 @@ pub fn run_resumable(
 
     let base_wall = state.wall_seconds;
     let start_epoch = state.next_epoch;
+    // The livelock/storm circuit breaker spans epochs: a run that advances
+    // one event per epoch is just a slow livelock. (The guard is process-
+    // local — a resume restarts its windows, which only makes it *more*
+    // lenient, never spuriously trips it.)
+    let mut guard = config.audit().map(AuditConfig::progress_guard);
     let termination = loop {
+        if let Some(report) = &state.audit {
+            if !report.passed() {
+                break if report.livelocked() {
+                    TerminationReason::Livelock
+                } else {
+                    TerminationReason::AuditViolation
+                };
+            }
+        }
         if state.converged() {
             break TerminationReason::Converged;
         }
@@ -211,15 +263,30 @@ pub fn run_resumable(
         sim.prime(&mut cal);
         let mut engine = Engine::from_parts(sim, cal);
         let budget = opts.epoch_budget().min(config.max_events - state.events_done);
-        let run = engine.run_with_limit(budget);
-        if run.events_fired == 0 {
+        let run = match guard.as_mut() {
+            Some(guard) => engine.run_guarded(budget, guard),
+            None => engine.run_with_limit(budget),
+        };
+        if run.events_fired == 0 && !run.stopped_by_guard {
             return Err(SimError::CalendarDrained {
                 phase: "measurement",
             });
         }
         let now = engine.now();
-        let sim = engine.into_simulation();
+        let mut sim = engine.into_simulation();
+        if run.stopped_by_guard {
+            if let Some(violation) = guard.as_ref().and_then(|g| g.violation()) {
+                sim.record_progress_violation(violation);
+            }
+        }
         state.totals.absorb(&sim.summary(now), now.as_seconds());
+        sim.finalize_audit(now);
+        if let Some(epoch_audit) = sim.take_audit() {
+            state
+                .audit
+                .get_or_insert_with(AuditReport::default)
+                .merge(&epoch_audit);
+        }
         state.stats = Some(sim.into_stats());
         state.events_done += run.events_fired;
         state.next_epoch += 1;
@@ -262,9 +329,27 @@ pub fn run_until_calibrated(
     let mut engine = Engine::from_parts(sim, cal);
     const CHUNK: u64 = 1_000;
     let mut events = 0u64;
+    let mut guard = config.audit().map(AuditConfig::progress_guard);
     while !engine.simulation().all_calibrated() {
-        let run = engine.run_with_limit(CHUNK);
+        let run = match guard.as_mut() {
+            Some(guard) => engine.run_guarded(CHUNK, guard),
+            None => engine.run_with_limit(CHUNK),
+        };
         events += run.events_fired;
+        if run.stopped_by_guard || engine.simulation().audit_failed() {
+            if let Some(violation) = guard.as_ref().and_then(|g| g.violation()) {
+                engine.simulation_mut().record_progress_violation(violation);
+            }
+            let violation = engine
+                .simulation_mut()
+                .take_audit()
+                .and_then(|report| report.violations.first().map(ToString::to_string))
+                .unwrap_or_else(|| "progress guard tripped".to_owned());
+            return Err(SimError::AuditFailed {
+                phase: "calibration",
+                violation,
+            });
+        }
         if run.events_fired == 0 {
             return Err(SimError::CalendarDrained {
                 phase: "calibration",
@@ -598,6 +683,63 @@ mod tests {
         .unwrap();
         assert_eq!(estimates_json(&reference), estimates_json(&resumed));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn audited_run_is_bit_identical_and_clean() {
+        // Paranoid mode is purely observational: same seed, same events,
+        // same estimates down to the last bit — plus a clean audit report.
+        let plain = run_serial(&quick_config(), 61).unwrap();
+        let audited_cfg = quick_config().with_audit(crate::audit::AuditConfig::default());
+        let audited = run_serial(&audited_cfg, 61).unwrap();
+        assert_eq!(plain.events_fired, audited.events_fired);
+        assert_eq!(
+            plain.simulated_seconds.to_bits(),
+            audited.simulated_seconds.to_bits()
+        );
+        assert_eq!(estimates_json(&plain), estimates_json(&audited));
+        assert!(plain.audit.is_none());
+        let audit = audited.audit.expect("audited run must carry a report");
+        assert!(audit.enabled);
+        assert!(audit.passed(), "violations: {:?}", audit.violations);
+        assert!(audit.checks_run > 0);
+        assert!(audit.observations_checked > 0);
+    }
+
+    #[test]
+    fn resumable_audit_merges_across_epochs_and_stays_clean() {
+        let plain_opts = RunOptions {
+            epoch_events: 10_000,
+            ..RunOptions::default()
+        };
+        let plain = run_resumable(&quick_config(), 63, &plain_opts).unwrap();
+        let audited_opts = RunOptions {
+            epoch_events: 10_000,
+            audit: Some(crate::audit::AuditConfig::default()),
+            ..RunOptions::default()
+        };
+        let audited = run_resumable(&quick_config(), 63, &audited_opts).unwrap();
+        assert_eq!(plain.events_fired, audited.events_fired);
+        assert_eq!(estimates_json(&plain), estimates_json(&audited));
+        let audit = audited.audit.expect("audited run must carry a report");
+        assert!(audit.passed(), "violations: {:?}", audit.violations);
+        assert!(audit.checks_run > 1, "every epoch contributes sweeps");
+        assert!(plain.audit.is_none());
+    }
+
+    #[test]
+    fn audited_faulty_retry_run_passes_conservation() {
+        // The request ledger is only exercised in fault mode with retries;
+        // a clean run through that machinery must satisfy conservation.
+        use bighouse_faults::{FaultProcess, RetryPolicy};
+        let config = quick_config()
+            .with_servers(2)
+            .with_faults(FaultProcess::exponential(20.0, 2.0).unwrap())
+            .with_retry(RetryPolicy::new(1.0))
+            .with_audit(crate::audit::AuditConfig::default());
+        let report = run_serial(&config, 64).unwrap();
+        let audit = report.audit.expect("audited run must carry a report");
+        assert!(audit.passed(), "violations: {:?}", audit.violations);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Mutation tests for the runtime invariant auditor.
+//!
+//! Each test arms one deliberately seeded bug (`ClusterSim::seed_bug`) and
+//! proves the auditor *catches* it — stopping the run with the right
+//! violation instead of hanging, panicking, or silently converging on
+//! corrupt accounting. A clean control run proves the same auditor stays
+//! quiet on a healthy simulation, and a bit-identity check proves paranoid
+//! mode never perturbs the estimates it vets.
+
+use bighouse_des::{Calendar, Engine};
+use bighouse_sim::{
+    run_serial, AuditConfig, AuditReport, AuditViolation, ClusterSim, ExperimentConfig,
+    SeededBug, TerminationReason,
+};
+use bighouse_workloads::{StandardWorkload, Workload};
+
+fn base_config() -> ExperimentConfig {
+    ExperimentConfig::new(Workload::standard(StandardWorkload::Web))
+        .with_utilization(0.5)
+        .with_target_accuracy(0.2)
+        .with_warmup(50)
+        .with_calibration(500)
+}
+
+/// Runs a simulation with `bug` armed and the auditor on, exactly the way
+/// the serial runner drives an audited run, and returns the audit report.
+fn audited_run_with_bug(bug: SeededBug, audit: AuditConfig) -> AuditReport {
+    let config = base_config().with_audit(audit.clone());
+    let mut sim = ClusterSim::new(config, 7).unwrap();
+    sim.seed_bug(bug);
+    let mut cal = Calendar::new();
+    sim.prime(&mut cal);
+    let mut engine = Engine::from_parts(sim, cal);
+    let mut guard = audit.progress_guard();
+    let run = engine.run_guarded(500_000, &mut guard);
+    assert!(
+        run.stopped_by_guard || run.stopped_by_simulation,
+        "a seeded bug must stop the run before the event cap ({} events fired)",
+        run.events_fired
+    );
+    let now = engine.now();
+    let mut sim = engine.into_simulation();
+    if let Some(violation) = guard.violation() {
+        sim.record_progress_violation(violation);
+    }
+    sim.finalize_audit(now);
+    sim.take_audit().expect("auditing was enabled")
+}
+
+#[test]
+fn dropped_completion_is_caught_by_the_cross_check() {
+    // A lost completion leaves the server's own books balanced — only the
+    // auditor's independent completion count can see the drift.
+    let report = audited_run_with_bug(SeededBug::DropCompletion, AuditConfig::default());
+    assert!(!report.passed(), "the drop must not go unnoticed");
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v,
+            AuditViolation::CompletionMismatch { server_completed, observed }
+                if server_completed != observed
+        )),
+        "expected a completion mismatch, got: {:?}",
+        report.violations
+    );
+    assert!(!report.livelocked());
+}
+
+#[test]
+fn nan_observation_trips_the_tripwire_without_panicking() {
+    // The seeded NaN must be intercepted before it reaches an estimator
+    // (StatsCollection::record panics on NaN — reaching it fails the test
+    // by panic) and must surface as a typed violation.
+    let report = audited_run_with_bug(SeededBug::NanObservation, AuditConfig::default());
+    assert!(!report.passed());
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v,
+            AuditViolation::NonFiniteObservation { metric, value }
+                if metric == "response_time" && value == "NaN"
+        )),
+        "expected a NaN tripwire hit, got: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn zero_advance_livelock_is_broken_not_hung() {
+    // The seeded livelock reschedules an event at the current timestamp on
+    // every dispatch: simulated time stops advancing while events keep
+    // firing. The circuit breaker must terminate the run (this test
+    // completing at all is the no-hang assertion).
+    let audit = AuditConfig {
+        stall_limit_events: 2_000, // tight limit: fail fast in tests
+        ..AuditConfig::default()
+    };
+    let report = audited_run_with_bug(SeededBug::Livelock, audit);
+    assert!(!report.passed());
+    assert!(
+        report.livelocked(),
+        "expected a livelock violation, got: {:?}",
+        report.violations
+    );
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, AuditViolation::Livelock { events } if *events >= 2_000)));
+}
+
+#[test]
+fn clean_run_passes_the_same_auditor() {
+    // The control: the exact checks that catch the seeded bugs stay quiet
+    // on a healthy run, end to end through the serial runner.
+    let config = base_config().with_audit(AuditConfig::default());
+    let report = run_serial(&config, 7).unwrap();
+    assert!(report.converged);
+    assert_eq!(report.termination, TerminationReason::Converged);
+    let audit = report.audit.expect("auditing was enabled");
+    assert!(audit.passed(), "false positives: {:?}", audit.violations);
+    assert!(audit.checks_run > 0, "the auditor must actually have swept");
+    assert!(audit.observations_checked > 0);
+}
+
+#[test]
+fn paranoid_mode_is_bit_identical_to_plain_runs() {
+    // Auditing must be purely observational: same seed, same trajectory,
+    // same estimates to the last f64 bit (JSON round-trips f64 losslessly,
+    // so string equality is bit equality).
+    let plain = run_serial(&base_config(), 11).unwrap();
+    let audited = run_serial(&base_config().with_audit(AuditConfig::default()), 11).unwrap();
+    assert_eq!(plain.events_fired, audited.events_fired);
+    assert_eq!(
+        plain.simulated_seconds.to_bits(),
+        audited.simulated_seconds.to_bits()
+    );
+    assert_eq!(
+        serde_json::to_string(&plain.estimates).unwrap(),
+        serde_json::to_string(&audited.estimates).unwrap(),
+        "paranoid mode perturbed the estimates"
+    );
+}

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::metric::{MetricEstimate, MetricSpec, OutputMetric, Phase};
+use crate::metric::{MetricEstimate, MetricSpec, NonFiniteObservation, OutputMetric, Phase};
 
 /// A cheap, copyable handle to a metric inside a [`StatsCollection`].
 ///
@@ -130,6 +130,25 @@ impl StatsCollection {
         if !self.warm {
             self.check_warmup();
         }
+    }
+
+    /// As [`StatsCollection::record`], but rejects NaN and infinite
+    /// observations with a typed error instead of panicking; the
+    /// collection is unchanged when an error is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonFiniteObservation`] if `x` is not finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale (from another collection).
+    pub fn try_record(&mut self, id: MetricId, x: f64) -> Result<(), NonFiniteObservation> {
+        self.metrics[id.0].try_record(x)?;
+        if !self.warm {
+            self.check_warmup();
+        }
+        Ok(())
     }
 
     /// Records an observation by metric name.

@@ -64,6 +64,8 @@ pub use batch_means::BatchMeans;
 pub use collection::{CollectionPhase, MetricId, StatsCollection};
 pub use confidence::{half_width_mean, required_samples_mean, required_samples_quantile, z_value};
 pub use histogram::{Histogram, HistogramSpec, HistogramSpecError};
-pub use metric::{MetricEstimate, MetricSpec, OutputMetric, Phase, QuantileEstimate};
+pub use metric::{
+    MetricEstimate, MetricSpec, NonFiniteObservation, OutputMetric, Phase, QuantileEstimate,
+};
 pub use runs_test::{find_lag, RunsUpTest};
 pub use welford::RunningStats;

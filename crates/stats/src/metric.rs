@@ -16,6 +16,24 @@ use crate::histogram::{Histogram, HistogramSpec};
 use crate::runs_test::{find_lag, RunsUpTest};
 use crate::welford::RunningStats;
 
+/// A rejected observation: NaN or infinite. Returned by
+/// [`OutputMetric::try_record`] and
+/// [`crate::StatsCollection::try_record`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonFiniteObservation {
+    /// The offending value rendered as text (NaN and infinities survive
+    /// `Display` but not JSON).
+    pub value: String,
+}
+
+impl std::fmt::Display for NonFiniteObservation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "non-finite observation {}", self.value)
+    }
+}
+
+impl std::error::Error for NonFiniteObservation {}
+
 /// Which phase of the Figure 2 sequence a metric is in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Phase {
@@ -483,6 +501,24 @@ impl OutputMetric {
     #[must_use]
     pub fn histogram(&self) -> Option<&Histogram> {
         self.histogram.as_ref()
+    }
+
+    /// As [`OutputMetric::record`], but rejects non-finite observations
+    /// with a typed error instead of panicking (or, for infinities, instead
+    /// of silently poisoning the running moments). The metric is unchanged
+    /// when an error is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonFiniteObservation`] if `x` is NaN or infinite.
+    pub fn try_record(&mut self, x: f64) -> Result<(), NonFiniteObservation> {
+        if !x.is_finite() {
+            return Err(NonFiniteObservation {
+                value: format!("{x}"),
+            });
+        }
+        self.record(x);
+        Ok(())
     }
 
     /// Records one observation, advancing the phase machine as needed.

@@ -10,6 +10,9 @@
 //! one.
 //!
 //! Run with: `cargo run --release --example resumable_run`
+//!
+//! Set `BIGHOUSE_PARANOID=1` to arm the runtime invariant auditor on all
+//! three runs; kill-and-resume stays bit-identical with auditing on.
 
 use bighouse::prelude::*;
 
@@ -20,6 +23,10 @@ fn main() {
         .with_target_accuracy(0.05);
     let seed = 2012;
     let epoch_events = 100_000;
+    let paranoid = std::env::var_os("BIGHOUSE_PARANOID").is_some();
+    if paranoid {
+        println!("(paranoid mode: runtime invariant auditor armed)");
+    }
 
     // The uninterrupted reference.
     let reference = run_resumable(
@@ -27,6 +34,7 @@ fn main() {
         seed,
         &RunOptions {
             epoch_events,
+            audit: paranoid.then(AuditConfig::default),
             ..RunOptions::default()
         },
     )
@@ -49,6 +57,7 @@ fn main() {
             epoch_events,
             checkpoint: Some(CheckpointConfig::new(&dir)),
             max_epochs: Some(2),
+            audit: paranoid.then(AuditConfig::default),
             ..RunOptions::default()
         },
     )
@@ -69,6 +78,7 @@ fn main() {
             epoch_events,
             checkpoint: Some(CheckpointConfig::new(&dir)),
             resume: true,
+            audit: paranoid.then(AuditConfig::default),
             ..RunOptions::default()
         },
     )
@@ -80,6 +90,13 @@ fn main() {
         resumed.termination,
     );
 
+    if let Some(audit) = &reference.audit {
+        assert!(
+            audit.passed(),
+            "auditor flagged a healthy run: {:?}",
+            audit.violations
+        );
+    }
     assert_eq!(reference.events_fired, resumed.events_fired);
     assert_eq!(
         reference.metric("response_time").unwrap().mean.to_bits(),

@@ -68,8 +68,9 @@ fn goodput_and_timeouts_account_for_all_requests() {
     }
 }
 
-/// A slave that panics mid-run is contained: the master records the death,
-/// merges the survivors' samples, and still produces estimates.
+/// A slave that panics mid-run is contained: the supervisor resurrects it
+/// from its last checkpoint, nobody is dropped, and the merge still
+/// produces estimates.
 #[test]
 fn parallel_run_survives_a_panicking_slave() {
     let config = ExperimentConfig::new(Workload::standard(StandardWorkload::Web))
@@ -85,13 +86,59 @@ fn parallel_run_survives_a_panicking_slave() {
         .run(29)
         .expect("survivors should carry the run");
 
-    assert_eq!(outcome.dead_slaves, vec![1]);
-    assert_eq!(outcome.slave_events[1], 0, "dead slave contributed events");
-    assert!(!outcome.estimates.is_empty(), "survivors produced no merge");
+    assert!(
+        outcome.dead_slaves.is_empty(),
+        "a transiently panicking slave is resurrected, not dropped: {:?}",
+        outcome.dead_slaves
+    );
+    assert!(outcome.resurrections >= 1, "the panic forced a restart");
+    assert!(!outcome.estimates.is_empty(), "no merged estimates");
     let response = outcome
         .estimates
         .iter()
         .find(|e| e.name == "response_time")
         .expect("merged response-time estimate");
     assert!(response.mean > 0.0);
+}
+
+/// Satellite check for paranoid mode: under *heavy* fault injection with
+/// timeouts and retries — the regime where accounting bugs would hide —
+/// the runtime auditor sweeps the same conservation invariant the fault
+/// summary reports, and both agree the books balance.
+#[test]
+fn paranoid_audit_passes_under_heavy_faults_and_retries() {
+    let service_mean = Workload::standard(StandardWorkload::Web).service().mean();
+    let config = faulty_config(10.0, 2.0)
+        .with_arrival_mode(ArrivalMode::LoadBalanced(BalancerPolicy::JoinShortestQueue))
+        .with_retry(RetryPolicy::new(service_mean * 10.0).with_max_retries(3))
+        .with_audit(AuditConfig::default());
+
+    let report = run_serial(&config, 19).expect("valid config");
+    let fs = report.cluster.faults.expect("fault mode on");
+    assert!(fs.server_failures > 0, "no failures injected: {fs:?}");
+    assert_eq!(
+        fs.goodput + fs.timed_out + fs.in_flight_at_end,
+        fs.admitted,
+        "request conservation violated: {fs:?}"
+    );
+
+    let audit = report.audit.expect("paranoid mode was on");
+    assert!(
+        audit.passed(),
+        "auditor flagged a healthy (if battered) run: {:?}",
+        audit.violations
+    );
+    assert!(audit.enabled);
+    assert!(audit.checks_run > 0, "the request ledger was never swept");
+    assert!(audit.observations_checked > 0, "no observations were vetted");
+    // An unaudited same-seed run agrees bit-for-bit: paranoia is free.
+    let plain_config = faulty_config(10.0, 2.0)
+        .with_arrival_mode(ArrivalMode::LoadBalanced(BalancerPolicy::JoinShortestQueue))
+        .with_retry(RetryPolicy::new(service_mean * 10.0).with_max_retries(3));
+    let plain = run_serial(&plain_config, 19).expect("valid config");
+    assert_eq!(plain.events_fired, report.events_fired);
+    assert_eq!(
+        plain.simulated_seconds.to_bits(),
+        report.simulated_seconds.to_bits()
+    );
 }
