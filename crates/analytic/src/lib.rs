@@ -75,7 +75,10 @@ fn stable_rho(lambda: f64, mu: f64, servers: u32) -> f64 {
 /// ```
 #[must_use]
 pub fn erlang_b(a: f64, k: u32) -> f64 {
-    assert!(a.is_finite() && a > 0.0, "offered load must be positive, got {a}");
+    assert!(
+        a.is_finite() && a > 0.0,
+        "offered load must be positive, got {a}"
+    );
     assert!(k > 0, "need at least one server");
     let mut b = 1.0;
     for j in 1..=k {
@@ -221,7 +224,10 @@ pub mod mg1 {
             mean_service.is_finite() && mean_service > 0.0,
             "mean service must be positive, got {mean_service}"
         );
-        assert!(cv.is_finite() && cv >= 0.0, "Cv must be non-negative, got {cv}");
+        assert!(
+            cv.is_finite() && cv >= 0.0,
+            "Cv must be non-negative, got {cv}"
+        );
         let rho = lambda * mean_service;
         assert!(rho < 1.0, "queue is unstable: rho = {rho}");
         let second_moment = mean_service * mean_service * (1.0 + cv * cv);
@@ -305,7 +311,9 @@ mod tests {
         assert!((mm1::mean_response(lambda, mu) - 0.5).abs() < 1e-12);
         assert!((mm1::mean_waiting(lambda, mu) - 0.4).abs() < 1e-12);
         // Little's law: L = λT.
-        assert!((mm1::mean_jobs(lambda, mu) - lambda * mm1::mean_response(lambda, mu)).abs() < 1e-12);
+        assert!(
+            (mm1::mean_jobs(lambda, mu) - lambda * mm1::mean_response(lambda, mu)).abs() < 1e-12
+        );
         // Median < mean for the exponential response.
         assert!(mm1::response_quantile(lambda, mu, 0.5) < mm1::mean_response(lambda, mu));
         // p95 = -ln(0.05)/(µ-λ) ≈ 1.498.

@@ -86,5 +86,11 @@ fn special_functions(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, histogram_ops, runs_up, metric_pipeline, special_functions);
+criterion_group!(
+    benches,
+    histogram_ops,
+    runs_up,
+    metric_pipeline,
+    special_functions
+);
 criterion_main!(benches);

@@ -48,7 +48,10 @@ fn main() {
     let n: usize = arg_or("samples", 500_000);
     let quantiles = [0.5, 0.9, 0.95, 0.99, 0.999];
 
-    println!("Ablation: histogram bins vs quantile error (Web @ {:.0}%, n = {n})", load * 100.0);
+    println!(
+        "Ablation: histogram bins vs quantile error (Web @ {:.0}%, n = {n})",
+        load * 100.0
+    );
     let data = response_sample(load, n, 77);
     let calibration = &data[..5000.min(n)];
     let mut sorted = data.clone();
@@ -84,6 +87,9 @@ fn main() {
     );
     println!();
     println!("Expected: ~1000 bins (BigHouse's operating point) holds body quantiles");
-    println!("to ~1% at a ~{}x memory saving; the extreme tail (p99.9) is where", n * 8 / 8000);
+    println!(
+        "to ~1% at a ~{}x memory saving; the extreme tail (p99.9) is where",
+        n * 8 / 8000
+    );
     println!("binning error concentrates, and where more bins keep paying off.");
 }

@@ -101,7 +101,10 @@ fn main() {
         "{:>14} {:>20} {:>20}",
         "method", "coverage (want 95%)", "mean CI width (rel)"
     );
-    for (i, name) in ["naive i.i.d.", "lag-spacing", "batch means"].iter().enumerate() {
+    for (i, name) in ["naive i.i.d.", "lag-spacing", "batch means"]
+        .iter()
+        .enumerate()
+    {
         println!(
             "{:>14} {:>19.0}% {:>19.1}%",
             name,

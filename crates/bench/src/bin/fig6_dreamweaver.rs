@@ -53,7 +53,9 @@ fn main() {
         base.cluster.mean_nap_fraction * 100.0
     );
 
-    for multiple in [0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0] {
+    for multiple in [
+        0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0,
+    ] {
         let max_delay = multiple * service_mean;
         let report = run_point(IdlePolicy::DreamWeaver {
             max_delay,

@@ -9,10 +9,10 @@
 //! Run with: `cargo run --release -p bighouse-bench --bin fig8_cv_sensitivity`
 //! Optional: `load=0.5 seed=23`
 
-use bighouse::prelude::*;
-use bighouse_bench::arg_or;
 use bighouse::des::{Calendar, Engine};
+use bighouse::prelude::*;
 use bighouse::sim::ClusterSim;
+use bighouse_bench::arg_or;
 
 fn synth(mean: f64, cv: f64, interarrival_mean: f64) -> Workload {
     let service = fit_mean_cv(mean, cv).expect("fittable");
@@ -39,7 +39,10 @@ fn main() {
     let targets = [0.20, 0.10, 0.05, 0.02];
 
     println!("Figure 8: simulated events needed to reach accuracy E, by service Cv");
-    println!("(single quad-core server, {:.0}% load, response-time mean)", load * 100.0);
+    println!(
+        "(single quad-core server, {:.0}% load, response-time mean)",
+        load * 100.0
+    );
     println!();
     print!("{:>6}", "Cv");
     for e in targets {
@@ -81,7 +84,9 @@ fn main() {
                     crossings[i] = Some(events);
                 }
             }
-            if run.stopped_by_simulation || run.events_fired == 0 || crossings[targets.len() - 1].is_some()
+            if run.stopped_by_simulation
+                || run.events_fired == 0
+                || crossings[targets.len() - 1].is_some()
             {
                 break;
             }

@@ -53,7 +53,11 @@ fn main() {
         "metrics", "E", "wall time", "events", "converged"
     );
 
-    for set in [MetricSet::Response, MetricSet::PlusWaiting, MetricSet::PlusCapping] {
+    for set in [
+        MetricSet::Response,
+        MetricSet::PlusWaiting,
+        MetricSet::PlusCapping,
+    ] {
         for &e in &accuracies {
             let mut config = capping_cluster(&workload, servers, load, budget)
                 .with_target_accuracy(e)

@@ -1,8 +1,9 @@
 //! Tracked performance baseline for the hot simulation loop.
 //!
-//! Runs two fixed-seed scenarios end to end and writes the measured
-//! throughput to `BENCH_pr2.json` at the repository root (or the path
-//! given as the first positional argument):
+//! Runs two fixed-seed scenarios end to end, plus a calendar
+//! schedule/pop microbenchmark, and writes the measured throughput to
+//! `BENCH_pr2.json` at the repository root (or the path given as the
+//! first positional argument):
 //!
 //! 1. **mmk_balanced** — an M/M/16 cluster behind a join-shortest-queue
 //!    load balancer, the pure hot path: calendar churn plus per-arrival
@@ -12,17 +13,25 @@
 //!    cancellations (timeout cancels, repair reschedules) and the
 //!    stranded-job path.
 //!
+//! Each scenario is additionally re-run with telemetry enabled to
+//! measure the instrumentation overhead (tracked, non-gating: the
+//! acceptance bar is < 3%). Peak RSS is read from `/proc/self/status`
+//! on Linux.
+//!
 //! Every scenario uses a hard-coded seed, so the event count and every
 //! estimate are reproducible bit-for-bit; only the wall-clock numbers
-//! vary between machines. CI runs `--check` (each scenario twice,
-//! comparing serialized estimates) as a gating determinism test and
-//! treats the throughput numbers as a non-gating tracked artifact.
+//! vary between machines. CI runs `--check` (each scenario twice, plus
+//! once with telemetry on, comparing serialized estimates) as a gating
+//! determinism test and treats the throughput numbers as a non-gating
+//! tracked artifact.
 //!
 //! Run with: `cargo run --release -p bighouse-bench --bin perf_baseline`
 //! (add `--check` for the determinism self-check).
 
 use std::process::ExitCode;
+use std::time::Instant;
 
+use bighouse::des::Calendar;
 use bighouse::prelude::*;
 
 /// One measured scenario: configuration plus its fixed seed.
@@ -49,9 +58,7 @@ fn scenarios() -> Vec<Scenario> {
     let workload = mmk_workload();
     let base = ExperimentConfig::new(workload.at_utilization(0.7, 1))
         .with_servers(16)
-        .with_arrival_mode(ArrivalMode::LoadBalanced(
-            BalancerPolicy::JoinShortestQueue,
-        ))
+        .with_arrival_mode(ArrivalMode::LoadBalanced(BalancerPolicy::JoinShortestQueue))
         .with_target_accuracy(0.002)
         .with_warmup(500)
         .with_calibration(2_000)
@@ -76,14 +83,77 @@ fn run(scenario: &Scenario) -> SimulationReport {
     run_serial(&scenario.config, scenario.seed).expect("baseline scenario config is valid")
 }
 
-/// `--check`: run every scenario twice and fail on any estimate drift.
+fn run_instrumented(scenario: &Scenario) -> SimulationReport {
+    run_serial(&scenario.config.clone().with_telemetry(true), scenario.seed)
+        .expect("baseline scenario config is valid")
+}
+
+/// Calendar schedule/pop microbenchmark: `n` events scheduled at
+/// LCG-scrambled times, then drained. Returns (schedule, pop) throughput
+/// in operations per second. Pure calendar cost — no distributions, no
+/// statistics, no cluster model.
+fn calendar_microbench(n: u64) -> (f64, f64) {
+    let mut cal = Calendar::<u64>::new();
+    // Warm-up pass so the timed pass sees grown slabs and hot caches.
+    for pass in 0..2 {
+        let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+        let t0 = Instant::now();
+        // Each pass schedules into a disjoint 1-second window past the
+        // clock the previous drain advanced to (never into the past).
+        let base = f64::from(pass);
+        for i in 0..n {
+            // Deterministic pseudo-random times without an RNG dependency.
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let at = base + (x >> 11) as f64 / (1u64 << 53) as f64;
+            cal.schedule(Time::from_seconds(at), i);
+        }
+        let schedule_secs = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        while cal.pop().is_some() {}
+        let pop_secs = t1.elapsed().as_secs_f64();
+        if pass == 1 {
+            return (
+                n as f64 / schedule_secs.max(1e-9),
+                n as f64 / pop_secs.max(1e-9),
+            );
+        }
+    }
+    unreachable!("loop returns on the second pass")
+}
+
+/// Peak resident set size in kB from `/proc/self/status` (Linux only;
+/// `None` elsewhere or when the field is missing).
+fn peak_rss_kb() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                return rest.trim().trim_end_matches("kB").trim().parse().ok();
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// `--check`: run every scenario twice (and once instrumented) and fail
+/// on any estimate drift. The instrumented comparison is the telemetry
+/// bit-identity gate: observation must not perturb the simulation.
 fn determinism_check() -> ExitCode {
     let mut ok = true;
     for scenario in &scenarios() {
         let a = run(scenario);
         let b = run(scenario);
+        let t = run_instrumented(scenario);
         let a_json = serde_json::to_string(&a.estimates).expect("estimates serialize");
         let b_json = serde_json::to_string(&b.estimates).expect("estimates serialize");
+        let t_json = serde_json::to_string(&t.estimates).expect("estimates serialize");
         if a.events_fired != b.events_fired
             || a.simulated_seconds.to_bits() != b.simulated_seconds.to_bits()
             || a_json != b_json
@@ -93,9 +163,15 @@ fn determinism_check() -> ExitCode {
                 scenario.name, a.events_fired, b.events_fired, a_json, b_json
             );
             ok = false;
+        } else if a.events_fired != t.events_fired || a_json != t_json {
+            eprintln!(
+                "TELEMETRY PERTURBATION in {}: events {} vs {} (instrumented), estimates\n  {}\nvs\n  {}",
+                scenario.name, a.events_fired, t.events_fired, a_json, t_json
+            );
+            ok = false;
         } else {
             println!(
-                "{}: deterministic ({} events, {} estimates bit-identical)",
+                "{}: deterministic ({} events, {} estimates bit-identical, telemetry neutral)",
                 scenario.name,
                 a.events_fired,
                 a.estimates.len()
@@ -120,19 +196,36 @@ fn main() -> ExitCode {
         .cloned()
         .unwrap_or_else(|| "BENCH_pr2.json".to_string());
 
+    const MICRO_N: u64 = 1_000_000;
+    let (schedule_per_s, pop_per_s) = calendar_microbench(MICRO_N);
+    println!(
+        "      calendar: {:>9} events  schedule {:>12.0} ops/s  pop {:>12.0} ops/s",
+        MICRO_N, schedule_per_s, pop_per_s
+    );
+
     let mut entries = Vec::new();
     for scenario in &scenarios() {
         // One untimed warm-up run so the timed run sees hot caches and a
-        // grown heap, then the measured run.
+        // grown heap, then the measured run, then the instrumented run
+        // for the (non-gating) telemetry overhead figure.
         let _ = run(scenario);
         let report = run(scenario);
+        let instrumented = run_instrumented(scenario);
+        let wall = report.runtime.wall_seconds;
+        let tel_wall = instrumented.runtime.wall_seconds;
+        let overhead_pct = if wall > 0.0 {
+            (tel_wall - wall) / wall * 100.0
+        } else {
+            0.0
+        };
         println!(
-            "{:>14}: {:>9} events  {:>8.3} wall-s  {:>12.0} events/s  converged={}",
+            "{:>14}: {:>9} events  {:>8.3} wall-s  {:>12.0} events/s  converged={}  telemetry overhead {:+.2}%",
             scenario.name,
             report.events_fired,
-            report.wall_seconds,
+            wall,
             report.events_per_second(),
             report.converged,
+            overhead_pct,
         );
         entries.push(format!(
             concat!(
@@ -143,21 +236,41 @@ fn main() -> ExitCode {
                 "      \"wall_seconds\": {:.6},\n",
                 "      \"events_per_second\": {:.1},\n",
                 "      \"simulated_seconds\": {:.6},\n",
-                "      \"converged\": {}\n",
+                "      \"converged\": {},\n",
+                "      \"telemetry_wall_seconds\": {:.6},\n",
+                "      \"telemetry_overhead_pct\": {:.2}\n",
                 "    }}"
             ),
             scenario.name,
             scenario.seed,
             report.events_fired,
-            report.wall_seconds,
+            wall,
             report.events_per_second(),
             report.simulated_seconds,
             report.converged,
+            tel_wall,
+            overhead_pct,
         ));
     }
 
+    let rss = peak_rss_kb().map_or_else(|| "null".to_string(), |kb| kb.to_string());
     let json = format!(
-        "{{\n  \"benchmark\": \"perf_baseline\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"perf_baseline\",\n",
+            "  \"calendar\": {{\n",
+            "    \"events\": {},\n",
+            "    \"schedule_per_second\": {:.1},\n",
+            "    \"pop_per_second\": {:.1}\n",
+            "  }},\n",
+            "  \"peak_rss_kb\": {},\n",
+            "  \"scenarios\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        MICRO_N,
+        schedule_per_s,
+        pop_per_s,
+        rss,
         entries.join(",\n")
     );
     if let Err(err) = std::fs::write(&out_path, &json) {

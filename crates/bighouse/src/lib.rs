@@ -25,6 +25,7 @@
 //! | [`faults`] | failure/repair processes, request timeout + retry policies |
 //! | [`sim`] | experiments, serial runner, master/slave parallel runner |
 //! | [`analytic`] | closed-form M/M/1, M/M/k, M/G/1, Erlang B/C baselines |
+//! | [`telemetry`] | counters, gauges, fixed-bin histograms, run snapshots |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@ pub use bighouse_faults as faults;
 pub use bighouse_models as models;
 pub use bighouse_sim as sim;
 pub use bighouse_stats as stats;
+pub use bighouse_telemetry as telemetry;
 pub use bighouse_workloads as workloads;
 
 /// The most commonly used items, for glob import.
@@ -69,20 +71,23 @@ pub mod prelude {
         Empirical, Erlang, Exponential, Gamma, HyperExponential, LogNormal, Mixture, Pareto,
         Scaled, Shifted, Uniform, Weibull,
     };
+    pub use bighouse_faults::{FaultProcess, RetryPolicy};
     pub use bighouse_models::{
         BalancerPolicy, CappingOutcome, DvfsModel, FinishedJob, IdlePolicy, Job, JobId,
         LinearPowerModel, LoadBalancer, PowerCapper, Server, SleepState,
     };
-    pub use bighouse_faults::{FaultProcess, RetryPolicy};
     pub use bighouse_sim::{
         run_resumable, run_serial, run_until_calibrated, ArrivalMode, AuditConfig, AuditReport,
-        AuditViolation, AuditWarning, CheckpointConfig, ClusterSim, ExperimentConfig,
-        FaultSummary, MetricKind, ParallelOutcome, ParallelRunner, RunOptions, SimError,
+        AuditViolation, AuditWarning, CheckpointConfig, ClusterSim, ExperimentConfig, FaultSummary,
+        MetricKind, ParallelOutcome, ParallelRunner, RunOptions, RuntimeStats, SimError,
         SimulationReport, TerminationReason,
     };
     pub use bighouse_stats::{
         Histogram, HistogramSpec, MetricEstimate, MetricSpec, OutputMetric, Phase, RunningStats,
         RunsUpTest, StatsCollection,
+    };
+    pub use bighouse_telemetry::{
+        FixedBinHistogram, MemoryRecorder, NoopRecorder, Recorder, TelemetrySnapshot,
     };
     pub use bighouse_workloads::{StandardWorkload, TaskMoments, Workload};
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! bighouse run <experiment.json> [seed=N] [out=report.json]
 //!              [checkpoint-dir=DIR] [checkpoint-interval=EPOCHS]
-//!              [epoch-events=N] [--resume] [--paranoid]
+//!              [epoch-events=N] [telemetry=out.json]
+//!              [--resume] [--paranoid] [--telemetry-summary]
 //! bighouse workloads
 //! bighouse export-workload <name> <path>
 //! bighouse example-config [path]
@@ -16,8 +17,9 @@ use std::sync::Arc;
 use bighouse::dists::Distribution;
 use bighouse::sim::{
     run_resumable, run_serial, AuditConfig, CheckpointConfig, ParallelRunner, RunOptions,
-    SimulationReport, TerminationReason,
+    RuntimeStats, SimulationReport, TerminationReason,
 };
+use bighouse::telemetry::TelemetrySnapshot;
 use bighouse::workloads::{StandardWorkload, Workload};
 use bighouse_cli::ExperimentSpec;
 
@@ -98,7 +100,8 @@ fn print_usage() {
     println!("USAGE:");
     println!("  bighouse run <experiment.json> [seed=N] [out=report.json]");
     println!("               [checkpoint-dir=DIR] [checkpoint-interval=EPOCHS]");
-    println!("               [epoch-events=N] [--resume] [--paranoid]");
+    println!("               [epoch-events=N] [telemetry=out.json]");
+    println!("               [--resume] [--paranoid] [--telemetry-summary]");
     println!("      Run the experiment described by a JSON configuration file;");
     println!("      prints estimates, optionally writing the full report as JSON.");
     println!("      With checkpoint-dir the run snapshots itself at epoch");
@@ -107,6 +110,10 @@ fn print_usage() {
     println!("      bit-identical final estimates. --paranoid arms the runtime");
     println!("      invariant auditor: conservation/energy sweeps, NaN tripwires,");
     println!("      and livelock circuit breakers, at no change to the estimates.");
+    println!("      telemetry=out.json collects run telemetry (counters, gauges,");
+    println!("      latency histograms, phase transitions) and writes the snapshot");
+    println!("      as JSON; --telemetry-summary prints a human-readable table.");
+    println!("      Telemetry is observational: estimates stay bit-identical.");
     println!("  bighouse workloads");
     println!("      List the built-in Table 1 workload models and their moments.");
     println!("  bighouse export-workload <name> <path>");
@@ -141,7 +148,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .unwrap_or(2012);
     let checkpoint_dir = kv_arg(args, "checkpoint-dir");
     let checkpoint_interval: u64 = kv_arg(args, "checkpoint-interval")
-        .map(|s| s.parse().map_err(|_| format!("bad checkpoint-interval `{s}`")))
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("bad checkpoint-interval `{s}`"))
+        })
         .transpose()?
         .unwrap_or(1);
     if checkpoint_interval == 0 {
@@ -156,10 +166,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         return Err("--resume requires checkpoint-dir=DIR".into());
     }
     let paranoid = flag_arg(args, "paranoid");
+    let telemetry_out = kv_arg(args, "telemetry");
+    let telemetry_summary = flag_arg(args, "telemetry-summary");
     let spec = ExperimentSpec::from_file(path).map_err(|e| e.to_string())?;
     let mut config = spec.resolve().map_err(|e| e.to_string())?;
     if paranoid {
         config = config.with_audit(AuditConfig::default());
+    }
+    if telemetry_out.is_some() || telemetry_summary {
+        config = config.with_telemetry(true);
     }
 
     let report: SimulationReport = match spec.slaves {
@@ -195,7 +210,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 estimates: outcome.estimates.clone(),
                 events_fired: outcome.total_events(),
                 simulated_seconds: 0.0,
-                wall_seconds: outcome.wall_seconds,
+                runtime: RuntimeStats {
+                    wall_seconds: outcome.wall_seconds,
+                    telemetry: outcome.telemetry.clone(),
+                },
                 cluster: bighouse::sim::ClusterSummary {
                     servers: spec.servers,
                     jobs_completed: 0,
@@ -216,9 +234,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             eprintln!("running serially with checkpoints (seed {seed})...");
             let opts = RunOptions {
                 epoch_events,
-                checkpoint: checkpoint_dir.map(|dir| {
-                    CheckpointConfig::new(dir).with_interval(checkpoint_interval)
-                }),
+                checkpoint: checkpoint_dir
+                    .map(|dir| CheckpointConfig::new(dir).with_interval(checkpoint_interval)),
                 resume,
                 max_epochs: None,
                 interrupt: Some(interrupt_flag()),
@@ -236,7 +253,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     println!(
         "converged: {} ({})   events: {}   wall: {:.2}s",
-        report.converged, report.termination, report.events_fired, report.wall_seconds
+        report.converged, report.termination, report.events_fired, report.runtime.wall_seconds
     );
     for est in &report.estimates {
         print!(
@@ -284,6 +301,22 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         );
     }
 
+    if telemetry_summary {
+        match &report.runtime.telemetry {
+            Some(snap) => print_telemetry_summary(snap),
+            None => eprintln!("warning: no telemetry collected for this run mode"),
+        }
+    }
+    if let Some(tel_path) = &telemetry_out {
+        match &report.runtime.telemetry {
+            Some(snap) => {
+                let json = serde_json::to_string_pretty(snap).map_err(|e| e.to_string())?;
+                std::fs::write(tel_path, json).map_err(|e| e.to_string())?;
+                eprintln!("telemetry written to {tel_path}");
+            }
+            None => eprintln!("warning: no telemetry collected; {tel_path} not written"),
+        }
+    }
     if let Some(out) = kv_arg(args, "out") {
         let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
         std::fs::write(&out, json).map_err(|e| e.to_string())?;
@@ -302,6 +335,52 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Renders a telemetry snapshot as a human-readable table: counters and
+/// gauges by name, histogram summaries (count/mean/min/max), the phase
+/// transition log, and the quarantined wall-clock figures last.
+fn print_telemetry_summary(snap: &TelemetrySnapshot) {
+    println!("telemetry:");
+    if !snap.counters.is_empty() {
+        println!("  counters:");
+        for (name, value) in &snap.counters {
+            println!("    {name:<44} {value:>14}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        println!("  gauges:");
+        for (name, value) in &snap.gauges {
+            println!("    {name:<44} {value:>14.6}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        println!("  histograms:");
+        for (name, h) in &snap.histograms {
+            let mean = h.mean().map_or_else(|| "-".into(), |m| format!("{m:.4}"));
+            let min = h.min.map_or_else(|| "-".into(), |v| format!("{v:.4}"));
+            let max = h.max.map_or_else(|| "-".into(), |v| format!("{v:.4}"));
+            println!(
+                "    {name:<32} n={:<10} mean={mean} min={min} max={max} overflow={}",
+                h.count, h.overflow
+            );
+        }
+    }
+    if !snap.phases.is_empty() {
+        println!("  phase transitions:");
+        for p in &snap.phases {
+            println!(
+                "    {:<16} {:>12} -> {:<12} sim {:>12.4}s  wall {:>8.3}s  n={}",
+                p.metric, p.from, p.to, p.simulated_seconds, p.wall_seconds, p.total_observed
+            );
+        }
+    }
+    if !snap.wall.is_empty() {
+        println!("  wall-clock (non-deterministic):");
+        for (name, value) in &snap.wall {
+            println!("    {name:<44} {value:>14.4}");
+        }
+    }
 }
 
 fn cmd_workloads() -> Result<(), String> {

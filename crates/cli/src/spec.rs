@@ -488,10 +488,9 @@ mod tests {
 
     #[test]
     fn bad_utilization_rejected() {
-        let spec = ExperimentSpec::from_json(
-            r#"{"workload": {"standard": "web"}, "utilization": 1.5}"#,
-        )
-        .unwrap();
+        let spec =
+            ExperimentSpec::from_json(r#"{"workload": {"standard": "web"}, "utilization": 1.5}"#)
+                .unwrap();
         assert!(matches!(spec.resolve(), Err(SpecError::Invalid(_))));
     }
 
@@ -510,14 +509,25 @@ mod tests {
             (r#""calibration": 0"#, "calibration"),
             (r#""slaves": 0"#, "slaves"),
             (r#""utilization": 1e999"#, "utilization"),
-            (r#""capping": {"budget_fraction": 1e999}"#, "capping.budget_fraction"),
-            (r#""capping": {"budget_fraction": 0.7, "alpha": 1.5}"#, "capping.alpha"),
-            (r#""capping": {"budget_fraction": 1e308}"#, "capping.budget_fraction"),
+            (
+                r#""capping": {"budget_fraction": 1e999}"#,
+                "capping.budget_fraction",
+            ),
+            (
+                r#""capping": {"budget_fraction": 0.7, "alpha": 1.5}"#,
+                "capping.alpha",
+            ),
+            (
+                r#""capping": {"budget_fraction": 1e308}"#,
+                "capping.budget_fraction",
+            ),
         ];
         for (field, expected) in cases {
             let json = format!(r#"{{"workload": {{"standard": "web"}}, {field}}}"#);
             let spec = ExperimentSpec::from_json(&json).expect("valid JSON shape");
-            let err = spec.resolve().expect_err(&format!("{field} must be rejected"));
+            let err = spec
+                .resolve()
+                .expect_err(&format!("{field} must be rejected"));
             let msg = err.to_string();
             assert!(
                 msg.contains(expected),
@@ -545,7 +555,9 @@ mod tests {
         let dir = std::env::temp_dir().join("bighouse-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("w.json");
-        Workload::standard(StandardWorkload::Mail).save(&path).unwrap();
+        Workload::standard(StandardWorkload::Mail)
+            .save(&path)
+            .unwrap();
         let r = WorkloadRef::File(path.to_string_lossy().into_owned());
         let w = r.resolve().unwrap();
         assert_eq!(w.name(), "Mail");

@@ -63,7 +63,11 @@ fn export_then_run_round_trip() {
         .args(["export-workload", "dns", workload_path.to_str().unwrap()])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // A small, fast experiment referencing the exported file.
     let spec = serde_json::json!({
@@ -89,7 +93,11 @@ fn export_then_run_round_trip() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("converged: true"), "output: {text}");
     assert!(text.contains("response_time"));
@@ -127,7 +135,11 @@ fn checkpointed_run_can_resume() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(ckpt_dir.join("bighouse.ckpt").exists(), "snapshot written");
 
     // Resuming the finished run re-emits its report without simulating.
@@ -144,15 +156,110 @@ fn checkpointed_run_can_resume() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("(resumed)"));
     let read = |p: &std::path::Path| -> serde_json::Value {
         serde_json::from_str(&std::fs::read_to_string(p).expect("report written"))
             .expect("report is JSON")
     };
     let (a, b) = (read(&first_out), read(&second_out));
-    assert_eq!(a["estimates"], b["estimates"], "resume must re-emit the same estimates");
+    assert_eq!(
+        a["estimates"], b["estimates"],
+        "resume must re-emit the same estimates"
+    );
     assert_eq!(a["events_fired"], b["events_fired"]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn telemetry_flag_writes_snapshot_and_keeps_estimates_identical() {
+    let dir = temp_dir().join("telemetry-e2e");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let spec = serde_json::json!({
+        "workload": { "standard": "web" },
+        "utilization": 0.5,
+        "accuracy": 0.2,
+        "warmup": 50,
+        "calibration": 500,
+    });
+    let spec_path = dir.join("exp.json");
+    std::fs::write(&spec_path, spec.to_string()).expect("write spec");
+
+    let plain_out = dir.join("plain.json");
+    let out = bighouse()
+        .args([
+            "run",
+            spec_path.to_str().unwrap(),
+            "seed=7",
+            &format!("out={}", plain_out.display()),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let instr_out = dir.join("instrumented.json");
+    let tel_out = dir.join("telemetry.json");
+    let out = bighouse()
+        .args([
+            "run",
+            spec_path.to_str().unwrap(),
+            "seed=7",
+            &format!("out={}", instr_out.display()),
+            &format!("telemetry={}", tel_out.display()),
+            "--telemetry-summary",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("telemetry:"), "summary table missing: {text}");
+    assert!(
+        text.contains("counters:"),
+        "summary table missing counters: {text}"
+    );
+
+    let read = |p: &std::path::Path| -> serde_json::Value {
+        serde_json::from_str(&std::fs::read_to_string(p).expect("file written"))
+            .expect("valid JSON")
+    };
+    // The tentpole guarantee, end to end: instrumentation changes nothing.
+    let (plain, instrumented) = (read(&plain_out), read(&instr_out));
+    assert_eq!(
+        plain["estimates"], instrumented["estimates"],
+        "telemetry must not perturb the estimates"
+    );
+    assert_eq!(plain["events_fired"], instrumented["events_fired"]);
+    // The plain report carries no telemetry section at all.
+    assert!(plain["runtime"].get("telemetry").is_none());
+    // The snapshot file is well-formed and covers every layer.
+    let snap = read(&tel_out);
+    assert!(snap["counters"]["des.events_fired"].as_u64().unwrap() > 0);
+    assert!(snap["counters"]["stats.samples_recorded"].as_u64().unwrap() > 0);
+    assert!(
+        snap["histograms"]["sim.queue_depth"]["count"]
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+    assert!(snap["wall"]["wall_seconds"].as_f64().is_some());
+    // And the embedded report section matches the standalone file's
+    // deterministic parts.
+    assert_eq!(
+        instrumented["runtime"]["telemetry"]["counters"],
+        snap["counters"]
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

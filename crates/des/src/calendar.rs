@@ -116,6 +116,45 @@ pub struct Calendar<E> {
     now: Time,
     fired: u64,
     scheduled: u64,
+    cancelled: u64,
+    /// Largest pending set ever held — "calendar pressure" telemetry.
+    depth_high_water: usize,
+    /// Total heap levels traversed by sift-up/sift-down across the run.
+    /// `sift_steps / (scheduled + fired)` is the effective heap depth the
+    /// hot loop actually pays for, which is what the 4-ary layout optimizes.
+    sift_steps: u64,
+}
+
+/// A point-in-time copy of the calendar's activity counters.
+///
+/// All counters are pure functions of the event sequence — they advance
+/// identically on every run of the same seed — so telemetry built from them
+/// never perturbs and never differs across instrumented runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CalendarStats {
+    /// Total events ever scheduled.
+    pub scheduled: u64,
+    /// Total events fired.
+    pub fired: u64,
+    /// Total events cancelled before firing.
+    pub cancelled: u64,
+    /// High-water mark of concurrent pending events.
+    pub depth_high_water: usize,
+    /// Total heap levels traversed by the sift loops.
+    pub sift_steps: u64,
+}
+
+impl CalendarStats {
+    /// Accumulates another calendar's counters into this one — used when a
+    /// run is stitched from epochs, each with a fresh calendar. Totals sum;
+    /// the depth high-water mark takes the maximum.
+    pub fn absorb(&mut self, other: &CalendarStats) {
+        self.scheduled += other.scheduled;
+        self.fired += other.fired;
+        self.cancelled += other.cancelled;
+        self.sift_steps += other.sift_steps;
+        self.depth_high_water = self.depth_high_water.max(other.depth_high_water);
+    }
 }
 
 impl<E> Calendar<E> {
@@ -133,6 +172,9 @@ impl<E> Calendar<E> {
             now: Time::ZERO,
             fired: 0,
             scheduled: 0,
+            cancelled: 0,
+            depth_high_water: 0,
+            sift_steps: 0,
         }
     }
 
@@ -180,6 +222,9 @@ impl<E> Calendar<E> {
         let pos = self.heap_keys.len();
         self.heap_keys.push(pack_key(at, seq));
         self.heap_slots.push(slot);
+        if self.heap_keys.len() > self.depth_high_water {
+            self.depth_high_water = self.heap_keys.len();
+        }
         self.sift_up(pos);
         EventHandle::new(slot, self.slot_gen[slot as usize])
     }
@@ -216,6 +261,7 @@ impl<E> Calendar<E> {
         self.remove_heap_node(pos);
         self.slot_payload[slot] = None;
         self.vacate(handle.slot());
+        self.cancelled += 1;
         true
     }
 
@@ -265,6 +311,24 @@ impl<E> Calendar<E> {
     #[must_use]
     pub fn events_scheduled(&self) -> u64 {
         self.scheduled
+    }
+
+    /// Total events cancelled before they fired.
+    #[must_use]
+    pub fn events_cancelled(&self) -> u64 {
+        self.cancelled
+    }
+
+    /// Snapshot of the calendar's deterministic activity counters.
+    #[must_use]
+    pub fn stats(&self) -> CalendarStats {
+        CalendarStats {
+            scheduled: self.scheduled,
+            fired: self.fired,
+            cancelled: self.cancelled,
+            depth_high_water: self.depth_high_water,
+            sift_steps: self.sift_steps,
+        }
     }
 
     /// Number of heap nodes backing the pending set.
@@ -334,6 +398,7 @@ impl<E> Calendar<E> {
             self.heap_slots[pos] = pslot;
             self.slot_pos[pslot as usize] = pos as u32;
             pos = parent;
+            self.sift_steps += 1;
         }
         self.heap_keys[pos] = key;
         self.heap_slots[pos] = slot;
@@ -370,6 +435,7 @@ impl<E> Calendar<E> {
             self.heap_slots[pos] = cslot;
             self.slot_pos[cslot as usize] = pos as u32;
             pos = min_pos;
+            self.sift_steps += 1;
         }
         self.heap_keys[pos] = key;
         self.heap_slots[pos] = slot;
@@ -523,7 +589,31 @@ mod tests {
         cal.pop();
         assert_eq!(cal.events_scheduled(), 2);
         assert_eq!(cal.events_fired(), 1);
+        assert_eq!(cal.events_cancelled(), 1);
         assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn stats_snapshot_is_deterministic_and_tracks_high_water() {
+        let run = || {
+            let mut cal = Calendar::new();
+            let mut handles = Vec::new();
+            for i in 0..200u64 {
+                handles.push(cal.schedule(Time::from_seconds(((i * 37) % 101) as f64), i));
+            }
+            for h in handles.iter().step_by(4) {
+                cal.cancel(*h);
+            }
+            while cal.pop().is_some() {}
+            cal.stats()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "same event sequence must yield identical stats");
+        assert_eq!(a.scheduled, 200);
+        assert_eq!(a.cancelled, 50);
+        assert_eq!(a.fired, 150);
+        assert_eq!(a.depth_high_water, 200);
+        assert!(a.sift_steps > 0, "200 inserts must sift at least once");
     }
 
     #[test]

@@ -55,7 +55,7 @@ mod progress;
 mod rng;
 mod time;
 
-pub use calendar::{Calendar, EventHandle};
+pub use calendar::{Calendar, CalendarStats, EventHandle};
 pub use engine::{Control, Engine, RunStats, Simulation};
 pub use hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use progress::{ProgressGuard, ProgressViolation};

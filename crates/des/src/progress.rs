@@ -250,7 +250,10 @@ mod tests {
             }
         }
         assert!(
-            matches!(violation, Some(ProgressViolation::EventStorm { events: 1000, .. })),
+            matches!(
+                violation,
+                Some(ProgressViolation::EventStorm { events: 1000, .. })
+            ),
             "expected storm, got {violation:?}"
         );
     }
@@ -286,6 +289,9 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let v = ProgressViolation::ZeroAdvance { events: 7 };
-        assert_eq!(v.to_string(), "livelock: 7 events with no simulated-time progress");
+        assert_eq!(
+            v.to_string(),
+            "livelock: 7 events with no simulated-time progress"
+        );
     }
 }

@@ -164,7 +164,9 @@ impl Empirical {
         let grid = Self::grid(resolution, histogram.count() as usize);
         let mut points = Vec::with_capacity(grid.len());
         for q in grid {
-            let v = histogram.quantile(q).ok_or(DistributionError::EmptySample)?;
+            let v = histogram
+                .quantile(q)
+                .ok_or(DistributionError::EmptySample)?;
             if !v.is_finite() {
                 return Err(DistributionError::NonFiniteSample {
                     index: points.len(),
@@ -240,7 +242,10 @@ impl Empirical {
     /// Panics unless `0 <= q <= 1`.
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0, 1], got {q}"
+        );
         let idx = self.points.partition_point(|&(pq, _)| pq < q);
         if idx == 0 {
             return self.points[0].1;
@@ -340,7 +345,11 @@ mod tests {
         let src_mean = src.iter().sum::<f64>() / src.len() as f64;
         let d = Empirical::from_samples(&src).unwrap();
         let err = (d.mean() - src_mean).abs() / src_mean;
-        assert!(err < 0.10, "heavy-tail mean error {err}: {} vs {src_mean}", d.mean());
+        assert!(
+            err < 0.10,
+            "heavy-tail mean error {err}: {} vs {src_mean}",
+            d.mean()
+        );
     }
 
     #[test]
@@ -348,7 +357,11 @@ mod tests {
         let src: Vec<f64> = (0..10_000).map(|i| i as f64 / 10_000.0).collect();
         let d = Empirical::from_samples(&src).unwrap();
         for q in [0.1, 0.5, 0.9, 0.95, 0.999] {
-            assert!((d.quantile(q) - q).abs() < 0.01, "q={q} -> {}", d.quantile(q));
+            assert!(
+                (d.quantile(q) - q).abs() < 0.01,
+                "q={q} -> {}",
+                d.quantile(q)
+            );
         }
     }
 
@@ -388,7 +401,11 @@ mod tests {
         let back: Empirical = serde_json::from_str(&json).unwrap();
         assert_eq!(d, back);
         // Footprint check: the paper's "less than 1 MB" claim.
-        assert!(json.len() < 1_000_000, "serialized size {} too large", json.len());
+        assert!(
+            json.len() < 1_000_000,
+            "serialized size {} too large",
+            json.len()
+        );
     }
 
     #[test]

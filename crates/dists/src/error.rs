@@ -44,13 +44,19 @@ impl fmt::Display for DistributionError {
                 requirement,
             } => write!(f, "parameter `{name}` = {value} {requirement}"),
             DistributionError::EmptySample => {
-                write!(f, "cannot build an empirical distribution from an empty sample")
+                write!(
+                    f,
+                    "cannot build an empirical distribution from an empty sample"
+                )
             }
             DistributionError::NonFiniteSample { index, value } => {
                 write!(f, "sample[{index}] = {value} is not finite")
             }
             DistributionError::InvalidMixture => {
-                write!(f, "mixture needs at least one component with positive weight")
+                write!(
+                    f,
+                    "mixture needs at least one component with positive weight"
+                )
             }
             DistributionError::UnfittableMoments { mean, cv } => {
                 write!(f, "no supported distribution has mean {mean} and cv {cv}")
@@ -125,7 +131,10 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let err = require_positive("rate", -2.0).unwrap_err();
-        assert_eq!(err.to_string(), "parameter `rate` = -2 must be finite and positive");
+        assert_eq!(
+            err.to_string(),
+            "parameter `rate` = -2 must be finite and positive"
+        );
         assert_eq!(
             DistributionError::EmptySample.to_string(),
             "cannot build an empirical distribution from an empty sample"

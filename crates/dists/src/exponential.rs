@@ -111,6 +111,9 @@ mod tests {
         let n = 100_000;
         let above = (0..n).filter(|_| d.sample(&mut rng) > 1.0).count();
         let frac = above as f64 / n as f64;
-        assert!((frac - (-1.0f64).exp()).abs() < 0.01, "tail fraction {frac}");
+        assert!(
+            (frac - (-1.0f64).exp()).abs() < 0.01,
+            "tail fraction {frac}"
+        );
     }
 }

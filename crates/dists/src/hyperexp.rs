@@ -97,7 +97,11 @@ impl HyperExponential {
 impl Distribution for HyperExponential {
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
         let pick = uniform_open01(rng);
-        let rate = if pick < self.p1 { self.rate1 } else { self.rate2 };
+        let rate = if pick < self.p1 {
+            self.rate1
+        } else {
+            self.rate2
+        };
         -uniform_open01(rng).ln() / rate
     }
 
@@ -108,8 +112,7 @@ impl Distribution for HyperExponential {
     fn variance(&self) -> f64 {
         // E[X²] = 2(p₁/λ₁² + p₂/λ₂²).
         let second_moment = 2.0
-            * (self.p1 / (self.rate1 * self.rate1)
-                + (1.0 - self.p1) / (self.rate2 * self.rate2));
+            * (self.p1 / (self.rate1 * self.rate1) + (1.0 - self.p1) / (self.rate2 * self.rate2));
         second_moment - self.mean() * self.mean()
     }
 }
@@ -124,7 +127,11 @@ mod tests {
         for (mean, cv) in [(1.0, 1.5), (0.075, 3.4), (0.046, 15.0), (0.186, 4.2)] {
             let d = HyperExponential::from_mean_cv(mean, cv).unwrap();
             assert!((d.mean() - mean).abs() / mean < 1e-12, "mean for cv={cv}");
-            assert!((d.cv() - cv).abs() / cv < 1e-9, "cv for cv={cv}: {}", d.cv());
+            assert!(
+                (d.cv() - cv).abs() / cv < 1e-9,
+                "cv for cv={cv}: {}",
+                d.cv()
+            );
         }
     }
 
@@ -133,7 +140,10 @@ mod tests {
         let d = HyperExponential::from_mean_cv(2.0, 3.0).unwrap();
         let m1 = d.p1() / d.rate1();
         let m2 = (1.0 - d.p1()) / d.rate2();
-        assert!((m1 - m2).abs() < 1e-12, "phase means not balanced: {m1} vs {m2}");
+        assert!(
+            (m1 - m2).abs() < 1e-12,
+            "phase means not balanced: {m1} vs {m2}"
+        );
     }
 
     #[test]

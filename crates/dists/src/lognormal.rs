@@ -110,9 +110,7 @@ mod tests {
         let d = LogNormal::new(0.5, 1.0).unwrap();
         let mut rng = SimRng::from_seed(53);
         let n = 100_000;
-        let below = (0..n)
-            .filter(|_| d.sample(&mut rng) < d.mu().exp())
-            .count();
+        let below = (0..n).filter(|_| d.sample(&mut rng) < d.mu().exp()).count();
         let frac = below as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.01, "median fraction {frac}");
     }

@@ -164,7 +164,10 @@ mod tests {
             (0.1, Arc::new(Exponential::from_mean(1.0).unwrap()) as _),
         ])
         .unwrap();
-        assert!(d.cv() > 1.0, "bimodal exponential mixture is hyper-variable");
+        assert!(
+            d.cv() > 1.0,
+            "bimodal exponential mixture is hyper-variable"
+        );
         assert_moments_match(&d, 400_000, 91, 0.05);
         assert_samples_valid(&d, 10_000, 92);
     }
@@ -172,11 +175,9 @@ mod tests {
     #[test]
     fn validation() {
         assert!(Mixture::new(vec![]).is_err());
-        assert!(Mixture::new(vec![(
-            0.0,
-            Arc::new(Deterministic::new(1.0).unwrap()) as _
-        )])
-        .is_err());
+        assert!(
+            Mixture::new(vec![(0.0, Arc::new(Deterministic::new(1.0).unwrap()) as _)]).is_err()
+        );
         assert!(Mixture::new(vec![(
             -1.0,
             Arc::new(Deterministic::new(1.0).unwrap()) as _

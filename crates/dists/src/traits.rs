@@ -125,7 +125,10 @@ pub(crate) mod test_support {
         let mut rng = SimRng::from_seed(seed);
         for _ in 0..n {
             let x = dist.sample(&mut rng);
-            assert!(x.is_finite() && x >= 0.0, "invalid sample {x} from {dist:?}");
+            assert!(
+                x.is_finite() && x >= 0.0,
+                "invalid sample {x} from {dist:?}"
+            );
         }
     }
 }

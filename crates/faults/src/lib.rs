@@ -62,10 +62,7 @@ impl FaultProcess {
         time_to_failure: DynDistribution,
         time_to_repair: DynDistribution,
     ) -> Result<Self, DistributionError> {
-        for (name, dist) in [
-            ("mtbf", &time_to_failure),
-            ("mttr", &time_to_repair),
-        ] {
+        for (name, dist) in [("mtbf", &time_to_failure), ("mttr", &time_to_repair)] {
             let m = dist.mean();
             if !(m.is_finite() && m > 0.0) {
                 return Err(DistributionError::InvalidParameter {

@@ -74,11 +74,7 @@ impl PowerCapper {
     ///
     /// Panics if `total_budget_watts` is not finite and positive.
     #[must_use]
-    pub fn new(
-        power_model: LinearPowerModel,
-        dvfs: DvfsModel,
-        total_budget_watts: f64,
-    ) -> Self {
+    pub fn new(power_model: LinearPowerModel, dvfs: DvfsModel, total_budget_watts: f64) -> Self {
         assert!(
             total_budget_watts.is_finite() && total_budget_watts > 0.0,
             "total budget must be finite and positive, got {total_budget_watts}"
@@ -136,7 +132,10 @@ impl PowerCapper {
     /// Panics if `utilizations` is empty or any value is outside `[0, 1]`.
     #[must_use]
     pub fn rebudget(&self, utilizations: &[f64]) -> CappingOutcome {
-        assert!(!utilizations.is_empty(), "rebudget needs at least one server");
+        assert!(
+            !utilizations.is_empty(),
+            "rebudget needs at least one server"
+        );
         for &u in utilizations {
             assert!(
                 (0.0..=1.0).contains(&u),
@@ -202,7 +201,10 @@ mod tests {
         let outcome = c.rebudget(&[0.8, 0.2]);
         assert!(outcome.budgets[0] > outcome.budgets[1]);
         let total: f64 = outcome.budgets.iter().sum();
-        assert!((total - 400.0).abs() < 1e-9, "budgets must exhaust the pool");
+        assert!(
+            (total - 400.0).abs() < 1e-9,
+            "budgets must exhaust the pool"
+        );
     }
 
     #[test]

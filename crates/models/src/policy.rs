@@ -110,7 +110,10 @@ mod tests {
     #[test]
     fn policy_predicates() {
         assert!(!IdlePolicy::AlwaysOn.can_nap());
-        assert!(IdlePolicy::PowerNap { wake_latency: 0.001 }.can_nap());
+        assert!(IdlePolicy::PowerNap {
+            wake_latency: 0.001
+        }
+        .can_nap());
         assert!(IdlePolicy::DreamWeaver {
             max_delay: 0.01,
             wake_latency: 0.001
@@ -122,7 +125,10 @@ mod tests {
     fn wake_latency_accessor() {
         assert_eq!(IdlePolicy::AlwaysOn.wake_latency(), 0.0);
         assert_eq!(
-            IdlePolicy::PowerNap { wake_latency: 0.005 }.wake_latency(),
+            IdlePolicy::PowerNap {
+                wake_latency: 0.005
+            }
+            .wake_latency(),
             0.005
         );
     }
@@ -130,9 +136,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "wake latency")]
     fn validate_rejects_negative_latency() {
-        IdlePolicy::PowerNap {
-            wake_latency: -1.0,
-        }
-        .validate();
+        IdlePolicy::PowerNap { wake_latency: -1.0 }.validate();
     }
 }

@@ -129,8 +129,14 @@ impl LinearPowerModel {
     /// Panics if `u` is outside `[0, 1]` or `f` outside `(0, 1]`.
     #[must_use]
     pub fn power(&self, u: f64, f: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&u), "utilization must be in [0, 1], got {u}");
-        assert!(f > 0.0 && f <= 1.0, "frequency factor must be in (0, 1], got {f}");
+        assert!(
+            (0.0..=1.0).contains(&u),
+            "utilization must be in [0, 1], got {u}"
+        );
+        assert!(
+            f > 0.0 && f <= 1.0,
+            "frequency factor must be in (0, 1], got {f}"
+        );
         self.idle_watts + self.dynamic_watts * u * f * f * f
     }
 
@@ -146,7 +152,10 @@ impl LinearPowerModel {
     /// Panics if `u` is outside `[0, 1]` or `f_min` outside `(0, 1]`.
     #[must_use]
     pub fn frequency_for_budget(&self, u: f64, budget_watts: f64, f_min: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&u), "utilization must be in [0, 1], got {u}");
+        assert!(
+            (0.0..=1.0).contains(&u),
+            "utilization must be in [0, 1], got {u}"
+        );
         assert!(
             f_min > 0.0 && f_min <= 1.0,
             "minimum frequency must be in (0, 1], got {f_min}"
@@ -220,7 +229,10 @@ impl DvfsModel {
     /// Panics unless `0 < f <= 1`.
     #[must_use]
     pub fn speedup(&self, f: f64) -> f64 {
-        assert!(f > 0.0 && f <= 1.0, "frequency factor must be in (0, 1], got {f}");
+        assert!(
+            f > 0.0 && f <= 1.0,
+            "frequency factor must be in (0, 1], got {f}"
+        );
         self.alpha * f + (1.0 - self.alpha)
     }
 }

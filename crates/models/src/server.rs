@@ -297,7 +297,10 @@ impl Server {
     ///
     /// The caller must [`Server::sync`] to `now` first (debug-asserted).
     pub fn take_epoch_utilization(&mut self, now: Time) -> f64 {
-        debug_assert!(now >= self.last_update, "sync the server before ending an epoch");
+        debug_assert!(
+            now >= self.last_update,
+            "sync the server before ending an epoch"
+        );
         let span = now - self.epoch_start;
         let u = if span > 0.0 {
             (self.busy_core_seconds_epoch / (span * self.cores as f64)).min(1.0)
@@ -326,7 +329,10 @@ impl Server {
     ///
     /// Panics if `now` precedes the server's last update (time travel).
     pub fn arrive(&mut self, job: Job, now: Time) -> Vec<FinishedJob> {
-        debug_assert!(!self.failed, "arrivals must be routed away from failed servers");
+        debug_assert!(
+            !self.failed,
+            "arrivals must be routed away from failed servers"
+        );
         let finished = self.sync(now);
         self.queue.push_back(Task {
             job,
@@ -377,7 +383,10 @@ impl Server {
     ///
     /// Panics unless `0 < f <= 1`, or if `now` precedes the last update.
     pub fn set_frequency(&mut self, f: f64, now: Time) -> Vec<FinishedJob> {
-        assert!(f > 0.0 && f <= 1.0, "frequency factor must be in (0, 1], got {f}");
+        assert!(
+            f > 0.0 && f <= 1.0,
+            "frequency factor must be in (0, 1], got {f}"
+        );
         let finished = self.sync(now);
         self.frequency = f;
         self.speed = self.dvfs.speedup(f);
@@ -550,10 +559,7 @@ impl Server {
             if let Some(model) = &self.power_model {
                 let watts = match self.state {
                     SleepState::Napping => model.nap_watts(),
-                    _ => model.power(
-                        active_running as f64 / self.cores as f64,
-                        self.frequency,
-                    ),
+                    _ => model.power(active_running as f64 / self.cores as f64, self.frequency),
                 };
                 self.energy_joules += watts * dt;
             }
@@ -679,10 +685,7 @@ impl Server {
                     }
                 }
                 SleepState::Napping => {
-                    let threshold_hit = self
-                        .queue
-                        .iter()
-                        .any(|t| t.delayed >= max_delay - 1e-12);
+                    let threshold_hit = self.queue.iter().any(|t| t.delayed >= max_delay - 1e-12);
                     if self.outstanding() >= self.cores || threshold_hit {
                         self.begin_wake(now, wake_latency);
                     }
@@ -967,14 +970,20 @@ mod tests {
                     total_response += f.response_time();
                 }
             }
-            (total_response / arrivals.len() as f64, s.full_idle_fraction(now))
+            (
+                total_response / arrivals.len() as f64,
+                s.full_idle_fraction(now),
+            )
         };
         let (lat_on, idle_on) = run(IdlePolicy::AlwaysOn);
         let (lat_dw, idle_dw) = run(IdlePolicy::DreamWeaver {
             max_delay: 0.5,
             wake_latency: 0.01,
         });
-        assert!(lat_dw > lat_on, "DreamWeaver must add latency: {lat_dw} vs {lat_on}");
+        assert!(
+            lat_dw > lat_on,
+            "DreamWeaver must add latency: {lat_dw} vs {lat_on}"
+        );
         assert!(
             idle_dw >= idle_on - 1e-9,
             "DreamWeaver must not reduce idleness: {idle_dw} vs {idle_on}"
@@ -1085,7 +1094,11 @@ mod tests {
         let mut s = Server::new(1);
         s.arrive(job(1, 0.0, 1.0), Time::ZERO);
         let (finished, lost) = s.fail(t(1.0));
-        assert_eq!(finished.len(), 1, "job finishing at the failure instant counts");
+        assert_eq!(
+            finished.len(),
+            1,
+            "job finishing at the failure instant counts"
+        );
         assert!(lost.is_empty());
     }
 
@@ -1097,7 +1110,10 @@ mod tests {
         s.sync(t(10.0));
         assert!((s.failed_seconds() - 10.0).abs() < 1e-9);
         assert!((s.failed_fraction(t(10.0)) - 1.0).abs() < 1e-9);
-        assert!((s.energy_joules() - 200.0).abs() < 1e-6, "failed draw is 20 W");
+        assert!(
+            (s.energy_joules() - 200.0).abs() < 1e-6,
+            "failed draw is 20 W"
+        );
         s.repair(t(10.0));
         assert!(!s.is_failed());
         s.sync(t(11.0));
@@ -1110,7 +1126,11 @@ mod tests {
         let mut s = Server::new(1).with_policy(IdlePolicy::PowerNap { wake_latency: 0.0 });
         s.fail(t(1.0));
         s.repair(t(2.0));
-        assert_eq!(s.state(), SleepState::Napping, "eager policy naps after repair");
+        assert_eq!(
+            s.state(),
+            SleepState::Napping,
+            "eager policy naps after repair"
+        );
         s.arrive(job(1, 2.5, 0.5), t(2.5));
         let done = s.sync(t(3.0));
         assert_eq!(done.len(), 1);
@@ -1224,8 +1244,10 @@ mod tests {
             idle_timeout: 0.4,
             wake_latency: 0.01,
         });
-        assert!(powernap > timeout, "powernap {powernap} vs timeout {timeout}");
+        assert!(
+            powernap > timeout,
+            "powernap {powernap} vs timeout {timeout}"
+        );
         assert!(timeout > 0.0, "timeout policy must nap eventually");
     }
-
 }

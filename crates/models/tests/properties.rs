@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 
 use bighouse_des::Time;
-use bighouse_models::{
-    DvfsModel, IdlePolicy, Job, JobId, LinearPowerModel, PowerCapper, Server,
-};
+use bighouse_models::{DvfsModel, IdlePolicy, Job, JobId, LinearPowerModel, PowerCapper, Server};
 
 /// An arbitrary arrival schedule: (inter-arrival gap, job size) pairs.
 fn schedule() -> impl Strategy<Value = Vec<(f64, f64)>> {

@@ -265,7 +265,10 @@ impl std::fmt::Display for AuditViolation {
                 "server {server} residency fraction '{fraction}' out of range: {value}"
             ),
             AuditViolation::Livelock { events } => {
-                write!(f, "livelock: {events} events with no simulated-time progress")
+                write!(
+                    f,
+                    "livelock: {events} events with no simulated-time progress"
+                )
             }
             AuditViolation::EventStorm {
                 events,
@@ -523,11 +526,13 @@ impl Auditor {
                 });
             }
         } else if completed + in_system != ledger.injected {
-            self.report.violations.push(AuditViolation::JobConservation {
-                injected: ledger.injected,
-                completed,
-                in_system,
-            });
+            self.report
+                .violations
+                .push(AuditViolation::JobConservation {
+                    injected: ledger.injected,
+                    completed,
+                    in_system,
+                });
         }
         if completed != self.completions_seen {
             self.report
@@ -547,11 +552,13 @@ impl Auditor {
         for (s, server) in servers.iter().enumerate() {
             let energy = server.energy_joules();
             if energy < self.prev_energy[s] - 1e-9 {
-                self.report.violations.push(AuditViolation::EnergyRegression {
-                    server: s,
-                    from_joules: format!("{:.6}", self.prev_energy[s]),
-                    to_joules: format!("{energy:.6}"),
-                });
+                self.report
+                    .violations
+                    .push(AuditViolation::EnergyRegression {
+                        server: s,
+                        from_joules: format!("{:.6}", self.prev_energy[s]),
+                        to_joules: format!("{energy:.6}"),
+                    });
             }
             self.prev_energy[s] = energy;
             if let Some(peak) = self.peak_watts {
@@ -576,19 +583,23 @@ impl Auditor {
             ];
             for (name, value) in checks {
                 if !value.is_finite() || !(-EPS..=1.0 + EPS).contains(&value) {
-                    self.report.violations.push(AuditViolation::ResidencyFraction {
-                        server: s,
-                        fraction: name.to_owned(),
-                        value: format!("{value}"),
-                    });
+                    self.report
+                        .violations
+                        .push(AuditViolation::ResidencyFraction {
+                            server: s,
+                            fraction: name.to_owned(),
+                            value: format!("{value}"),
+                        });
                 }
             }
             if nap > idle + EPS {
-                self.report.violations.push(AuditViolation::ResidencyFraction {
-                    server: s,
-                    fraction: "nap>idle".to_owned(),
-                    value: format!("{nap} > {idle}"),
-                });
+                self.report
+                    .violations
+                    .push(AuditViolation::ResidencyFraction {
+                        server: s,
+                        fraction: "nap>idle".to_owned(),
+                        value: format!("{nap} > {idle}"),
+                    });
             }
         }
     }
@@ -677,7 +688,10 @@ mod tests {
     #[test]
     fn defaults_are_loose() {
         let cfg = AuditConfig::default();
-        assert_eq!(cfg.check_interval_events, AuditConfig::DEFAULT_CHECK_INTERVAL);
+        assert_eq!(
+            cfg.check_interval_events,
+            AuditConfig::DEFAULT_CHECK_INTERVAL
+        );
         assert_eq!(cfg.stall_limit_events, ProgressGuard::DEFAULT_STALL_LIMIT);
         assert!(cfg.littles_law_tolerance > 0.0);
     }

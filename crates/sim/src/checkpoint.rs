@@ -212,7 +212,9 @@ impl RunState {
     /// Whether every metric in the carried statistics has converged.
     #[must_use]
     pub fn converged(&self) -> bool {
-        self.stats.as_ref().is_some_and(StatsCollection::all_converged)
+        self.stats
+            .as_ref()
+            .is_some_and(StatsCollection::all_converged)
     }
 }
 
@@ -280,7 +282,8 @@ impl CheckpointStore {
         };
         {
             let mut file = fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
-            file.write_all(&bytes).map_err(|e| io_err("write", &tmp, e))?;
+            file.write_all(&bytes)
+                .map_err(|e| io_err("write", &tmp, e))?;
             file.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
         }
         if current.exists() {
@@ -384,13 +387,15 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// from a *different* experiment is rejected instead of silently merging
 /// incompatible statistics.
 ///
-/// The audit configuration is deliberately excluded: paranoid mode is
-/// purely observational (bit-identical estimates), so toggling it must not
-/// invalidate an existing checkpoint.
+/// The audit and telemetry configurations are deliberately excluded: both
+/// are purely observational (bit-identical estimates), so toggling them
+/// must not invalidate an existing checkpoint — a run started plain can
+/// resume audited or instrumented.
 #[must_use]
 pub fn config_fingerprint(config: &ExperimentConfig, master_seed: u64) -> u64 {
     let mut config = config.clone();
     config.audit = None;
+    config.telemetry = false;
     let rendered = format!("{config:?}|seed={master_seed}");
     fnv1a(rendered.as_bytes())
 }
@@ -402,10 +407,8 @@ mod tests {
     use bighouse_workloads::{StandardWorkload, Workload};
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "bighouse-ckpt-test-{}-{tag}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("bighouse-ckpt-test-{}-{tag}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -513,15 +516,23 @@ mod tests {
         // Paranoid mode is observational; switching it on must still
         // accept a checkpoint written with it off (and vice versa).
         let plain = ExperimentConfig::new(Workload::standard(StandardWorkload::Web));
-        let audited = plain.clone().with_audit(crate::audit::AuditConfig::default());
-        assert_eq!(config_fingerprint(&plain, 1), config_fingerprint(&audited, 1));
+        let audited = plain
+            .clone()
+            .with_audit(crate::audit::AuditConfig::default());
+        assert_eq!(
+            config_fingerprint(&plain, 1),
+            config_fingerprint(&audited, 1)
+        );
     }
 
     #[test]
     fn legacy_state_without_audit_field_parses() {
         let state = sample_state();
         let rendered = json(&state).replace(",\"audit\":null", "");
-        assert!(!rendered.contains("\"audit\""), "field must be stripped for the test");
+        assert!(
+            !rendered.contains("\"audit\""),
+            "field must be stripped for the test"
+        );
         let back: RunState = serde_json::from_str(&rendered).unwrap();
         assert_eq!(back.audit, None);
         assert_eq!(back.events_done, state.events_done);

@@ -2,7 +2,9 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bighouse_des::{Calendar, Control, EventHandle, FastMap, ProgressViolation, SimRng, Simulation, Time};
+use bighouse_des::{
+    Calendar, Control, EventHandle, FastMap, ProgressViolation, SimRng, Simulation, Time,
+};
 use bighouse_dists::Distribution;
 use bighouse_models::{Job, JobId, LoadBalancer, PowerCapper, Server};
 use bighouse_stats::{HistogramSpec, MetricId, Phase, StatsCollection};
@@ -11,6 +13,8 @@ use crate::audit::{AuditLedger, AuditReport, Auditor, SeededBug};
 use crate::config::{ArrivalMode, ExperimentConfig, MetricKind};
 use crate::error::SimError;
 use crate::report::{ClusterSummary, FaultSummary};
+use crate::telemetry::ClusterTelemetry;
+use bighouse_telemetry::Recorder as _;
 
 /// Events dispatched by a [`ClusterSim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +124,9 @@ pub struct ClusterSim {
     /// The runtime invariant auditor (`None` when paranoid mode is off —
     /// the entire audit machinery then costs one null check per event).
     audit: Option<Box<Auditor>>,
+    /// Telemetry context (`None` when telemetry is off — same one-null-check
+    /// cost structure as the auditor).
+    telemetry: Option<Box<ClusterTelemetry>>,
     /// Deliberately seeded accounting bug (mutation-test hook).
     seeded_bug: Option<SeededBug>,
     /// Whether the seeded bug is still waiting to fire.
@@ -174,9 +181,7 @@ impl ClusterSim {
         }
         let balancer = match config.arrival_mode {
             ArrivalMode::PerServer => None,
-            ArrivalMode::LoadBalanced(policy) => {
-                Some(LoadBalancer::new(policy, config.servers))
-            }
+            ArrivalMode::LoadBalanced(policy) => Some(LoadBalancer::new(policy, config.servers)),
         };
         let mut stats = StatsCollection::new();
         let mut response_id = None;
@@ -197,18 +202,23 @@ impl ClusterSim {
                 MetricKind::Availability => availability_id = Some(id),
             }
         }
-        let response_id = response_id.ok_or_else(|| {
-            SimError::InvalidConfig("response time metric missing".into())
-        })?;
+        let response_id = response_id
+            .ok_or_else(|| SimError::InvalidConfig("response time metric missing".into()))?;
         let n = config.servers;
         let fault_mode = config.faults.is_some() || config.retry.is_some();
         let audit = config.audit.as_ref().map(|cfg| {
             // The energy budget bound must cover every power state a
             // server can occupy, not just nominal peak.
-            let peak = config.power_model.as_ref().map(|m| {
-                m.peak_watts().max(m.failed_watts()).max(m.nap_watts())
-            });
+            let peak = config
+                .power_model
+                .as_ref()
+                .map(|m| m.peak_watts().max(m.failed_watts()).max(m.nap_watts()));
             Box::new(Auditor::new(cfg.clone(), n, peak))
+        });
+        let telemetry = config.telemetry.then(|| {
+            let mut t = Box::new(ClusterTelemetry::new());
+            t.prime_phases(&stats);
+            t
         });
         Ok(ClusterSim {
             capper: config.capper.clone(),
@@ -238,6 +248,7 @@ impl ClusterSim {
             n_retries: 0,
             n_preempted: 0,
             audit,
+            telemetry,
             seeded_bug: None,
             bug_pending: false,
             config,
@@ -312,6 +323,11 @@ impl ClusterSim {
             ));
         }
         self.stats = stats;
+        // Restored metrics resume mid-phase; re-baseline so the next
+        // genuine transition (not the restore itself) is what gets logged.
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.prime_phases(&self.stats);
+        }
         Ok(())
     }
 
@@ -402,15 +418,23 @@ impl ClusterSim {
     /// Records an observation, vetting it through the auditor first: a
     /// non-finite or negative value is dropped (never poisoning an
     /// estimator) and the recorded violation stops the run at the current
-    /// event boundary. With auditing off this is exactly `stats.record`.
+    /// event boundary. With auditing and telemetry off this is exactly
+    /// `stats.record` plus two null checks.
     #[inline]
-    fn observe(&mut self, id: MetricId, metric: &'static str, x: f64) {
+    fn observe(&mut self, id: MetricId, metric: &'static str, x: f64, now: Time) {
         if let Some(audit) = self.audit.as_deref_mut() {
             if !audit.check_observation(metric, x) {
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.note_sample_rejected();
+                }
                 return;
             }
         }
         self.stats.record(id, x);
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.note_sample_recorded();
+            t.sync_phase(&self.stats, id, now);
+        }
     }
 
     /// Per-event audit hook: counts the event, runs an invariant sweep on
@@ -480,6 +504,18 @@ impl ClusterSim {
         self.audit.take().map(|a| a.into_report())
     }
 
+    /// Whether telemetry collection is enabled for this run.
+    #[must_use]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Takes the telemetry context (`None` when telemetry is off). Called
+    /// by the runners when the run (or epoch) ends.
+    pub(crate) fn take_telemetry(&mut self) -> Option<Box<ClusterTelemetry>> {
+        self.telemetry.take()
+    }
+
     /// Mutation-test hook: arms a deliberately seeded accounting bug. The
     /// audit test suite uses this to prove the auditor catches real
     /// corruption, not just synthetic inputs.
@@ -510,13 +546,13 @@ impl ClusterSim {
             if let Some(audit) = self.audit.as_deref_mut() {
                 audit.note_completion();
             }
-            self.observe(self.response_id, "response_time", response);
+            self.observe(self.response_id, "response_time", response, cal.now());
             if let Some(id) = self.waiting_id {
                 let wait = f.waiting_time();
                 // Waiting observations exist only for tasks that queued —
                 // the rarity driving Figure 9's "+Waiting" runtimes.
                 if wait > 0.0 {
-                    self.observe(id, "waiting_time", wait);
+                    self.observe(id, "waiting_time", wait, cal.now());
                 }
             }
             if self.fault_mode {
@@ -534,6 +570,9 @@ impl ClusterSim {
         let size = self.config.workload.service().sample(&mut self.rng);
         let job = Job::new(JobId::new(self.job_counter), now, size.max(1e-12));
         self.job_counter += 1;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.note_queue_depth(self.servers[server].outstanding());
+        }
         let finished = self.servers[server].arrive(job, now);
         self.record_finished(&finished, cal);
     }
@@ -567,7 +606,8 @@ impl ClusterSim {
     /// backoff/redispatch cycle.
     fn arm_timeout(&mut self, key: u64, cal: &mut Calendar<ClusterEvent>) {
         if let Some(policy) = self.config.retry {
-            let handle = cal.schedule_in(policy.timeout(), ClusterEvent::RequestTimeout { job: key });
+            let handle =
+                cal.schedule_in(policy.timeout(), ClusterEvent::RequestTimeout { job: key });
             if let Some(req) = self.requests.get_mut(&key) {
                 req.timeout = Some(handle);
             }
@@ -605,6 +645,9 @@ impl ClusterSim {
                 if let Some(req) = self.requests.get_mut(&key) {
                     req.server = Some(s);
                 }
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.note_queue_depth(self.servers[s].outstanding());
+                }
                 let finished = self.servers[s].arrive(job, now);
                 self.record_finished(&finished, cal);
                 self.reschedule_attention(s, now, cal);
@@ -617,6 +660,9 @@ impl ClusterSim {
         let (finished, lost) = self.servers[server].fail(now);
         self.record_finished(&finished, cal);
         self.n_failures += 1;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.rec.counter_add("sim.server_failures", 1);
+        }
         // A failed server generates no internal events until its repair.
         self.reschedule_attention(server, now, cal);
         for job in lost {
@@ -661,7 +707,9 @@ impl ClusterSim {
     }
 
     fn handle_timeout(&mut self, key: u64, now: Time, cal: &mut Calendar<ClusterEvent>) {
-        let Some(policy) = self.config.retry else { return };
+        let Some(policy) = self.config.retry else {
+            return;
+        };
         let (attempt, server) = match self.requests.get_mut(&key) {
             Some(req) => {
                 req.timeout = None; // it just fired
@@ -680,7 +728,9 @@ impl ClusterSim {
                 return;
             }
         }
-        let Some(req) = self.requests.get_mut(&key) else { return };
+        let Some(req) = self.requests.get_mut(&key) else {
+            return;
+        };
         if attempt <= policy.max_retries() {
             self.n_retries += 1;
             req.attempt += 1;
@@ -688,9 +738,15 @@ impl ClusterSim {
             req.pending_redispatch = true;
             let delay = policy.backoff_delay(attempt, &mut self.rng);
             cal.schedule_in(delay, ClusterEvent::Redispatch { job: key });
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.rec.counter_add("sim.retries", 1);
+            }
         } else {
             self.n_timed_out += 1;
             self.requests.remove(&key);
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.rec.counter_add("sim.timeouts", 1);
+            }
         }
     }
 
@@ -727,6 +783,9 @@ impl ClusterSim {
             self.record_finished(&finished, cal);
             utilizations.push(self.servers[s].take_epoch_utilization(now));
         }
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.note_epoch_utilizations(&utilizations);
+        }
         if rebudget {
             if let Some(capper) = self.capper.as_ref() {
                 let outcome = capper.rebudget(&utilizations);
@@ -738,20 +797,20 @@ impl ClusterSim {
                 if let Some(id) = self.capping_id {
                     // One cluster-level observation per budgeting epoch: the
                     // metric's pace is set by simulated time, not request rate.
-                    self.observe(id, "capping_level", total_capping);
+                    self.observe(id, "capping_level", total_capping, now);
                 }
             }
         }
-        let epoch = self
-            .capper
-            .as_ref()
-            .map_or(PowerCapper::DEFAULT_EPOCH_SECONDS, PowerCapper::epoch_seconds);
+        let epoch = self.capper.as_ref().map_or(
+            PowerCapper::DEFAULT_EPOCH_SECONDS,
+            PowerCapper::epoch_seconds,
+        );
         if let Some(id) = self.power_id {
             for s in 0..self.servers.len() {
                 let energy = self.servers[s].energy_joules();
                 let watts = (energy - self.energy_marks[s]) / epoch;
                 self.energy_marks[s] = energy;
-                self.observe(id, "server_power", watts);
+                self.observe(id, "server_power", watts, now);
             }
         }
         if let Some(id) = self.availability_id {
@@ -762,7 +821,12 @@ impl ClusterSim {
                 let failed = self.servers[s].failed_seconds();
                 let delta = failed - self.failed_marks[s];
                 self.failed_marks[s] = failed;
-                self.observe(id, "availability", (1.0 - delta / epoch).clamp(0.0, 1.0));
+                self.observe(
+                    id,
+                    "availability",
+                    (1.0 - delta / epoch).clamp(0.0, 1.0),
+                    now,
+                );
             }
         }
         for s in 0..self.servers.len() {
@@ -820,10 +884,10 @@ impl Simulation for ClusterSim {
             }
             ClusterEvent::CappingEpoch => {
                 self.epoch_tick(now, true, cal);
-                let epoch = self
-                    .capper
-                    .as_ref()
-                    .map_or(PowerCapper::DEFAULT_EPOCH_SECONDS, PowerCapper::epoch_seconds);
+                let epoch = self.capper.as_ref().map_or(
+                    PowerCapper::DEFAULT_EPOCH_SECONDS,
+                    PowerCapper::epoch_seconds,
+                );
                 cal.schedule_in(epoch, ClusterEvent::CappingEpoch);
             }
             ClusterEvent::ObservationEpoch => {
@@ -890,7 +954,10 @@ mod tests {
     #[test]
     fn single_server_run_converges() {
         let (sim, now, events) = run(quick_config(), 1);
-        assert!(sim.stats().all_converged(), "did not converge in event budget");
+        assert!(
+            sim.stats().all_converged(),
+            "did not converge in event budget"
+        );
         assert!(events > 1000);
         let summary = sim.summary(now);
         assert!(summary.jobs_completed > 1000);
@@ -940,22 +1007,22 @@ mod tests {
         // Balanced mode shares one arrival stream; rescale it so the whole
         // cluster (not each server) sees 50% load: the per-server stream is
         // already at 0.5 for 4 cores, so divide inter-arrivals by 4.
-        let config = ExperimentConfig::new(
-            config
-                .workload()
-                .with_interarrival_scale(0.25)
-                .unwrap(),
-        )
-        .with_servers(4)
-        .with_arrival_mode(ArrivalMode::LoadBalanced(BalancerPolicy::JoinShortestQueue))
-        .with_target_accuracy(0.2)
-        .with_warmup(50)
-        .with_calibration(500);
+        let config =
+            ExperimentConfig::new(config.workload().with_interarrival_scale(0.25).unwrap())
+                .with_servers(4)
+                .with_arrival_mode(ArrivalMode::LoadBalanced(BalancerPolicy::JoinShortestQueue))
+                .with_target_accuracy(0.2)
+                .with_warmup(50)
+                .with_calibration(500);
         let (sim, now, _) = run(config, 4);
         assert!(sim.stats().all_converged());
         let summary = sim.summary(now);
         for s in &sim.servers {
-            assert!(s.completed_jobs() > 100, "server starved: {}", s.completed_jobs());
+            assert!(
+                s.completed_jobs() > 100,
+                "server starved: {}",
+                s.completed_jobs()
+            );
         }
         assert!((summary.mean_utilization - 0.5).abs() < 0.15);
     }
@@ -1033,7 +1100,11 @@ mod tests {
             .unwrap();
         let p95 = est.quantiles.iter().find(|q| q.q == 0.95).unwrap();
         let hv = p95.half_width_value.expect("density is estimable");
-        assert!(hv > 0.0 && hv < p95.value, "value CI {hv} vs p95 {}", p95.value);
+        assert!(
+            hv > 0.0 && hv < p95.value,
+            "value CI {hv} vs p95 {}",
+            p95.value
+        );
     }
 
     #[test]
@@ -1042,8 +1113,18 @@ mod tests {
         let (b, now_b, ev_b) = run(quick_config(), 7);
         assert_eq!(now_a, now_b);
         assert_eq!(ev_a, ev_b);
-        let ea = a.stats().metric_by_name("response_time").unwrap().estimate().unwrap();
-        let eb = b.stats().metric_by_name("response_time").unwrap().estimate().unwrap();
+        let ea = a
+            .stats()
+            .metric_by_name("response_time")
+            .unwrap()
+            .estimate()
+            .unwrap();
+        let eb = b
+            .stats()
+            .metric_by_name("response_time")
+            .unwrap()
+            .estimate()
+            .unwrap();
         assert_eq!(ea.mean, eb.mean);
     }
 
@@ -1051,8 +1132,18 @@ mod tests {
     fn different_seeds_differ() {
         let (a, ..) = run(quick_config(), 8);
         let (b, ..) = run(quick_config(), 9);
-        let ea = a.stats().metric_by_name("response_time").unwrap().estimate().unwrap();
-        let eb = b.stats().metric_by_name("response_time").unwrap().estimate().unwrap();
+        let ea = a
+            .stats()
+            .metric_by_name("response_time")
+            .unwrap()
+            .estimate()
+            .unwrap();
+        let eb = b
+            .stats()
+            .metric_by_name("response_time")
+            .unwrap()
+            .estimate()
+            .unwrap();
         assert_ne!(ea.mean, eb.mean);
     }
 
@@ -1123,7 +1214,10 @@ mod tests {
         use bighouse_models::BalancerPolicy;
         let service_mean = Workload::standard(StandardWorkload::Web).service().mean();
         let config = ExperimentConfig::new(
-            quick_config().workload().with_interarrival_scale(0.25).unwrap(),
+            quick_config()
+                .workload()
+                .with_interarrival_scale(0.25)
+                .unwrap(),
         )
         .with_servers(4)
         .with_arrival_mode(ArrivalMode::LoadBalanced(BalancerPolicy::JoinShortestQueue))

@@ -86,6 +86,7 @@ pub struct ExperimentConfig {
     pub(crate) faults: Option<FaultProcess>,
     pub(crate) retry: Option<RetryPolicy>,
     pub(crate) audit: Option<AuditConfig>,
+    pub(crate) telemetry: bool,
 }
 
 impl ExperimentConfig {
@@ -112,6 +113,7 @@ impl ExperimentConfig {
             faults: None,
             retry: None,
             audit: None,
+            telemetry: false,
         }
     }
 
@@ -328,6 +330,24 @@ impl ExperimentConfig {
         self.audit.as_ref()
     }
 
+    /// Enables telemetry: counters, gauges, latency histograms, and the
+    /// statistics phase-transition log are collected during the run and
+    /// surfaced on the report's `runtime.telemetry` section. Like the
+    /// auditor, telemetry is purely observational — it reads values the
+    /// simulation already computes and never draws randomness — so
+    /// estimates are bit-identical with telemetry on or off.
+    #[must_use]
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// Whether telemetry collection is enabled.
+    #[must_use]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry
+    }
+
     /// The configured workload.
     #[must_use]
     pub fn workload(&self) -> &Workload {
@@ -507,8 +527,6 @@ mod tests {
     fn utilization_rescales_workload() {
         let c = base();
         let scaled = base().with_utilization(0.5);
-        assert!(
-            scaled.workload().interarrival().mean() != c.workload().interarrival().mean()
-        );
+        assert!(scaled.workload().interarrival().mean() != c.workload().interarrival().mean());
     }
 }

@@ -66,7 +66,10 @@ impl std::fmt::Display for SimError {
                 write!(f, "event cap ({cap}) exhausted before {phase} completed")
             }
             SimError::NoSurvivingSlaves { panicked } => {
-                write!(f, "all {panicked} parallel slaves panicked; no results to merge")
+                write!(
+                    f,
+                    "all {panicked} parallel slaves panicked; no results to merge"
+                )
             }
             SimError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
             SimError::AuditFailed { phase, violation } => {
@@ -91,15 +94,26 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(SimError::InvalidConfig("x".into()).to_string().contains("invalid"));
-        assert!(SimError::CalendarDrained { phase: "calibration" }
+        assert!(SimError::InvalidConfig("x".into())
             .to_string()
-            .contains("calibration"));
-        assert!(SimError::EventCapExhausted { phase: "calibration", cap: 10 }
+            .contains("invalid"));
+        assert!(SimError::CalendarDrained {
+            phase: "calibration"
+        }
+        .to_string()
+        .contains("calibration"));
+        assert!(SimError::EventCapExhausted {
+            phase: "calibration",
+            cap: 10
+        }
+        .to_string()
+        .contains("10"));
+        assert!(SimError::NoSurvivingSlaves { panicked: 4 }
             .to_string()
-            .contains("10"));
-        assert!(SimError::NoSurvivingSlaves { panicked: 4 }.to_string().contains('4'));
-        assert!(SimError::Checkpoint("bad magic".into()).to_string().contains("bad magic"));
+            .contains('4'));
+        assert!(SimError::Checkpoint("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
         let audit = SimError::AuditFailed {
             phase: "calibration",
             violation: "livelock after 65536 events".into(),

@@ -60,11 +60,12 @@ mod multitier;
 mod parallel;
 mod report;
 mod runner;
+mod telemetry;
 mod trace;
 
-pub use audit::{AuditConfig, AuditReport, AuditViolation, AuditWarning};
 #[doc(hidden)]
 pub use audit::SeededBug;
+pub use audit::{AuditConfig, AuditReport, AuditViolation, AuditWarning};
 pub use checkpoint::{
     config_fingerprint, CheckpointConfig, CheckpointStore, FaultTotals, RunState, RunTotals,
 };
@@ -73,6 +74,6 @@ pub use config::{ArrivalMode, ExperimentConfig, MetricKind};
 pub use error::SimError;
 pub use multitier::{run_multi_tier, MultiTierConfig, TierConfig};
 pub use parallel::{ParallelOutcome, ParallelRunner};
-pub use report::{ClusterSummary, FaultSummary, SimulationReport, TerminationReason};
+pub use report::{ClusterSummary, FaultSummary, RuntimeStats, SimulationReport, TerminationReason};
 pub use runner::{run_resumable, run_serial, run_until_calibrated, RunOptions};
 pub use trace::{replay_trace, Trace, TraceEntry, TraceError, TraceReplayReport};

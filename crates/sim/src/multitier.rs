@@ -11,9 +11,7 @@
 
 use bighouse_des::{Calendar, Control, Engine, EventHandle, FastMap, SimRng, Simulation, Time};
 use bighouse_dists::{Distribution, Empirical};
-use bighouse_models::{
-    BalancerPolicy, FinishedJob, IdlePolicy, Job, JobId, LoadBalancer, Server,
-};
+use bighouse_models::{BalancerPolicy, FinishedJob, IdlePolicy, Job, JobId, LoadBalancer, Server};
 use bighouse_stats::{MetricId, MetricSpec, StatsCollection};
 
 use crate::report::{ClusterSummary, SimulationReport};
@@ -218,11 +216,7 @@ impl TierNetworkSim {
             .iter()
             .map(|t| LoadBalancer::new(t.balancer, t.servers))
             .collect();
-        let attention = config
-            .tiers
-            .iter()
-            .map(|t| vec![None; t.servers])
-            .collect();
+        let attention = config.tiers.iter().map(|t| vec![None; t.servers]).collect();
         let mut stats = StatsCollection::new();
         let end_to_end = stats.add_metric(config.metric_spec("response_time"));
         let tier_metrics = config
@@ -303,8 +297,7 @@ impl TierNetworkSim {
         ClusterSummary {
             servers: all.len(),
             jobs_completed: all.iter().map(|s| s.completed_jobs()).sum(),
-            mean_full_idle_fraction: all.iter().map(|s| s.full_idle_fraction(now)).sum::<f64>()
-                / n,
+            mean_full_idle_fraction: all.iter().map(|s| s.full_idle_fraction(now)).sum::<f64>() / n,
             mean_nap_fraction: all.iter().map(|s| s.nap_fraction(now)).sum::<f64>() / n,
             mean_utilization: all.iter().map(|s| s.average_utilization(now)).sum::<f64>() / n,
             total_energy_joules: all.iter().map(|s| s.energy_joules()).sum(),
@@ -403,7 +396,10 @@ pub fn run_multi_tier(config: &MultiTierConfig, seed: u64) -> SimulationReport {
         estimates: sim.stats.estimates(),
         events_fired: run.events_fired,
         simulated_seconds: now.as_seconds(),
-        wall_seconds: start.elapsed().as_secs_f64(),
+        runtime: crate::report::RuntimeStats {
+            wall_seconds: start.elapsed().as_secs_f64(),
+            telemetry: None,
+        },
         cluster: sim.summary(now),
         audit: None,
     };
@@ -423,7 +419,9 @@ mod tests {
     fn empirical(mean: f64, seed: u64) -> Empirical {
         let d = Exponential::from_mean(mean).unwrap();
         let mut rng = SimRng::from_seed(seed);
-        let samples: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng).max(1e-12)).collect();
+        let samples: Vec<f64> = (0..100_000)
+            .map(|_| d.sample(&mut rng).max(1e-12))
+            .collect();
         Empirical::from_samples(&samples).unwrap()
     }
 

@@ -44,6 +44,7 @@ use bighouse_stats::{
     required_samples_mean, required_samples_quantile, Histogram, HistogramSpec, MetricEstimate,
     MetricSpec, RunningStats, StatsCollection,
 };
+use bighouse_telemetry::{MemoryRecorder, Recorder as _, TelemetrySnapshot};
 
 use crate::audit::{AuditConfig, AuditReport};
 use crate::cluster::ClusterSim;
@@ -95,6 +96,11 @@ pub struct ParallelOutcome {
     /// unless the experiment enables paranoid mode). Any slave's violation
     /// fails the whole run.
     pub audit: Option<AuditReport>,
+    /// Master-side telemetry (`None` unless the experiment enables
+    /// telemetry). Unlike serial telemetry, parallel counters include
+    /// timing-dependent facts (per-slave event totals, message counts), so
+    /// this snapshot is **not** covered by the bit-identity guarantee.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl ParallelOutcome {
@@ -423,8 +429,15 @@ impl ParallelRunner {
             watchdog_fired: false,
             wall_seconds: 0.0,
             audit: None,
+            telemetry: None,
         };
         let mut interrupted = false;
+        // Message tallies for master-side telemetry; kept as plain locals
+        // (the counts are cheap whether or not telemetry is on).
+        let mut n_progress: u64 = 0;
+        let mut n_checkpoint_msgs: u64 = 0;
+        let mut n_finals: u64 = 0;
+        let mut merge_seconds = 0.0;
 
         let deadline = self.watchdog.map(|s| start + Duration::from_secs_f64(s));
 
@@ -514,6 +527,7 @@ impl ParallelRunner {
                         incarnation,
                         moments,
                     }) => {
+                        n_progress += 1;
                         if incarnation == sup.incarnations[slave] && !sup.settled(slave) {
                             sup.last_heard[slave] = Instant::now();
                             latest[slave] = moments;
@@ -530,23 +544,26 @@ impl ParallelRunner {
                         incarnation,
                         state,
                     }) => {
+                        n_checkpoint_msgs += 1;
                         if incarnation == sup.incarnations[slave] && !sup.settled(slave) {
                             sup.last_heard[slave] = Instant::now();
                             sup.checkpoints[slave] = *state;
                         }
                     }
-                    Some(SlaveMessage::Died { slave, incarnation }) => {
-                        if incarnation == sup.incarnations[slave] && !sup.settled(slave) {
-                            record_death(
-                                slave,
-                                &mut sup,
-                                &mut latest,
-                                &specs,
-                                &mut outcome,
-                                self.max_restarts,
-                            );
-                        }
+                    Some(SlaveMessage::Died { slave, incarnation })
+                        if incarnation == sup.incarnations[slave] && !sup.settled(slave) =>
+                    {
+                        record_death(
+                            slave,
+                            &mut sup,
+                            &mut latest,
+                            &specs,
+                            &mut outcome,
+                            self.max_restarts,
+                        );
                     }
+                    // A death notice from a fenced (stale) incarnation.
+                    Some(SlaveMessage::Died { .. }) => {}
                     Some(final_msg @ SlaveMessage::Final { .. }) => {
                         let SlaveMessage::Final {
                             slave, incarnation, ..
@@ -555,6 +572,7 @@ impl ParallelRunner {
                             unreachable!("matched Final above");
                         };
                         let (slave, incarnation) = (*slave, *incarnation);
+                        n_finals += 1;
                         if incarnation == sup.incarnations[slave] && !sup.settled(slave) {
                             sup.finished[slave] = true;
                             if let SlaveMessage::Final {
@@ -614,7 +632,9 @@ impl ParallelRunner {
             }
 
             // Merge phase: combine surviving slave histograms bin-wise.
+            let merge_start = Instant::now();
             outcome.estimates = merge_finals(&specs, &finals, &mut outcome.slave_events);
+            merge_seconds = merge_start.elapsed().as_secs_f64();
             for message in finals.iter().flatten() {
                 if let SlaveMessage::Final {
                     audit: Some(audit), ..
@@ -658,6 +678,39 @@ impl ParallelRunner {
             TerminationReason::Deadline
         };
         outcome.wall_seconds = start.elapsed().as_secs_f64();
+        if self.config.telemetry_enabled() {
+            let mut rec = MemoryRecorder::new();
+            rec.counter_add("parallel.slaves", self.slaves as u64);
+            rec.counter_add(
+                "parallel.master_calibration_events",
+                outcome.master_calibration_events,
+            );
+            rec.counter_add("parallel.resurrections", outcome.resurrections);
+            rec.counter_add("parallel.dead_slaves", outcome.dead_slaves.len() as u64);
+            rec.counter_add("parallel.progress_messages", n_progress);
+            rec.counter_add("parallel.checkpoint_messages", n_checkpoint_msgs);
+            rec.counter_add("parallel.final_messages", n_finals);
+            rec.gauge_set(
+                "parallel.slave_events_total",
+                outcome.slave_events.iter().sum::<u64>() as f64,
+            );
+            rec.wall_set("wall_seconds", outcome.wall_seconds);
+            rec.wall_set("parallel.merge_seconds", merge_seconds);
+            let mut snap = rec.snapshot();
+            // Per-slave facts carry dynamic (index-named) keys, inserted at
+            // assembly like the per-metric stats keys in serial runs.
+            for (i, &events) in outcome.slave_events.iter().enumerate() {
+                snap.counters
+                    .insert(format!("parallel.slave{i}.events"), events);
+                if outcome.wall_seconds > 0.0 {
+                    snap.wall.insert(
+                        format!("parallel.slave{i}.events_per_second"),
+                        events as f64 / outcome.wall_seconds,
+                    );
+                }
+            }
+            outcome.telemetry = Some(snap);
+        }
         Ok(outcome)
     }
 }
@@ -907,8 +960,7 @@ mod tests {
         // serial reference (E = 0.01), not against another equally noisy
         // estimate: with a heavy-tailed, autocorrelated metric, two E=0.05
         // estimators can legitimately disagree by more than 2E.
-        let reference =
-            crate::run_serial(&quick_config().with_target_accuracy(0.01), 101).unwrap();
+        let reference = crate::run_serial(&quick_config().with_target_accuracy(0.01), 101).unwrap();
         let parallel = ParallelRunner::new(quick_config().with_target_accuracy(0.05), 3)
             .run(101)
             .unwrap();
@@ -949,8 +1001,14 @@ mod tests {
             .with_forced_panic(1)
             .run(88)
             .unwrap();
-        assert!(outcome.dead_slaves.is_empty(), "slave 1 was resurrected, not dropped");
-        assert!(outcome.resurrections >= 1, "the panic forced at least one restart");
+        assert!(
+            outcome.dead_slaves.is_empty(),
+            "slave 1 was resurrected, not dropped"
+        );
+        assert!(
+            outcome.resurrections >= 1,
+            "the panic forced at least one restart"
+        );
         assert!(outcome.converged);
         assert_eq!(outcome.termination, TerminationReason::Converged);
         assert!(outcome.metric("response_time").is_some());
@@ -966,7 +1024,10 @@ mod tests {
             .run(88)
             .unwrap();
         assert_eq!(outcome.dead_slaves, vec![1]);
-        assert_eq!(outcome.resurrections, 1, "exactly one restart was attempted");
+        assert_eq!(
+            outcome.resurrections, 1,
+            "exactly one restart was attempted"
+        );
         assert_eq!(outcome.slave_events[1], 0, "dead slave delivered nothing");
         assert!(outcome.slave_events[0] > 0 && outcome.slave_events[2] > 0);
         // Survivors still deliver a merged estimate.
@@ -1001,7 +1062,10 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.termination, TerminationReason::Interrupted);
         assert!(!outcome.converged);
-        assert!(outcome.wall_seconds < 30.0, "interrupt failed to bound the run");
+        assert!(
+            outcome.wall_seconds < 30.0,
+            "interrupt failed to bound the run"
+        );
     }
 
     #[test]
@@ -1021,7 +1085,10 @@ mod tests {
         assert_eq!(outcome.termination, TerminationReason::Deadline);
         // Partial estimates are still merged and usable.
         assert!(outcome.metric("response_time").is_some());
-        assert!(outcome.wall_seconds < 30.0, "watchdog failed to bound the run");
+        assert!(
+            outcome.wall_seconds < 30.0,
+            "watchdog failed to bound the run"
+        );
     }
 
     #[test]
@@ -1037,19 +1104,33 @@ mod tests {
                 .with_watchdog(bad)
                 .unwrap_err();
             assert!(
-                matches!(err, SimError::InvalidParameter { name: "watchdog_seconds", .. }),
+                matches!(
+                    err,
+                    SimError::InvalidParameter {
+                        name: "watchdog_seconds",
+                        ..
+                    }
+                ),
                 "watchdog({bad}) gave {err}"
             );
             let err = ParallelRunner::new(quick_config(), 1)
                 .with_slave_timeout(bad)
                 .unwrap_err();
             assert!(
-                matches!(err, SimError::InvalidParameter { name: "slave_timeout_seconds", .. }),
+                matches!(
+                    err,
+                    SimError::InvalidParameter {
+                        name: "slave_timeout_seconds",
+                        ..
+                    }
+                ),
                 "slave_timeout({bad}) gave {err}"
             );
         }
         // The legal path still works and the rendered NaN survives Display.
-        assert!(ParallelRunner::new(quick_config(), 1).with_watchdog(1.5).is_ok());
+        assert!(ParallelRunner::new(quick_config(), 1)
+            .with_watchdog(1.5)
+            .is_ok());
         let msg = ParallelRunner::new(quick_config(), 1)
             .with_watchdog(f64::NAN)
             .unwrap_err()

@@ -3,8 +3,28 @@
 use serde::{Deserialize, Serialize};
 
 use bighouse_stats::MetricEstimate;
+use bighouse_telemetry::TelemetrySnapshot;
 
 use crate::audit::AuditReport;
+
+/// The report section that is allowed to differ between two runs of the
+/// same seed: wall-clock timing and the telemetry snapshot (whose `wall`
+/// map and phase wall-stamps are likewise non-deterministic).
+///
+/// Everything *outside* this section is a pure function of the
+/// configuration and the seed, which is what lets CI compare reports
+/// bit-for-bit after dropping `runtime` (or via
+/// [`TelemetrySnapshot::without_wall_times`] for the telemetry part).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeStats {
+    /// Wall-clock runtime of the run in seconds.
+    #[serde(default)]
+    pub wall_seconds: f64,
+    /// Telemetry snapshot (`None` when telemetry is off). Deterministic
+    /// except for its `wall` map and phase wall-stamps.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub telemetry: Option<TelemetrySnapshot>,
+}
 
 /// Exact bookkeeping of a fault-injected run: how every admitted request
 /// was disposed of, and how much machine time was lost to failures.
@@ -120,8 +140,13 @@ pub struct SimulationReport {
     pub events_fired: u64,
     /// Final simulated time in seconds.
     pub simulated_seconds: f64,
-    /// Wall-clock runtime of the run in seconds.
-    pub wall_seconds: f64,
+    /// Non-deterministic facts about the run (wall-clock timing,
+    /// telemetry), quarantined so everything else stays bit-comparable
+    /// across runs of the same seed. Defaulted so reports written before
+    /// this section existed still parse (their top-level `wall_seconds` is
+    /// ignored as an unknown field).
+    #[serde(default)]
+    pub runtime: RuntimeStats,
     /// Cluster-level summary facts.
     pub cluster: ClusterSummary,
     /// What the runtime invariant auditor found (`None` when paranoid
@@ -151,8 +176,8 @@ impl SimulationReport {
     /// figure of merit behind Figure 7's runtime scaling.
     #[must_use]
     pub fn events_per_second(&self) -> f64 {
-        if self.wall_seconds > 0.0 {
-            self.events_fired as f64 / self.wall_seconds
+        if self.runtime.wall_seconds > 0.0 {
+            self.events_fired as f64 / self.runtime.wall_seconds
         } else {
             0.0
         }
@@ -186,7 +211,10 @@ mod tests {
             }],
             events_fired: 50_000,
             simulated_seconds: 1234.5,
-            wall_seconds: 0.5,
+            runtime: RuntimeStats {
+                wall_seconds: 0.5,
+                telemetry: None,
+            },
             cluster: ClusterSummary {
                 servers: 4,
                 jobs_completed: 10_000,
@@ -241,7 +269,9 @@ mod tests {
         let back: SimulationReport = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
         // Reports written before fault injection existed still parse.
-        let legacy = serde_json::to_string(&report()).unwrap().replace(",\"faults\":null", "");
+        let legacy = serde_json::to_string(&report())
+            .unwrap()
+            .replace(",\"faults\":null", "");
         let back: SimulationReport = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back.cluster.faults, None);
     }
@@ -258,7 +288,10 @@ mod tests {
         let legacy = serde_json::to_string(&report())
             .unwrap()
             .replace("\"termination\":\"Converged\",", "");
-        assert!(!legacy.contains("termination"), "field must be stripped for the test");
+        assert!(
+            !legacy.contains("termination"),
+            "field must be stripped for the test"
+        );
         let back: SimulationReport = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back.termination, TerminationReason::Deadline);
     }
@@ -269,7 +302,10 @@ mod tests {
         assert_eq!(TerminationReason::Deadline.to_string(), "deadline");
         assert_eq!(TerminationReason::Interrupted.to_string(), "interrupted");
         assert_eq!(TerminationReason::Resumed.to_string(), "resumed");
-        assert_eq!(TerminationReason::AuditViolation.to_string(), "audit-violation");
+        assert_eq!(
+            TerminationReason::AuditViolation.to_string(),
+            "audit-violation"
+        );
         assert_eq!(TerminationReason::Livelock.to_string(), "livelock");
     }
 
@@ -293,9 +329,44 @@ mod tests {
         let back: SimulationReport = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
         // Reports written before the auditor existed still parse.
-        let legacy = serde_json::to_string(&report()).unwrap().replace(",\"audit\":null", "");
-        assert!(!legacy.contains("audit"), "field must be stripped for the test");
+        let legacy = serde_json::to_string(&report())
+            .unwrap()
+            .replace(",\"audit\":null", "");
+        assert!(
+            !legacy.contains("audit"),
+            "field must be stripped for the test"
+        );
         let back: SimulationReport = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back.audit, None);
+    }
+
+    #[test]
+    fn runtime_section_round_trips_and_legacy_reports_parse() {
+        let mut r = report();
+        r.runtime.telemetry = Some(TelemetrySnapshot::default());
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimulationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+        // Reports written before the runtime section existed carried a
+        // top-level wall_seconds; they still parse (the unknown field is
+        // ignored, wall time defaults to zero).
+        let legacy = serde_json::to_string(&report()).unwrap().replace(
+            "\"runtime\":{\"wall_seconds\":0.5},",
+            "\"wall_seconds\":0.5,",
+        );
+        assert!(
+            !legacy.contains("runtime"),
+            "section must be stripped for the test"
+        );
+        let back: SimulationReport = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.runtime.wall_seconds, 0.0);
+        assert_eq!(back.runtime.telemetry, None);
+        assert_eq!(back.estimates, report().estimates);
+    }
+
+    #[test]
+    fn telemetry_section_is_omitted_when_absent() {
+        let json = serde_json::to_string(&report()).unwrap();
+        assert!(!json.contains("telemetry"));
     }
 }

@@ -6,15 +6,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use bighouse_des::{Calendar, Engine};
+use bighouse_des::{Calendar, CalendarStats, Engine};
 use bighouse_stats::{HistogramSpec, StatsCollection};
+use bighouse_telemetry::{MemoryRecorder, Recorder as _, TelemetrySnapshot};
 
 use crate::audit::{AuditConfig, AuditReport};
 use crate::checkpoint::{config_fingerprint, CheckpointConfig, CheckpointStore, RunState};
 use crate::cluster::ClusterSim;
 use crate::config::ExperimentConfig;
 use crate::error::SimError;
-use crate::report::{SimulationReport, TerminationReason};
+use crate::report::{RuntimeStats, SimulationReport, TerminationReason};
+use crate::telemetry::assemble_snapshot;
 
 /// Runs a complete serial simulation: warm-up, calibration, measurement,
 /// and convergence, terminating when every metric meets its target (or the
@@ -40,6 +42,7 @@ pub fn run_serial(config: &ExperimentConfig, seed: u64) -> Result<SimulationRepo
         None => engine.run_with_limit(config.max_events),
     };
     let now = engine.now();
+    let cal_stats = engine.calendar().stats();
     let mut sim = engine.into_simulation();
     if let Some(violation) = guard.and_then(|g| g.violation()) {
         sim.record_progress_violation(violation);
@@ -48,13 +51,26 @@ pub fn run_serial(config: &ExperimentConfig, seed: u64) -> Result<SimulationRepo
     let audit = sim.take_audit();
     let audit_failed = audit.as_ref().is_some_and(|a| !a.passed());
     let converged = sim.stats().all_converged() && !audit_failed;
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let telemetry = sim.take_telemetry().map(|t| {
+        assemble_snapshot(
+            &t.into_recorder(),
+            Some(sim.stats()),
+            &cal_stats,
+            run.events_fired,
+            wall_seconds,
+        )
+    });
     Ok(SimulationReport {
         converged,
         termination: termination_for(converged, audit.as_ref()),
         estimates: sim.stats().estimates(),
         events_fired: run.events_fired,
         simulated_seconds: now.as_seconds(),
-        wall_seconds: start.elapsed().as_secs_f64(),
+        runtime: RuntimeStats {
+            wall_seconds,
+            telemetry,
+        },
         cluster: sim.summary(now),
         audit,
     })
@@ -132,6 +148,7 @@ fn report_from_state(
     config: &ExperimentConfig,
     state: &RunState,
     termination: TerminationReason,
+    telemetry: Option<TelemetrySnapshot>,
 ) -> SimulationReport {
     let audit_failed = state.audit.as_ref().is_some_and(|a| !a.passed());
     SimulationReport {
@@ -144,7 +161,10 @@ fn report_from_state(
             .unwrap_or_default(),
         events_fired: state.events_done,
         simulated_seconds: state.totals.simulated_seconds,
-        wall_seconds: state.wall_seconds,
+        runtime: RuntimeStats {
+            wall_seconds: state.wall_seconds,
+            telemetry,
+        },
         cluster: state.totals.summary(config.servers),
         audit: state.audit.clone(),
     }
@@ -202,7 +222,11 @@ pub fn run_resumable(
         let Some(state) = store.load()? else {
             return Err(SimError::Checkpoint(format!(
                 "resume requested but no checkpoint exists in {}",
-                store.current_path().parent().unwrap_or(Path::new(".")).display()
+                store
+                    .current_path()
+                    .parent()
+                    .unwrap_or(Path::new("."))
+                    .display()
             )));
         };
         if state.config_fingerprint != fingerprint {
@@ -219,8 +243,19 @@ pub fn run_resumable(
 
     if opts.resume && state.converged() {
         // The previous incarnation already finished; re-emit its report.
-        return Ok(report_from_state(config, &state, TerminationReason::Resumed));
+        return Ok(report_from_state(
+            config,
+            &state,
+            TerminationReason::Resumed,
+            None,
+        ));
     }
+
+    // Telemetry accumulators: each epoch's recorder and calendar counters
+    // are folded in here so the final snapshot spans the whole run.
+    let mut tel_acc = config
+        .telemetry_enabled()
+        .then(|| (MemoryRecorder::new(), CalendarStats::default()));
 
     let base_wall = state.wall_seconds;
     let start_epoch = state.next_epoch;
@@ -262,7 +297,9 @@ pub fn run_resumable(
         let mut cal = Calendar::new();
         sim.prime(&mut cal);
         let mut engine = Engine::from_parts(sim, cal);
-        let budget = opts.epoch_budget().min(config.max_events - state.events_done);
+        let budget = opts
+            .epoch_budget()
+            .min(config.max_events - state.events_done);
         let run = match guard.as_mut() {
             Some(guard) => engine.run_guarded(budget, guard),
             None => engine.run_with_limit(budget),
@@ -273,6 +310,7 @@ pub fn run_resumable(
             });
         }
         let now = engine.now();
+        let epoch_cal = engine.calendar().stats();
         let mut sim = engine.into_simulation();
         if run.stopped_by_guard {
             if let Some(violation) = guard.as_ref().and_then(|g| g.violation()) {
@@ -287,6 +325,13 @@ pub fn run_resumable(
                 .get_or_insert_with(AuditReport::default)
                 .merge(&epoch_audit);
         }
+        if let Some((rec, cal_acc)) = tel_acc.as_mut() {
+            cal_acc.absorb(&epoch_cal);
+            rec.counter_add("sim.epochs", 1);
+            if let Some(t) = sim.take_telemetry() {
+                rec.absorb(&t.into_recorder());
+            }
+        }
         state.stats = Some(sim.into_stats());
         state.events_done += run.events_fired;
         state.next_epoch += 1;
@@ -294,7 +339,7 @@ pub fn run_resumable(
         if let Some((store, interval)) = &store {
             if state.next_epoch.is_multiple_of(*interval) {
                 state.wall_seconds = base_wall + start.elapsed().as_secs_f64();
-                store.save(&state)?;
+                timed_save(store, &state, tel_acc.as_mut().map(|(rec, _)| rec))?;
             }
         }
     };
@@ -303,9 +348,40 @@ pub fn run_resumable(
     if let Some((store, _)) = &store {
         // Always persist the final state, whatever the interval: a
         // graceful wind-down must never lose the tail of the run.
-        store.save(&state)?;
+        timed_save(store, &state, tel_acc.as_mut().map(|(rec, _)| rec))?;
     }
-    Ok(report_from_state(config, &state, termination))
+    let telemetry = tel_acc.map(|(rec, cal_acc)| {
+        assemble_snapshot(
+            &rec,
+            state.stats.as_ref(),
+            &cal_acc,
+            state.events_done,
+            state.wall_seconds,
+        )
+    });
+    Ok(report_from_state(config, &state, termination, telemetry))
+}
+
+/// Saves a checkpoint, folding its write latency into the telemetry
+/// recorder (wall-clock values land in the quarantined `wall` namespace;
+/// only the deterministic *count* of writes is a counter).
+fn timed_save(
+    store: &CheckpointStore,
+    state: &RunState,
+    rec: Option<&mut MemoryRecorder>,
+) -> Result<(), SimError> {
+    let t0 = Instant::now();
+    store.save(state)?;
+    if let Some(rec) = rec {
+        let secs = t0.elapsed().as_secs_f64();
+        rec.counter_add("sim.checkpoint_writes", 1);
+        rec.wall_set("sim.checkpoint_last_write_seconds", secs);
+        let prev = rec
+            .wall("sim.checkpoint_write_seconds_total")
+            .unwrap_or(0.0);
+        rec.wall_set("sim.checkpoint_write_seconds_total", prev + secs);
+    }
+    Ok(())
 }
 
 /// Runs the **master's** portion of a parallel simulation (Figure 3): just
@@ -383,7 +459,8 @@ mod tests {
     fn serial_run_produces_full_report() {
         let report = run_serial(&quick_config(), 21).unwrap();
         assert!(report.converged);
-        assert!(report.wall_seconds > 0.0);
+        assert!(report.runtime.wall_seconds > 0.0);
+        assert!(report.runtime.telemetry.is_none(), "telemetry is opt-in");
         assert!(report.simulated_seconds > 0.0);
         assert!(report.events_fired > 0);
         let est = report.metric(MetricKind::ResponseTime.name()).unwrap();
@@ -413,7 +490,10 @@ mod tests {
         let config = quick_config().with_max_events(100);
         assert!(matches!(
             run_until_calibrated(&config, 25),
-            Err(SimError::EventCapExhausted { phase: "calibration", cap: 100 })
+            Err(SimError::EventCapExhausted {
+                phase: "calibration",
+                cap: 100
+            })
         ));
     }
 
@@ -467,10 +547,8 @@ mod tests {
     }
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "bighouse-runner-test-{}-{tag}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("bighouse-runner-test-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -538,7 +616,10 @@ mod tests {
             ..RunOptions::default()
         };
         let reference = run_resumable(&config, 34, &uninterrupted).unwrap();
-        assert!(reference.converged, "reference must converge for the test to bite");
+        assert!(
+            reference.converged,
+            "reference must converge for the test to bite"
+        );
 
         let dir = temp_dir("kill-resume");
         let interrupted = RunOptions {
@@ -549,7 +630,10 @@ mod tests {
         };
         let partial = run_resumable(&config, 34, &interrupted).unwrap();
         assert_eq!(partial.termination, TerminationReason::Interrupted);
-        assert!(!partial.converged, "two epochs must not satisfy 5% accuracy");
+        assert!(
+            !partial.converged,
+            "two epochs must not satisfy 5% accuracy"
+        );
 
         // "Process restart": nothing carried over but the files on disk.
         let resumed_opts = RunOptions {

@@ -216,7 +216,12 @@ struct ReplaySim {
 impl Simulation for ReplaySim {
     type Event = ReplayEvent;
 
-    fn handle(&mut self, now: Time, event: ReplayEvent, cal: &mut Calendar<ReplayEvent>) -> Control {
+    fn handle(
+        &mut self,
+        now: Time,
+        event: ReplayEvent,
+        cal: &mut Calendar<ReplayEvent>,
+    ) -> Control {
         match event {
             ReplayEvent::Arrival { index } => {
                 let entry = self.trace.entries[index];

@@ -9,8 +9,8 @@
 
 use bighouse_des::{Calendar, Engine};
 use bighouse_sim::{
-    run_serial, AuditConfig, AuditReport, AuditViolation, ClusterSim, ExperimentConfig,
-    SeededBug, TerminationReason,
+    run_serial, AuditConfig, AuditReport, AuditViolation, ClusterSim, ExperimentConfig, SeededBug,
+    TerminationReason,
 };
 use bighouse_workloads::{StandardWorkload, Workload};
 

@@ -1,0 +1,214 @@
+//! Telemetry bit-identity: instrumentation must be a pure observer.
+//!
+//! Two contracts, both load-bearing for CI:
+//!
+//! 1. A fixed-seed run with telemetry ON produces **bit-identical**
+//!    estimates (and event counts, and simulated time) to the same run
+//!    with telemetry OFF — the same guarantee the runtime auditor proved
+//!    in the previous PR, extended to the instrumentation layer.
+//! 2. Two instrumented runs of the same seed produce **identical
+//!    telemetry snapshots** once wall-clock values are stripped — the
+//!    counters and histograms are themselves deterministic facts.
+//!
+//! Comparisons use struct equality and `f64::to_bits`, never formatted
+//! strings, so nothing here depends on a JSON library's float rendering.
+
+use bighouse_faults::{FaultProcess, RetryPolicy};
+use bighouse_sim::{
+    run_resumable, run_serial, ArrivalMode, ExperimentConfig, MetricKind, RunOptions,
+};
+use bighouse_telemetry::TelemetrySnapshot;
+use bighouse_workloads::{StandardWorkload, Workload};
+
+fn quick_config() -> ExperimentConfig {
+    ExperimentConfig::new(Workload::standard(StandardWorkload::Web))
+        .with_utilization(0.5)
+        .with_target_accuracy(0.2)
+        .with_warmup(50)
+        .with_calibration(500)
+}
+
+/// Bit-exact estimate comparison without going through serialization.
+fn assert_estimates_bit_identical(
+    a: &bighouse_sim::SimulationReport,
+    b: &bighouse_sim::SimulationReport,
+    context: &str,
+) {
+    assert_eq!(a.events_fired, b.events_fired, "{context}: events differ");
+    assert_eq!(
+        a.simulated_seconds.to_bits(),
+        b.simulated_seconds.to_bits(),
+        "{context}: simulated time differs"
+    );
+    assert_eq!(
+        a.estimates.len(),
+        b.estimates.len(),
+        "{context}: metric count differs"
+    );
+    for (ea, eb) in a.estimates.iter().zip(&b.estimates) {
+        assert_eq!(ea.name, eb.name, "{context}");
+        assert_eq!(
+            ea.mean.to_bits(),
+            eb.mean.to_bits(),
+            "{context}: {}",
+            ea.name
+        );
+        assert_eq!(
+            ea.std_dev.to_bits(),
+            eb.std_dev.to_bits(),
+            "{context}: {}",
+            ea.name
+        );
+        assert_eq!(
+            ea.mean_half_width.to_bits(),
+            eb.mean_half_width.to_bits(),
+            "{context}: {}",
+            ea.name
+        );
+        assert_eq!(ea.samples_kept, eb.samples_kept, "{context}: {}", ea.name);
+        assert_eq!(ea.lag, eb.lag, "{context}: {}", ea.name);
+        assert_eq!(
+            ea.quantiles.len(),
+            eb.quantiles.len(),
+            "{context}: {}",
+            ea.name
+        );
+        for (qa, qb) in ea.quantiles.iter().zip(&eb.quantiles) {
+            assert_eq!(
+                qa.value.to_bits(),
+                qb.value.to_bits(),
+                "{context}: {}",
+                ea.name
+            );
+        }
+    }
+}
+
+/// The deterministic projection of a snapshot: wall values stripped, phase
+/// wall-stamps zeroed. Everything that remains must be a pure function of
+/// the configuration and seed.
+fn deterministic(snap: &TelemetrySnapshot) -> TelemetrySnapshot {
+    snap.without_wall_times()
+}
+
+#[test]
+fn telemetry_on_matches_telemetry_off_bit_for_bit() {
+    let configs = [
+        quick_config(),
+        quick_config()
+            .with_servers(4)
+            .with_arrival_mode(ArrivalMode::LoadBalanced(
+                bighouse_models::BalancerPolicy::JoinShortestQueue,
+            )),
+        quick_config()
+            .with_servers(2)
+            .with_faults(FaultProcess::exponential(20.0, 2.0).unwrap())
+            .with_retry(RetryPolicy::new(1.0))
+            .with_metric(MetricKind::Availability)
+            .with_calibration(200),
+    ];
+    for (i, config) in configs.iter().enumerate() {
+        let seed = 70 + i as u64;
+        let plain = run_serial(config, seed).unwrap();
+        let instrumented = run_serial(&config.clone().with_telemetry(true), seed).unwrap();
+        assert_estimates_bit_identical(&plain, &instrumented, &format!("config {i}"));
+        assert!(plain.runtime.telemetry.is_none());
+        let snap = instrumented
+            .runtime
+            .telemetry
+            .as_ref()
+            .expect("instrumented run must carry telemetry");
+        assert_eq!(
+            snap.counters["des.events_fired"], instrumented.events_fired,
+            "config {i}: calendar counter disagrees with the engine"
+        );
+        assert!(snap.counters["stats.samples_recorded"] > 0, "config {i}");
+    }
+}
+
+#[test]
+fn two_instrumented_runs_produce_identical_snapshots() {
+    let config = quick_config().with_telemetry(true);
+    let a = run_serial(&config, 81).unwrap();
+    let b = run_serial(&config, 81).unwrap();
+    let snap_a = a.runtime.telemetry.expect("telemetry on");
+    let snap_b = b.runtime.telemetry.expect("telemetry on");
+    // Deterministic sections agree exactly: counters, gauges, histogram
+    // bin counts, and the phase-transition log (minus wall stamps).
+    assert_eq!(deterministic(&snap_a), deterministic(&snap_b));
+    // And the non-deterministic part is really confined to `wall`: both
+    // snapshots carry it, it just may differ.
+    assert!(snap_a.wall.contains_key("wall_seconds"));
+    assert!(snap_b.wall.contains_key("wall_seconds"));
+}
+
+#[test]
+fn snapshot_carries_every_layer() {
+    let config = quick_config()
+        .with_servers(2)
+        .with_telemetry(true)
+        .with_faults(FaultProcess::exponential(20.0, 2.0).unwrap())
+        .with_metric(MetricKind::Availability)
+        .with_calibration(200);
+    let report = run_serial(&config, 82).unwrap();
+    let snap = report.runtime.telemetry.expect("telemetry on");
+    // des layer
+    assert!(snap.counters["des.events_scheduled"] >= snap.counters["des.events_fired"]);
+    assert!(snap.counters["des.sift_steps"] > 0);
+    assert!(snap.gauges["des.calendar_depth_high_water"] >= 1.0);
+    // stats layer
+    assert!(snap.counters["stats.response_time.samples_kept"] > 0);
+    assert!(snap.gauges.contains_key("stats.response_time.lag"));
+    assert!(!snap.phases.is_empty(), "phase transitions must be logged");
+    assert!(snap
+        .phases
+        .iter()
+        .any(|p| p.metric == "response_time" && p.from == "warm-up"));
+    // sim layer
+    assert!(snap.histograms["sim.queue_depth"].count > 0);
+    assert!(snap.histograms["sim.server_utilization"].count > 0);
+    assert!(snap.counters["sim.server_failures"] > 0);
+    // wall quarantine
+    assert!(snap.wall.contains_key("des.events_per_second"));
+}
+
+#[test]
+fn resumable_telemetry_spans_epochs_and_stays_observational() {
+    let config = quick_config();
+    let opts = RunOptions {
+        epoch_events: 2_000,
+        ..RunOptions::default()
+    };
+    let plain = run_resumable(&config, 83, &opts).unwrap();
+    let instrumented = run_resumable(&config.clone().with_telemetry(true), 83, &opts).unwrap();
+    assert_estimates_bit_identical(&plain, &instrumented, "resumable");
+    let snap = instrumented.runtime.telemetry.expect("telemetry on");
+    assert!(
+        snap.counters["sim.epochs"] > 1,
+        "run must span several epochs"
+    );
+    assert_eq!(snap.counters["des.events_fired"], instrumented.events_fired);
+    // Epoch stitching preserves snapshot determinism too.
+    let again = run_resumable(&config.clone().with_telemetry(true), 83, &opts).unwrap();
+    assert_eq!(
+        deterministic(&snap),
+        deterministic(&again.runtime.telemetry.expect("telemetry on"))
+    );
+}
+
+#[test]
+fn checkpointed_telemetry_counts_writes() {
+    let dir = std::env::temp_dir().join(format!("bighouse-telemetry-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = quick_config().with_telemetry(true);
+    let opts = RunOptions {
+        epoch_events: 10_000,
+        checkpoint: Some(bighouse_sim::CheckpointConfig::new(&dir)),
+        ..RunOptions::default()
+    };
+    let report = run_resumable(&config, 84, &opts).unwrap();
+    let snap = report.runtime.telemetry.expect("telemetry on");
+    assert!(snap.counters["sim.checkpoint_writes"] >= 1);
+    assert!(snap.wall.contains_key("sim.checkpoint_write_seconds_total"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

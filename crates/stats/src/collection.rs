@@ -13,6 +13,15 @@ use crate::metric::{MetricEstimate, MetricSpec, NonFiniteObservation, OutputMetr
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MetricId(usize);
 
+impl MetricId {
+    /// Position of the metric in its collection (insertion order) —
+    /// usable as a dense index into per-metric side tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Aggregate phase of a whole simulation's metric set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CollectionPhase {
@@ -238,12 +247,15 @@ impl StatsCollection {
     /// The phase of the *least advanced* metric, a useful progress signal.
     #[must_use]
     pub fn slowest_phase(&self) -> Option<Phase> {
-        self.metrics.iter().map(OutputMetric::phase).min_by_key(|p| match p {
-            Phase::Warmup => 0,
-            Phase::Calibration => 1,
-            Phase::Measurement => 2,
-            Phase::Converged => 3,
-        })
+        self.metrics
+            .iter()
+            .map(OutputMetric::phase)
+            .min_by_key(|p| match p {
+                Phase::Warmup => 0,
+                Phase::Calibration => 1,
+                Phase::Measurement => 2,
+                Phase::Converged => 3,
+            })
     }
 }
 

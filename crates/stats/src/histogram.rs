@@ -305,7 +305,10 @@ impl Histogram {
     /// Panics if `q` is not within `[0, 1]`.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0, 1], got {q}"
+        );
         let total = self.count();
         if total == 0 {
             return None;
@@ -430,7 +433,10 @@ mod tests {
     fn spec_from_nonnegative_sample_clamps_low_at_zero() {
         let sample = vec![0.1, 0.2, 0.3];
         let spec = HistogramSpec::from_calibration_sample(&sample).unwrap();
-        assert!(spec.low() >= 0.0, "non-negative data must not get a negative low");
+        assert!(
+            spec.low() >= 0.0,
+            "non-negative data must not get a negative low"
+        );
         assert!(spec.low() < 0.05, "padding should reach (nearly) to zero");
     }
 

@@ -270,7 +270,8 @@ pub fn chi_square_inverse_cdf(k: u32, p: f64) -> f64 {
     for _ in 0..60 {
         let f = chi_square_cdf(k, x) - p;
         // Chi-square pdf with k dof at x.
-        let pdf = ((kf / 2.0 - 1.0) * x.ln() - x / 2.0
+        let pdf = ((kf / 2.0 - 1.0) * x.ln()
+            - x / 2.0
             - (kf / 2.0) * std::f64::consts::LN_2
             - ln_gamma(kf / 2.0))
         .exp();
@@ -294,8 +295,14 @@ mod tests {
 
     #[test]
     fn ln_gamma_matches_factorials() {
-        for (n, fact) in [(1u32, 1.0f64), (2, 1.0), (3, 2.0), (4, 6.0), (5, 24.0), (10, 362_880.0)]
-        {
+        for (n, fact) in [
+            (1u32, 1.0f64),
+            (2, 1.0),
+            (3, 2.0),
+            (4, 6.0),
+            (5, 24.0),
+            (10, 362_880.0),
+        ] {
             let got = ln_gamma(f64::from(n));
             assert!(
                 (got - fact.ln()).abs() < 1e-10,
@@ -345,10 +352,15 @@ mod tests {
 
     #[test]
     fn normal_inverse_round_trips() {
-        for p in [0.001, 0.01, 0.025, 0.05, 0.25, 0.5, 0.75, 0.95, 0.975, 0.99, 0.999] {
+        for p in [
+            0.001, 0.01, 0.025, 0.05, 0.25, 0.5, 0.75, 0.95, 0.975, 0.99, 0.999,
+        ] {
             let x = normal_inverse_cdf(p);
             let back = normal_cdf(x);
-            assert!((back - p).abs() < 1e-10, "round trip failed at p={p}: {back}");
+            assert!(
+                (back - p).abs() < 1e-10,
+                "round trip failed at p={p}: {back}"
+            );
         }
     }
 

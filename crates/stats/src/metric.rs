@@ -133,7 +133,10 @@ impl MetricSpec {
     /// Panics unless `0 < e < 1`.
     #[must_use]
     pub fn with_target_accuracy(mut self, e: f64) -> Self {
-        assert!(e > 0.0 && e < 1.0, "target accuracy must be in (0, 1), got {e}");
+        assert!(
+            e > 0.0 && e < 1.0,
+            "target accuracy must be in (0, 1), got {e}"
+        );
         self.target_accuracy = e;
         self
     }
@@ -489,6 +492,16 @@ impl OutputMetric {
     #[must_use]
     pub fn total_observed(&self) -> u64 {
         self.total_observed
+    }
+
+    /// Observations seen during the measurement phase (kept or discarded).
+    ///
+    /// `measurement_seen() - kept_count()` is the number of samples the
+    /// lag-spacing filter dropped to de-correlate the kept stream — the
+    /// price paid for independence (§2.3), surfaced by telemetry.
+    #[must_use]
+    pub fn measurement_seen(&self) -> u64 {
+        self.measurement_seen
     }
 
     /// Whether this metric has reached its accuracy/confidence target.

@@ -20,7 +20,9 @@ const A: [[f64; 6]; 6] = [
     [13_568.0, 27_139.0, 40_721.0, 54_281.0, 67_852.0, 83_685.0],
     [18_091.0, 36_187.0, 54_281.0, 72_414.0, 90_470.0, 111_580.0],
     [22_615.0, 45_234.0, 67_852.0, 90_470.0, 113_262.0, 139_476.0],
-    [27_892.0, 55_789.0, 83_685.0, 111_580.0, 139_476.0, 172_860.0],
+    [
+        27_892.0, 55_789.0, 83_685.0, 111_580.0, 139_476.0, 172_860.0,
+    ],
 ];
 
 /// Expected fraction of runs of each length (1–6, last entry is ">= 6").

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use bighouse_stats::{
-    math, required_samples_mean, required_samples_quantile, Histogram, HistogramSpec,
-    MetricSpec, OutputMetric, RunningStats, RunsUpTest,
+    math, required_samples_mean, required_samples_quantile, Histogram, HistogramSpec, MetricSpec,
+    OutputMetric, RunningStats, RunsUpTest,
 };
 
 fn observations() -> impl Strategy<Value = Vec<f64>> {

@@ -1,0 +1,227 @@
+//! Fixed-bin histograms for latency and timing telemetry.
+
+use serde::{Deserialize, Serialize};
+
+use crate::snapshot::HistogramSnapshot;
+
+/// A histogram with a fixed number of bins over a fixed range, sized once at
+/// construction so [`observe`](FixedBinHistogram::observe) never allocates.
+///
+/// Bins may be spaced linearly or logarithmically; log spacing is the right
+/// choice for latencies, which span orders of magnitude. Samples outside the
+/// range land in dedicated underflow/overflow counters instead of being
+/// dropped, and the exact min/max/sum/count are tracked so the mean is not
+/// a binning artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixedBinHistogram {
+    lo: f64,
+    hi: f64,
+    log_scale: bool,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    finite: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl FixedBinHistogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero, the bounds are not finite, or `lo >= hi`.
+    #[must_use]
+    pub fn linear(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad bounds");
+        FixedBinHistogram {
+            lo,
+            hi,
+            log_scale: false,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            finite: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Creates a histogram with `bins` logarithmically spaced bins over
+    /// `[lo, hi)` — the natural spacing for latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero, the bounds are not finite, or
+    /// `0 < lo < hi` does not hold.
+    #[must_use]
+    pub fn log_spaced(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo > 0.0 && lo < hi,
+            "log-spaced bounds must satisfy 0 < lo < hi"
+        );
+        FixedBinHistogram {
+            log_scale: true,
+            ..FixedBinHistogram::linear(lo, hi, bins)
+        }
+    }
+
+    /// Records one sample. O(1), allocation-free. Non-finite samples count
+    /// toward overflow (they are telemetry, not statistics — nothing here
+    /// should ever panic a run).
+    #[inline]
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if x.is_finite() {
+            self.finite += 1;
+            self.sum += x;
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        if !x.is_finite() || x >= self.hi {
+            self.overflow += 1;
+        } else if x < self.lo {
+            self.underflow += 1;
+        } else {
+            let n = self.bins.len() as f64;
+            let frac = if self.log_scale {
+                (x / self.lo).ln() / (self.hi / self.lo).ln()
+            } else {
+                (x - self.lo) / (self.hi - self.lo)
+            };
+            let idx = ((frac * n) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total samples recorded, including under/overflow.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all finite samples, or `None` if none were recorded.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.finite > 0).then(|| self.sum / self.finite as f64)
+    }
+
+    /// Lower bound of the histogram range.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the histogram range.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Merges another histogram's samples into this one, bin-wise. Returns
+    /// `false` (and changes nothing) when the shapes differ.
+    pub fn merge(&mut self, other: &FixedBinHistogram) -> bool {
+        let same_shape = self.lo == other.lo
+            && self.hi == other.hi
+            && self.log_scale == other.log_scale
+            && self.bins.len() == other.bins.len();
+        if !same_shape {
+            return false;
+        }
+        for (slot, add) in self.bins.iter_mut().zip(&other.bins) {
+            *slot += add;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.finite += other.finite;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        true
+    }
+
+    /// Freezes the histogram into its serializable snapshot form.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            lo: self.lo,
+            hi: self.hi,
+            log_scale: self.log_scale,
+            bins: self.bins.clone(),
+            underflow: self.underflow,
+            overflow: self.overflow,
+            count: self.count,
+            sum: self.sum,
+            min: if self.min.is_finite() {
+                Some(self.min)
+            } else {
+                None
+            },
+            max: if self.max.is_finite() {
+                Some(self.max)
+            } else {
+                None
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning_places_samples() {
+        let mut h = FixedBinHistogram::linear(0.0, 10.0, 10);
+        h.observe(0.5);
+        h.observe(9.99);
+        h.observe(-1.0);
+        h.observe(10.0);
+        let s = h.snapshot();
+        assert_eq!(s.bins[0], 1);
+        assert_eq!(s.bins[9], 1);
+        assert_eq!(s.underflow, 1);
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn log_binning_spans_decades() {
+        let mut h = FixedBinHistogram::log_spaced(1e-6, 1.0, 6);
+        h.observe(1e-6);
+        h.observe(1e-3);
+        h.observe(0.999);
+        let s = h.snapshot();
+        assert_eq!(s.bins[0], 1);
+        assert_eq!(s.bins[3], 1);
+        assert_eq!(s.bins[5], 1);
+    }
+
+    #[test]
+    fn non_finite_goes_to_overflow_not_panic() {
+        let mut h = FixedBinHistogram::linear(0.0, 1.0, 4);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        let s = h.snapshot();
+        assert_eq!(s.overflow, 2);
+        assert_eq!(s.min, None);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let mut h = FixedBinHistogram::log_spaced(1e-3, 1e3, 12);
+        for i in 1..100 {
+            h.observe(f64::from(i) * 0.1);
+        }
+        let json = serde_json::to_string(&h.snapshot()).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h.snapshot());
+    }
+}

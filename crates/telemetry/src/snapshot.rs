@@ -1,0 +1,168 @@
+//! The serializable, deterministically ordered output of a recorder.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Frozen form of a [`FixedBinHistogram`](crate::FixedBinHistogram).
+///
+/// `min`/`max` are `None` when no finite sample was recorded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Lower bound of the binned range.
+    pub lo: f64,
+    /// Upper bound of the binned range.
+    pub hi: f64,
+    /// Whether the bins are logarithmically spaced.
+    pub log_scale: bool,
+    /// Per-bin sample counts.
+    pub bins: Vec<u64>,
+    /// Samples below `lo`.
+    pub underflow: u64,
+    /// Samples at or above `hi`, plus non-finite samples.
+    pub overflow: u64,
+    /// Total samples, including under/overflow.
+    pub count: u64,
+    /// Sum of all finite samples.
+    pub sum: f64,
+    /// Smallest finite sample.
+    pub min: Option<f64>,
+    /// Largest finite sample.
+    pub max: Option<f64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded finite samples, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        let finite = self.count - self.nonfinite();
+        (finite > 0).then(|| self.sum / finite as f64)
+    }
+
+    fn nonfinite(&self) -> u64 {
+        // Non-finite samples count toward `count` and `overflow` but never
+        // toward min/max; when min is None, nothing finite was seen.
+        if self.min.is_none() {
+            self.count
+        } else {
+            0
+        }
+    }
+}
+
+/// One statistics phase-machine transition (§2.3 of the paper: warm-up →
+/// calibration → measurement → converged), stamped with both clocks.
+///
+/// `simulated_seconds` is deterministic; `wall_seconds` (seconds since the
+/// run started) is not, and is zeroed by
+/// [`TelemetrySnapshot::without_wall_times`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTransition {
+    /// Metric whose phase machine advanced.
+    pub metric: String,
+    /// Phase the metric left.
+    pub from: String,
+    /// Phase the metric entered.
+    pub to: String,
+    /// Simulated time of the observation that caused the transition.
+    pub simulated_seconds: f64,
+    /// Wall-clock seconds since the run started (non-deterministic).
+    pub wall_seconds: f64,
+    /// Observations the metric had seen at the transition.
+    pub total_observed: u64,
+}
+
+/// Everything a run's recorder captured, in plain `serde` data.
+///
+/// All maps are `BTreeMap`s so serialized JSON is deterministically ordered;
+/// two instrumented runs at the same seed produce byte-identical snapshots
+/// once wall-clock fields are stripped with
+/// [`without_wall_times`](TelemetrySnapshot::without_wall_times).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Monotonic event counts, e.g. `des.events_cancelled`.
+    #[serde(default)]
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time values, e.g. `stats.response_time.lag`.
+    #[serde(default)]
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bin distributions, e.g. `sim.queue_depth`.
+    #[serde(default)]
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Phase-machine transitions in observation order.
+    #[serde(default)]
+    pub phases: Vec<PhaseTransition>,
+    /// Wall-clock gauges (seconds, rates) — non-deterministic by nature,
+    /// kept apart from `gauges` so determinism checks never see them.
+    #[serde(default)]
+    pub wall: BTreeMap<String, f64>,
+}
+
+impl TelemetrySnapshot {
+    /// Returns a copy with every wall-clock-derived value removed: the
+    /// `wall` map cleared and each phase transition's `wall_seconds` zeroed.
+    /// What remains is a pure function of (config, seed) and is compared
+    /// bit-for-bit by the determinism tests and CI.
+    #[must_use]
+    pub fn without_wall_times(&self) -> TelemetrySnapshot {
+        let mut clean = self.clone();
+        clean.wall.clear();
+        for p in &mut clean.phases {
+            p.wall_seconds = 0.0;
+        }
+        clean
+    }
+
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.phases.is_empty()
+            && self.wall.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty_and_round_trips() {
+        let snap = TelemetrySnapshot::default();
+        assert!(snap.is_empty());
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn without_wall_times_strips_all_nondeterminism() {
+        let mut snap = TelemetrySnapshot::default();
+        snap.counters.insert("des.events_fired".into(), 10);
+        snap.wall.insert("wall_seconds".into(), 1.23);
+        snap.phases.push(PhaseTransition {
+            metric: "response_time".into(),
+            from: "warm-up".into(),
+            to: "calibration".into(),
+            simulated_seconds: 4.5,
+            wall_seconds: 0.011,
+            total_observed: 1000,
+        });
+        let clean = snap.without_wall_times();
+        assert!(clean.wall.is_empty());
+        assert_eq!(clean.phases[0].wall_seconds, 0.0);
+        assert_eq!(clean.phases[0].simulated_seconds, 4.5);
+        assert_eq!(clean.counters["des.events_fired"], 10);
+    }
+
+    #[test]
+    fn json_keys_are_sorted() {
+        let mut snap = TelemetrySnapshot::default();
+        snap.counters.insert("z.last".into(), 1);
+        snap.counters.insert("a.first".into(), 2);
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.find("a.first").unwrap() < json.find("z.last").unwrap());
+    }
+}

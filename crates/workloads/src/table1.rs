@@ -108,9 +108,17 @@ mod tests {
             // The paper rounds Cv to two significant figures; allow the
             // corresponding relative slack.
             let inter_err = (w.interarrival_moments().cv() - inter_cv).abs() / inter_cv;
-            assert!(inter_err < 0.08, "{w}: interarrival Cv {}", w.interarrival_moments().cv());
+            assert!(
+                inter_err < 0.08,
+                "{w}: interarrival Cv {}",
+                w.interarrival_moments().cv()
+            );
             let svc_err = (w.service_moments().cv() - svc_cv).abs() / svc_cv;
-            assert!(svc_err < 0.08, "{w}: service Cv {}", w.service_moments().cv());
+            assert!(
+                svc_err < 0.08,
+                "{w}: service Cv {}",
+                w.service_moments().cv()
+            );
         }
     }
 

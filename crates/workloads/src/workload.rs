@@ -248,7 +248,10 @@ mod tests {
             let svc = which.service_moments();
             let inter_err = (w.interarrival().mean() - inter.mean()).abs() / inter.mean();
             let svc_err = (w.service().mean() - svc.mean()).abs() / svc.mean();
-            assert!(inter_err < 0.05, "{which}: interarrival mean off by {inter_err}");
+            assert!(
+                inter_err < 0.05,
+                "{which}: interarrival mean off by {inter_err}"
+            );
             assert!(svc_err < 0.05, "{which}: service mean off by {svc_err}");
             // σ is harder to hit through a finite quantile table, especially
             // for Shell's Cv = 15; demand the right order of magnitude.

@@ -23,7 +23,10 @@ fn main() {
     let wake_latency = 0.001; // 1 ms PowerNap-class transition
     let service_mean = workload.service().mean();
 
-    println!("DreamWeaver threshold sweep: 16-core search node at {:.0}% load", load * 100.0);
+    println!(
+        "DreamWeaver threshold sweep: 16-core search node at {:.0}% load",
+        load * 100.0
+    );
     println!(
         "{:>16} {:>14} {:>14} {:>12}",
         "max delay", "p99 (ms)", "idle time (%)", "nap time (%)"

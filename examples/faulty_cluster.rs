@@ -23,14 +23,19 @@ fn main() {
         println!("(paranoid mode: runtime invariant auditor armed)");
     }
 
-    println!(
-        "Fault injection: 16-server JSQ cluster, Web workload @ 50% load, MTTR {mttr} s"
-    );
+    println!("Fault injection: 16-server JSQ cluster, Web workload @ 50% load, MTTR {mttr} s");
     println!("Timeout = 20x mean service time, up to 3 retries with jittered backoff.");
     println!();
     println!(
         "{:>9} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
-        "MTBF (s)", "predicted", "measured", "failures", "admitted", "goodput", "timeout", "retries"
+        "MTBF (s)",
+        "predicted",
+        "measured",
+        "failures",
+        "admitted",
+        "goodput",
+        "timeout",
+        "retries"
     );
 
     for mtbf in [10.0, 30.0, 100.0, 300.0] {

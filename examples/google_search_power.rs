@@ -20,7 +20,10 @@ fn main() {
     let cores = 4;
 
     println!("== Figure 4: latency vs QPS under CPU slowdown (Google search) ==");
-    println!("{:>6} {:>8} {:>12} {:>12}", "S_CPU", "QPS(%)", "p95 (ms)", "mean (ms)");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12}",
+        "S_CPU", "QPS(%)", "p95 (ms)", "mean (ms)"
+    );
     for s_cpu in [1.0, 1.1, 1.3, 1.6, 2.0] {
         let slowed = google.with_service_scale(s_cpu).expect("positive scale");
         for qps in [0.2, 0.3, 0.4, 0.5, 0.6, 0.7] {
@@ -30,12 +33,10 @@ fn main() {
             if utilization >= 0.95 {
                 continue; // unstable operating point
             }
-            let config = ExperimentConfig::new(slowed.clone().at_utilization(
-                utilization,
-                cores as u32,
-            ))
-            .with_cores(cores)
-            .with_target_accuracy(0.05);
+            let config =
+                ExperimentConfig::new(slowed.clone().at_utilization(utilization, cores as u32))
+                    .with_cores(cores)
+                    .with_target_accuracy(0.05);
             let report = run_serial(&config, 7).expect("valid config");
             println!(
                 "{:>6.1} {:>8.0} {:>12.2} {:>12.2}",
@@ -50,7 +51,10 @@ fn main() {
 
     println!("== Figure 5: arrival-process assumptions vs tail latency ==");
     let service_mean = google.service().mean();
-    println!("{:>12} {:>8} {:>24}", "arrivals", "QPS(%)", "p95 (normalized to 1/mu)");
+    println!(
+        "{:>12} {:>8} {:>24}",
+        "arrivals", "QPS(%)", "p95 (normalized to 1/mu)"
+    );
     for qps in [0.65, 0.70, 0.75, 0.80] {
         let interarrival_mean = service_mean / (qps * cores as f64);
         // Three arrival processes with identical means, different shapes.
@@ -71,7 +75,12 @@ fn main() {
                 .with_target_accuracy(0.05);
             let report = run_serial(&config, 11).expect("valid config");
             let p95 = report.quantile("response_time", 0.95).unwrap();
-            println!("{:>12} {:>8.0} {:>24.2}", name, qps * 100.0, p95 / service_mean);
+            println!(
+                "{:>12} {:>8.0} {:>24.2}",
+                name,
+                qps * 100.0,
+                p95 / service_mean
+            );
         }
         println!();
     }

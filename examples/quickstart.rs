@@ -19,7 +19,10 @@ fn main() {
         workload.service().cv(),
     );
     println!();
-    println!("{:>6} {:>12} {:>12} {:>10} {:>12} {:>8}", "load", "mean (ms)", "p95 (ms)", "E (%)", "events", "lag");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>12} {:>8}",
+        "load", "mean (ms)", "p95 (ms)", "E (%)", "events", "lag"
+    );
 
     for load in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let config = ExperimentConfig::new(workload.clone())

@@ -47,7 +47,10 @@ fn main() {
             .with_calibration(2000)
             .with_max_events(100_000_000);
         let report = run_multi_tier(&config, 11);
-        assert!(report.converged, "three-tier run should converge at {rate} req/s");
+        assert!(
+            report.converged,
+            "three-tier run should converge at {rate} req/s"
+        );
         let mean = |name: &str| report.metric(name).unwrap().mean * 1e3;
         println!(
             "{:>8.0} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",

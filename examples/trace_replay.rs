@@ -28,7 +28,8 @@ fn main() {
     // Mode 1: exact replay on the as-measured 4-core server.
     let replay = replay_trace(&trace, 1, 4, IdlePolicy::AlwaysOn, 1);
     println!();
-    println!("replay (4 cores):       mean {:>8.2} ms   p95 {:>8.2} ms   p99 {:>8.2} ms",
+    println!(
+        "replay (4 cores):       mean {:>8.2} ms   p95 {:>8.2} ms   p99 {:>8.2} ms",
         replay.response.mean() * 1e3,
         replay.quantile(0.95).unwrap() * 1e3,
         replay.quantile(0.99).unwrap() * 1e3,

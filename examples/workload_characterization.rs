@@ -55,9 +55,8 @@ fn main() {
     println!("saved workload model: {bytes} bytes at {}", path.display());
 
     // Sanity: the characterized model matches the hidden truth's moments.
-    let svc_err =
-        (workload.service().mean() - hidden_truth.service().mean()).abs()
-            / hidden_truth.service().mean();
+    let svc_err = (workload.service().mean() - hidden_truth.service().mean()).abs()
+        / hidden_truth.service().mean();
     assert!(svc_err < 0.05, "characterization drifted: {svc_err}");
 
     // ---- Simulation (Fig. 1, right box) -------------------------------

@@ -48,7 +48,9 @@ fn bursty_arrivals_hurt_the_tail() {
 
     let mut rng = SimRng::from_seed(3);
     let exp = Exponential::from_mean(interarrival_mean).unwrap();
-    let samples: Vec<f64> = (0..200_000).map(|_| exp.sample(&mut rng).max(1e-12)).collect();
+    let samples: Vec<f64> = (0..200_000)
+        .map(|_| exp.sample(&mut rng).max(1e-12))
+        .collect();
     let exp_workload = Workload::new(
         "exp",
         Empirical::from_samples(&samples).unwrap(),
@@ -62,7 +64,8 @@ fn bursty_arrivals_hurt_the_tail() {
             .with_max_events(100_000_000)
     };
     let exponential = run_serial(&config(exp_workload), 4).expect("valid config");
-    let empirical = run_serial(&config(google.at_utilization(qps, cores)), 4).expect("valid config");
+    let empirical =
+        run_serial(&config(google.at_utilization(qps, cores)), 4).expect("valid config");
     let p95_exp = exponential.quantile("response_time", 0.95).unwrap();
     let p95_emp = empirical.quantile("response_time", 0.95).unwrap();
     assert!(
@@ -98,7 +101,10 @@ fn dreamweaver_trades_latency_for_idleness() {
     );
     let p99_dw = dreamweaver.quantile("response_time", 0.99).unwrap();
     let p99_on = always_on.quantile("response_time", 0.99).unwrap();
-    assert!(p99_dw > p99_on, "DreamWeaver p99 {p99_dw} vs always-on {p99_on}");
+    assert!(
+        p99_dw > p99_on,
+        "DreamWeaver p99 {p99_dw} vs always-on {p99_on}"
+    );
 }
 
 /// Power capping end to end: a capped cluster must consume less energy per
@@ -157,7 +163,8 @@ fn parallel_protocol_end_to_end() {
         .with_warmup(100)
         .with_calibration(1000)
         .with_max_events(50_000_000);
-    let reference = run_serial(&config.clone().with_target_accuracy(0.01), 7).expect("valid config");
+    let reference =
+        run_serial(&config.clone().with_target_accuracy(0.01), 7).expect("valid config");
     let outcome = ParallelRunner::new(config, 4).run(7).expect("valid config");
     assert!(outcome.converged);
     let r = reference.metric("response_time").unwrap().mean;

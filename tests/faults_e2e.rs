@@ -130,7 +130,10 @@ fn paranoid_audit_passes_under_heavy_faults_and_retries() {
     );
     assert!(audit.enabled);
     assert!(audit.checks_run > 0, "the request ledger was never swept");
-    assert!(audit.observations_checked > 0, "no observations were vetted");
+    assert!(
+        audit.observations_checked > 0,
+        "no observations were vetted"
+    );
     // An unaudited same-seed run agrees bit-for-bit: paranoia is free.
     let plain_config = faulty_config(10.0, 2.0)
         .with_arrival_mode(ArrivalMode::LoadBalanced(BalancerPolicy::JoinShortestQueue))
