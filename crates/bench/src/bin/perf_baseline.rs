@@ -12,6 +12,9 @@
 //!    failure/repair process and the availability metric, exercising
 //!    cancellations (timeout cancels, repair reschedules) and the
 //!    stranded-job path.
+//! 3. **sweep** — a 6-config grid (utilization × cluster size) through
+//!    the work-stealing sweep orchestrator with a fixed worker count,
+//!    measuring aggregate grid throughput.
 //!
 //! Each scenario is additionally re-run with telemetry enabled to
 //! measure the instrumentation overhead (tracked, non-gating: the
@@ -77,6 +80,48 @@ fn scenarios() -> Vec<Scenario> {
                 .with_metric(MetricKind::Availability),
         },
     ]
+}
+
+/// Fixed worker count for the sweep scenario: throughput numbers stay
+/// comparable across machines with different core counts.
+const SWEEP_WORKERS: usize = 4;
+/// Epoch granularity inside each sweep config; also the granularity the
+/// per-config bit-identity check reruns with.
+const SWEEP_EPOCH_EVENTS: u64 = 100_000;
+/// Master seed of the sweep scenario.
+const SWEEP_SEED: u64 = 2012;
+
+/// The sweep scenario's grid: utilization {0.5, 0.6, 0.7} × servers
+/// {8, 16} over the same M/M/k workload, each config bounded so the
+/// whole grid stays a benchmark, not an experiment.
+fn sweep_entries() -> Vec<SweepEntry> {
+    let workload = mmk_workload();
+    let mut entries = Vec::new();
+    for servers in [8usize, 16] {
+        for tenths in [5u32, 6, 7] {
+            let utilization = f64::from(tenths) / 10.0;
+            let config = ExperimentConfig::new(workload.at_utilization(utilization, 1))
+                .with_servers(servers)
+                .with_arrival_mode(ArrivalMode::LoadBalanced(BalancerPolicy::JoinShortestQueue))
+                .with_target_accuracy(0.005)
+                .with_warmup(500)
+                .with_calibration(2_000)
+                .with_max_events(500_000);
+            entries.push(SweepEntry::new(
+                format!("servers={servers},utilization=0.{tenths}"),
+                config,
+            ));
+        }
+    }
+    entries
+}
+
+fn sweep_opts() -> SweepOptions {
+    SweepOptions {
+        workers: SWEEP_WORKERS,
+        epoch_events: SWEEP_EPOCH_EVENTS,
+        ..SweepOptions::default()
+    }
 }
 
 fn run(scenario: &Scenario) -> SimulationReport {
@@ -178,6 +223,57 @@ fn determinism_check() -> ExitCode {
             );
         }
     }
+    // Sweep determinism: two sweeps of the same grid and master seed must
+    // agree canonically (wall-clock scrubbed), and every config's result
+    // must match an individual run of the same derived seed bit for bit —
+    // the orchestrator must be pure scheduling, never perturbation.
+    let entries = sweep_entries();
+    let a = run_sweep(&entries, SWEEP_SEED, &sweep_opts()).expect("sweep grid is valid");
+    let b = run_sweep(&entries, SWEEP_SEED, &sweep_opts()).expect("sweep grid is valid");
+    let a_json = serde_json::to_string(&a.canonical()).expect("report serializes");
+    let b_json = serde_json::to_string(&b.canonical()).expect("report serializes");
+    if a_json != b_json {
+        eprintln!("DETERMINISM FAILURE in sweep: two runs of the same grid disagree");
+        ok = false;
+    } else if !a.quarantined.is_empty() {
+        eprintln!(
+            "SWEEP FAILURE: {} healthy configs quarantined",
+            a.quarantined.len()
+        );
+        ok = false;
+    } else {
+        let mut identical = true;
+        for outcome in &a.completed {
+            let entry = entries
+                .iter()
+                .find(|e| e.id == outcome.id)
+                .expect("completed id comes from the grid");
+            let opts = RunOptions {
+                epoch_events: SWEEP_EPOCH_EVENTS,
+                ..RunOptions::default()
+            };
+            let solo = run_resumable(&entry.config, outcome.seed, &opts)
+                .expect("sweep config runs individually");
+            let sweep_est =
+                serde_json::to_string(&outcome.report.estimates).expect("estimates serialize");
+            let solo_est = serde_json::to_string(&solo.estimates).expect("estimates serialize");
+            if sweep_est != solo_est || outcome.report.events_fired != solo.events_fired {
+                eprintln!(
+                    "SWEEP PERTURBATION in {}: events {} vs {} (solo)",
+                    outcome.id, outcome.report.events_fired, solo.events_fired
+                );
+                identical = false;
+            }
+        }
+        if identical {
+            println!(
+                "sweep: deterministic ({} configs, per-config results bit-identical to solo runs)",
+                a.completed.len()
+            );
+        } else {
+            ok = false;
+        }
+    }
     if ok {
         ExitCode::SUCCESS
     } else {
@@ -253,6 +349,28 @@ fn main() -> ExitCode {
         ));
     }
 
+    // The sweep scenario: aggregate grid throughput through the
+    // work-stealing orchestrator at a fixed worker count.
+    let sweep_grid = sweep_entries();
+    let sweep_report =
+        run_sweep(&sweep_grid, SWEEP_SEED, &sweep_opts()).expect("sweep grid is valid");
+    let sweep_events: u64 = sweep_report
+        .completed
+        .iter()
+        .map(|o| o.report.events_fired)
+        .sum();
+    let sweep_wall = sweep_report.runtime.wall_seconds;
+    let sweep_rate = sweep_events as f64 / sweep_wall.max(1e-9);
+    println!(
+        "{:>14}: {:>9} events  {:>8.3} wall-s  {:>12.0} events/s  ({} configs, {} workers)",
+        "sweep",
+        sweep_events,
+        sweep_wall,
+        sweep_rate,
+        sweep_report.completed.len(),
+        sweep_report.runtime.workers,
+    );
+
     let rss = peak_rss_kb().map_or_else(|| "null".to_string(), |kb| kb.to_string());
     let json = format!(
         concat!(
@@ -263,6 +381,14 @@ fn main() -> ExitCode {
             "    \"schedule_per_second\": {:.1},\n",
             "    \"pop_per_second\": {:.1}\n",
             "  }},\n",
+            "  \"sweep\": {{\n",
+            "    \"configs\": {},\n",
+            "    \"completed\": {},\n",
+            "    \"workers\": {},\n",
+            "    \"events_fired\": {},\n",
+            "    \"wall_seconds\": {:.6},\n",
+            "    \"events_per_second\": {:.1}\n",
+            "  }},\n",
             "  \"peak_rss_kb\": {},\n",
             "  \"scenarios\": [\n{}\n  ]\n",
             "}}\n"
@@ -270,6 +396,12 @@ fn main() -> ExitCode {
         MICRO_N,
         schedule_per_s,
         pop_per_s,
+        sweep_report.total_configs,
+        sweep_report.completed.len(),
+        sweep_report.runtime.workers,
+        sweep_events,
+        sweep_wall,
+        sweep_rate,
         rss,
         entries.join(",\n")
     );

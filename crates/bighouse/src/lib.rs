@@ -77,10 +77,12 @@ pub mod prelude {
         LinearPowerModel, LoadBalancer, PowerCapper, Server, SleepState,
     };
     pub use bighouse_sim::{
-        run_resumable, run_serial, run_until_calibrated, ArrivalMode, AuditConfig, AuditReport,
-        AuditViolation, AuditWarning, CheckpointConfig, ClusterSim, ExperimentConfig, FaultSummary,
-        MetricKind, ParallelOutcome, ParallelRunner, RunOptions, RuntimeStats, SimError,
-        SimulationReport, TerminationReason,
+        config_seed, run_resumable, run_serial, run_sweep, run_until_calibrated, ArrivalMode,
+        AuditConfig, AuditReport, AuditViolation, AuditWarning, CheckpointConfig, ClusterSim,
+        ConfigOutcome, ExperimentConfig, FaultSummary, MetricKind, ParallelOutcome, ParallelRunner,
+        QuarantinedConfig, RunOptions, RuntimeStats, SimError, SimulationReport, SweepEntry,
+        SweepError, SweepEvent, SweepEventHook, SweepOptions, SweepReport, SweepRuntime,
+        TerminationReason,
     };
     pub use bighouse_stats::{
         Histogram, HistogramSpec, MetricEstimate, MetricSpec, OutputMetric, Phase, RunningStats,

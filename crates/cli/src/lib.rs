@@ -5,11 +5,14 @@
 //! objects and supply parameters such as number of cores, peak power,
 //! etc." (§2.1). This crate provides that interface for the Rust
 //! reproduction: an [`ExperimentSpec`] JSON schema that maps onto
-//! [`bighouse::sim::ExperimentConfig`], plus workload inspection/export
-//! helpers used by the `bighouse` binary.
+//! [`bighouse::sim::ExperimentConfig`], a [`SweepSpec`] schema that spans
+//! experiment *grids* for the fault-tolerant sweep orchestrator, plus
+//! workload inspection/export helpers used by the `bighouse` binary.
 
 #![warn(missing_docs)]
 
 mod spec;
+mod sweep_spec;
 
-pub use spec::{CappingSpec, ExperimentSpec, SpecError, WorkloadRef};
+pub use spec::{AuditSpec, CappingSpec, ExperimentSpec, SpecError, WorkloadRef};
+pub use sweep_spec::{SweepSpec, MAX_SWEEP_CONFIGS};

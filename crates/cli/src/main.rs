@@ -5,23 +5,86 @@
 //!              [checkpoint-dir=DIR] [checkpoint-interval=EPOCHS]
 //!              [epoch-events=N] [telemetry=out.json]
 //!              [--resume] [--paranoid] [--telemetry-summary]
+//! bighouse sweep <sweep.json> [seed=N] [out=report.json]
+//!              [checkpoint-dir=DIR] [workers=N]
+//!              [--resume] [--paranoid] [--telemetry]
 //! bighouse workloads
 //! bighouse export-workload <name> <path>
 //! bighouse example-config [path]
 //! ```
+//!
+//! Exit codes follow sysexits conventions so scripts can tell failure
+//! classes apart: 64 usage, 65 bad spec/data, 69 quarantined configs in
+//! an otherwise-finished sweep, 70 invariant-audit violation, 1 other.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use bighouse::dists::Distribution;
 use bighouse::sim::{
-    run_resumable, run_serial, AuditConfig, CheckpointConfig, ParallelRunner, RunOptions,
-    RuntimeStats, SimulationReport, TerminationReason,
+    run_resumable, run_serial, run_sweep, AuditConfig, CheckpointConfig, ParallelRunner,
+    RunOptions, RuntimeStats, SimError, SimulationReport, SweepEntry, SweepEvent, SweepOptions,
+    TerminationReason,
 };
 use bighouse::telemetry::TelemetrySnapshot;
 use bighouse::workloads::{StandardWorkload, Workload};
-use bighouse_cli::ExperimentSpec;
+use bighouse_cli::{ExperimentSpec, SweepSpec};
+
+/// Command line misuse: unknown command, missing/contradictory arguments
+/// (sysexits `EX_USAGE`).
+const EXIT_USAGE: u8 = 64;
+/// The input spec file is malformed or invalid (sysexits `EX_DATAERR`).
+const EXIT_SPEC: u8 = 65;
+/// The sweep finished but quarantined at least one poison config
+/// (sysexits `EX_UNAVAILABLE`: part of the requested service was not
+/// rendered).
+const EXIT_QUARANTINED: u8 = 69;
+/// A paranoid-mode invariant audit failed (sysexits `EX_SOFTWARE`).
+const EXIT_AUDIT: u8 = 70;
+
+/// A CLI failure carrying its exit-code class. `From<String>` maps
+/// untyped runtime errors (I/O, simulation) to the generic failure code,
+/// so `?` keeps working on `map_err(|e| e.to_string())` call sites.
+enum CliError {
+    Usage(String),
+    Spec(String),
+    Quarantined(usize),
+    Audit(String),
+    Other(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => EXIT_USAGE,
+            CliError::Spec(_) => EXIT_SPEC,
+            CliError::Quarantined(_) => EXIT_QUARANTINED,
+            CliError::Audit(_) => EXIT_AUDIT,
+            CliError::Other(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Other(msg) => write!(f, "{msg}"),
+            CliError::Spec(msg) => write!(f, "{msg}"),
+            CliError::Quarantined(n) => {
+                write!(f, "{n} config(s) quarantined; see the report for details")
+            }
+            CliError::Audit(msg) => write!(f, "invariant audit failed: {msg}"),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Other(msg)
+    }
+}
 
 /// Raw SIGINT/SIGTERM handling with no dependencies: the C `signal(2)`
 /// entry point flips a static flag that a bridge thread forwards to the
@@ -76,6 +139,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("workloads") => cmd_workloads(),
         Some("export-workload") => cmd_export(&args[1..]),
         Some("example-config") => cmd_example_config(&args[1..]),
@@ -83,13 +147,15 @@ fn main() -> ExitCode {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}`; try `bighouse help`")),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command `{other}`; try `bighouse help`"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -114,6 +180,17 @@ fn print_usage() {
     println!("      latency histograms, phase transitions) and writes the snapshot");
     println!("      as JSON; --telemetry-summary prints a human-readable table.");
     println!("      Telemetry is observational: estimates stay bit-identical.");
+    println!("  bighouse sweep <sweep.json> [seed=N] [out=report.json]");
+    println!("               [checkpoint-dir=DIR] [workers=N]");
+    println!("               [--resume] [--paranoid] [--telemetry]");
+    println!("      Run an experiment grid (a base spec crossed with value axes)");
+    println!("      on a work-stealing pool. Each config gets a deterministic");
+    println!("      seed derived from its id; panicking or stalling configs are");
+    println!("      retried with backoff and quarantined instead of sinking the");
+    println!("      sweep. With checkpoint-dir the completed-config ledger is");
+    println!("      snapshotted so a killed sweep resumes bit-identically with");
+    println!("      --resume; SIGINT/SIGTERM wind down with a partial report.");
+    println!("      Exits 69 if any config was quarantined (see sysexits note).");
     println!("  bighouse workloads");
     println!("      List the built-in Table 1 workload models and their moments.");
     println!("  bighouse export-workload <name> <path>");
@@ -137,40 +214,54 @@ fn flag_arg(args: &[String], key: &str) -> bool {
         || kv_arg(args, key).is_some_and(|v| v == "1" || v == "true")
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let path = args
         .iter()
         .find(|a| !a.contains('=') && !a.starts_with('-'))
-        .ok_or("usage: bighouse run <experiment.json> [seed=N] [out=report.json] [checkpoint-dir=DIR] [--resume]")?;
+        .ok_or_else(|| CliError::Usage(
+            "usage: bighouse run <experiment.json> [seed=N] [out=report.json] [checkpoint-dir=DIR] [--resume]".into(),
+        ))?;
     let seed: u64 = kv_arg(args, "seed")
-        .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage(format!("bad seed `{s}`")))
+        })
         .transpose()?
         .unwrap_or(2012);
     let checkpoint_dir = kv_arg(args, "checkpoint-dir");
     let checkpoint_interval: u64 = kv_arg(args, "checkpoint-interval")
         .map(|s| {
             s.parse()
-                .map_err(|_| format!("bad checkpoint-interval `{s}`"))
+                .map_err(|_| CliError::Usage(format!("bad checkpoint-interval `{s}`")))
         })
         .transpose()?
         .unwrap_or(1);
     if checkpoint_interval == 0 {
-        return Err("checkpoint-interval must be at least 1".into());
+        return Err(CliError::Usage(
+            "checkpoint-interval must be at least 1".into(),
+        ));
     }
     let epoch_events: u64 = kv_arg(args, "epoch-events")
-        .map(|s| s.parse().map_err(|_| format!("bad epoch-events `{s}`")))
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage(format!("bad epoch-events `{s}`")))
+        })
         .transpose()?
         .unwrap_or(RunOptions::DEFAULT_EPOCH_EVENTS);
     let resume = flag_arg(args, "resume");
     if resume && checkpoint_dir.is_none() {
-        return Err("--resume requires checkpoint-dir=DIR".into());
+        return Err(CliError::Usage(
+            "--resume requires checkpoint-dir=DIR".into(),
+        ));
     }
     let paranoid = flag_arg(args, "paranoid");
     let telemetry_out = kv_arg(args, "telemetry");
     let telemetry_summary = flag_arg(args, "telemetry-summary");
-    let spec = ExperimentSpec::from_file(path).map_err(|e| e.to_string())?;
-    let mut config = spec.resolve().map_err(|e| e.to_string())?;
-    if paranoid {
+    let spec = ExperimentSpec::from_file(path).map_err(|e| CliError::Spec(e.to_string()))?;
+    let mut config = spec.resolve().map_err(|e| CliError::Spec(e.to_string()))?;
+    // --paranoid arms the default auditor; a `paranoid` block in the spec
+    // already configured (possibly tighter) thresholds and wins.
+    if paranoid && config.audit().is_none() {
         config = config.with_audit(AuditConfig::default());
     }
     if telemetry_out.is_some() || telemetry_summary {
@@ -180,7 +271,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let report: SimulationReport = match spec.slaves {
         Some(slaves) if slaves > 1 => {
             if resume {
-                return Err("resume is only supported for serial runs (slaves=1)".into());
+                return Err(CliError::Usage(
+                    "resume is only supported for serial runs (slaves=1)".into(),
+                ));
             }
             eprintln!("running with {slaves} parallel slaves (master seed {seed})...");
             let outcome = ParallelRunner::new(config, slaves)
@@ -331,8 +424,157 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 .violations
                 .first()
                 .map_or_else(|| "violation list empty".to_owned(), ToString::to_string);
-            return Err(format!("invariant audit failed: {first}"));
+            return Err(CliError::Audit(first));
         }
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .iter()
+        .find(|a| !a.contains('=') && !a.starts_with('-'))
+        .ok_or_else(|| {
+            CliError::Usage(
+                "usage: bighouse sweep <sweep.json> [seed=N] [out=report.json] \
+                 [checkpoint-dir=DIR] [workers=N] [--resume] [--paranoid] [--telemetry]"
+                    .into(),
+            )
+        })?;
+    let seed: u64 = kv_arg(args, "seed")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage(format!("bad seed `{s}`")))
+        })
+        .transpose()?
+        .unwrap_or(2012);
+    let checkpoint_dir = kv_arg(args, "checkpoint-dir");
+    let resume = flag_arg(args, "resume");
+    if resume && checkpoint_dir.is_none() {
+        return Err(CliError::Usage(
+            "--resume requires checkpoint-dir=DIR".into(),
+        ));
+    }
+    let paranoid = flag_arg(args, "paranoid");
+    let telemetry = flag_arg(args, "telemetry");
+    let workers_override: Option<usize> = kv_arg(args, "workers")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage(format!("bad workers `{s}`")))
+        })
+        .transpose()?;
+
+    let sweep = SweepSpec::from_file(path).map_err(|e| CliError::Spec(e.to_string()))?;
+    let rendered = sweep.render().map_err(|e| CliError::Spec(e.to_string()))?;
+    let mut entries = Vec::with_capacity(rendered.len());
+    for (id, spec) in rendered {
+        let mut config = spec
+            .resolve()
+            .map_err(|e| CliError::Spec(format!("config `{id}`: {e}")))?;
+        if paranoid && config.audit().is_none() {
+            config = config.with_audit(AuditConfig::default());
+        }
+        if telemetry {
+            config = config.with_telemetry(true);
+        }
+        entries.push(SweepEntry::new(id, config));
+    }
+
+    let workers = workers_override.unwrap_or(sweep.workers);
+    eprintln!(
+        "sweeping {} configs (master seed {seed}, {} workers)...",
+        entries.len(),
+        if workers == 0 {
+            "auto".to_owned()
+        } else {
+            workers.to_string()
+        }
+    );
+    let opts = SweepOptions {
+        workers,
+        max_retries: sweep.max_retries,
+        deadline: sweep.config_deadline_seconds.map(Duration::from_secs_f64),
+        epoch_events: sweep.epoch_events,
+        checkpoint: checkpoint_dir.map(CheckpointConfig::new),
+        resume,
+        interrupt: Some(interrupt_flag()),
+        pin_cores: sweep.pin_cores,
+        on_event: Some(Arc::new(|event: &SweepEvent| match event {
+            SweepEvent::Completed {
+                id,
+                attempts,
+                converged,
+            } => eprintln!(
+                "  done {id} (attempt {attempts}{})",
+                if *converged { "" } else { ", not converged" }
+            ),
+            SweepEvent::Retrying { id, attempt, error } => {
+                eprintln!("  retry {id} (attempt {attempt} failed: {error})");
+            }
+            SweepEvent::Quarantined {
+                id,
+                attempts,
+                error,
+            } => eprintln!("  QUARANTINED {id} after {attempts} attempts: {error}"),
+        })),
+        ..SweepOptions::default()
+    };
+    let report = run_sweep(&entries, seed, &opts).map_err(|e| match e {
+        SimError::InvalidParameter { .. } | SimError::Checkpoint(_) => {
+            CliError::Spec(e.to_string())
+        }
+        other => CliError::Other(other.to_string()),
+    })?;
+
+    // Trend table: one line per completed config, first metric's estimate.
+    println!(
+        "sweep: {}/{} completed, {} quarantined, {} retries, {} resumed{}   wall: {:.2}s",
+        report.completed.len(),
+        report.total_configs,
+        report.quarantined.len(),
+        report.retries,
+        report.runtime.resumed,
+        if report.interrupted {
+            " [interrupted]"
+        } else {
+            ""
+        },
+        report.runtime.wall_seconds,
+    );
+    for outcome in &report.completed {
+        print!(
+            "  {:<40} seed {:<20} {:>12} events",
+            outcome.id, outcome.seed, outcome.report.events_fired
+        );
+        if let Some(est) = outcome.report.estimates.first() {
+            print!(
+                "   {} {:.6} (±{:.2}%)",
+                est.name,
+                est.mean,
+                est.relative_accuracy * 100.0
+            );
+        }
+        println!();
+    }
+    for q in &report.quarantined {
+        eprintln!(
+            "  quarantined {:<28} after {} attempts: {}",
+            q.id, q.attempts, q.error
+        );
+    }
+    if report.interrupted {
+        eprintln!(
+            "interrupted: the sweep is partial; rerun with --resume and the same \
+             checkpoint-dir to finish the remaining configs"
+        );
+    }
+    if let Some(out) = kv_arg(args, "out") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(&out, json).map_err(|e| e.to_string())?;
+        eprintln!("sweep report written to {out}");
+    }
+    if !report.quarantined.is_empty() {
+        return Err(CliError::Quarantined(report.quarantined.len()));
     }
     Ok(())
 }
@@ -383,7 +625,7 @@ fn print_telemetry_summary(snap: &TelemetrySnapshot) {
     }
 }
 
-fn cmd_workloads() -> Result<(), String> {
+fn cmd_workloads() -> Result<(), CliError> {
     println!(
         "{:<8} {:>16} {:>10} {:>14} {:>10}",
         "name", "interarrival", "Cv", "service", "Cv"
@@ -402,15 +644,19 @@ fn cmd_workloads() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_export(args: &[String]) -> Result<(), String> {
+fn cmd_export(args: &[String]) -> Result<(), CliError> {
     let (name, path) = match args {
         [name, path] => (name, path),
-        _ => return Err("usage: bighouse export-workload <name> <path>".into()),
+        _ => {
+            return Err(CliError::Usage(
+                "usage: bighouse export-workload <name> <path>".into(),
+            ))
+        }
     };
     let which = StandardWorkload::ALL
         .into_iter()
         .find(|w| w.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| format!("unknown workload `{name}`"))?;
+        .ok_or_else(|| CliError::Spec(format!("unknown workload `{name}`")))?;
     Workload::standard(which)
         .save(path)
         .map_err(|e| e.to_string())?;
@@ -418,7 +664,7 @@ fn cmd_export(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_example_config(args: &[String]) -> Result<(), String> {
+fn cmd_example_config(args: &[String]) -> Result<(), CliError> {
     let json =
         serde_json::to_string_pretty(&ExperimentSpec::template()).map_err(|e| e.to_string())?;
     match args.first() {

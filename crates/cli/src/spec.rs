@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use bighouse::faults::{FaultSpec, RetrySpec};
 use bighouse::models::{DvfsModel, IdlePolicy, LinearPowerModel, PowerCapper};
-use bighouse::sim::{ExperimentConfig, MetricKind};
+use bighouse::sim::{AuditConfig, ExperimentConfig, MetricKind};
 use bighouse::workloads::{StandardWorkload, Workload};
 
 /// Error decoding or resolving an experiment specification.
@@ -89,6 +89,90 @@ pub struct CappingSpec {
 
 fn default_alpha() -> f64 {
     DvfsModel::DEFAULT_ALPHA
+}
+
+/// Optional paranoid-mode block of the spec: overrides for the runtime
+/// invariant auditor's circuit-breaker thresholds. Every field is
+/// optional; omitted fields keep [`AuditConfig`]'s defaults. Presence of
+/// the block (even empty, `"paranoid": {}`) turns auditing on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditSpec {
+    /// Events between invariant sweeps (default 4096).
+    #[serde(default)]
+    pub check_interval_events: Option<u64>,
+    /// Consecutive zero-advance events tolerated before the livelock
+    /// breaker trips (default 100 000, minimum 2).
+    #[serde(default)]
+    pub stall_limit_events: Option<u64>,
+    /// Event-rate budget, in events per simulated second, that trips the
+    /// event-storm breaker (default 1e9; must be positive and finite).
+    #[serde(default)]
+    pub storm_budget_events_per_sim_second: Option<f64>,
+    /// Window, in events, over which the storm budget is evaluated
+    /// (default 1 048 576, minimum 2).
+    #[serde(default)]
+    pub storm_window_events: Option<u64>,
+}
+
+impl AuditSpec {
+    /// Range-checks the override values, naming the offending field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] naming the field and its requirement.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        fn check(
+            ok: bool,
+            field: &str,
+            value: &dyn std::fmt::Display,
+            requirement: &str,
+        ) -> Result<(), SpecError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(SpecError::Invalid(format!(
+                    "{field} = {value}: must be {requirement}"
+                )))
+            }
+        }
+        if let Some(v) = self.check_interval_events {
+            check(v >= 1, "paranoid.check_interval_events", &v, "at least 1")?;
+        }
+        if let Some(v) = self.stall_limit_events {
+            check(v >= 2, "paranoid.stall_limit_events", &v, "at least 2")?;
+        }
+        if let Some(v) = self.storm_budget_events_per_sim_second {
+            check(
+                v.is_finite() && v > 0.0,
+                "paranoid.storm_budget_events_per_sim_second",
+                &v,
+                "positive and finite",
+            )?;
+        }
+        if let Some(v) = self.storm_window_events {
+            check(v >= 2, "paranoid.storm_window_events", &v, "at least 2")?;
+        }
+        Ok(())
+    }
+
+    /// Applies the overrides onto the default [`AuditConfig`].
+    #[must_use]
+    pub fn resolve(&self) -> AuditConfig {
+        let mut audit = AuditConfig::default();
+        if let Some(v) = self.check_interval_events {
+            audit.check_interval_events = v;
+        }
+        if let Some(v) = self.stall_limit_events {
+            audit.stall_limit_events = v;
+        }
+        if let Some(v) = self.storm_budget_events_per_sim_second {
+            audit.storm_budget_events_per_sim_second = v;
+        }
+        if let Some(v) = self.storm_window_events {
+            audit.storm_window_events = v;
+        }
+        audit
+    }
 }
 
 fn default_servers() -> usize {
@@ -188,6 +272,10 @@ pub struct ExperimentSpec {
     /// Run with this many parallel slaves instead of serially (optional).
     #[serde(default)]
     pub slaves: Option<usize>,
+    /// Optional paranoid-mode auditing with threshold overrides. Presence
+    /// of the block turns the runtime invariant auditor on.
+    #[serde(default)]
+    pub paranoid: Option<AuditSpec>,
 }
 
 impl ExperimentSpec {
@@ -232,6 +320,7 @@ impl ExperimentSpec {
             calibration: 5000,
             max_events: 1_000_000_000,
             slaves: None,
+            paranoid: None,
         }
     }
 
@@ -306,6 +395,9 @@ impl ExperimentSpec {
         if let Some(slaves) = self.slaves {
             check(slaves >= 1, "slaves", &slaves, "at least 1")?;
         }
+        if let Some(paranoid) = &self.paranoid {
+            paranoid.validate()?;
+        }
         Ok(())
     }
 
@@ -359,6 +451,9 @@ impl ExperimentSpec {
                 .build()
                 .map_err(|e| SpecError::Invalid(format!("retry block: {e}")))?;
             config = config.with_retry(policy);
+        }
+        if let Some(paranoid) = &self.paranoid {
+            config = config.with_audit(paranoid.resolve());
         }
         for name in &self.metrics {
             let kind = match name.as_str() {
@@ -521,6 +616,30 @@ mod tests {
                 r#""capping": {"budget_fraction": 1e308}"#,
                 "capping.budget_fraction",
             ),
+            (
+                r#""paranoid": {"check_interval_events": 0}"#,
+                "paranoid.check_interval_events",
+            ),
+            (
+                r#""paranoid": {"stall_limit_events": 1}"#,
+                "paranoid.stall_limit_events",
+            ),
+            (
+                r#""paranoid": {"storm_budget_events_per_sim_second": 0.0}"#,
+                "paranoid.storm_budget_events_per_sim_second",
+            ),
+            (
+                r#""paranoid": {"storm_budget_events_per_sim_second": -3.0}"#,
+                "paranoid.storm_budget_events_per_sim_second",
+            ),
+            (
+                r#""paranoid": {"storm_budget_events_per_sim_second": 1e999}"#,
+                "paranoid.storm_budget_events_per_sim_second",
+            ),
+            (
+                r#""paranoid": {"storm_window_events": 1}"#,
+                "paranoid.storm_window_events",
+            ),
         ];
         for (field, expected) in cases {
             let json = format!(r#"{{"workload": {{"standard": "web"}}, {field}}}"#);
@@ -534,6 +653,33 @@ mod tests {
                 "error for `{field}` should name `{expected}`: {msg}"
             );
         }
+    }
+
+    #[test]
+    fn paranoid_block_turns_auditing_on_with_overrides() {
+        let spec = ExperimentSpec::from_json(
+            r#"{"workload": {"standard": "web"},
+                "paranoid": {"stall_limit_events": 5000,
+                             "storm_budget_events_per_sim_second": 2.5e8}}"#,
+        )
+        .unwrap();
+        let config = spec.resolve().unwrap();
+        let audit = config.audit().expect("paranoid block enables auditing");
+        assert_eq!(audit.stall_limit_events, 5000);
+        assert_eq!(audit.storm_budget_events_per_sim_second, 2.5e8);
+        // Omitted fields keep the defaults.
+        let defaults = AuditConfig::default();
+        assert_eq!(audit.check_interval_events, defaults.check_interval_events);
+        assert_eq!(audit.storm_window_events, defaults.storm_window_events);
+    }
+
+    #[test]
+    fn empty_paranoid_block_is_defaults() {
+        let spec =
+            ExperimentSpec::from_json(r#"{"workload": {"standard": "web"}, "paranoid": {}}"#)
+                .unwrap();
+        let config = spec.resolve().unwrap();
+        assert_eq!(config.audit(), Some(&AuditConfig::default()));
     }
 
     #[test]

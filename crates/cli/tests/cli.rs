@@ -2,6 +2,12 @@
 
 use std::process::Command;
 
+/// Sysexits-style exit codes (mirrors the constants in `main.rs`).
+const EXIT_USAGE: i32 = 64;
+const EXIT_SPEC: i32 = 65;
+const EXIT_QUARANTINED: i32 = 69;
+const EXIT_AUDIT: i32 = 70;
+
 fn bighouse() -> Command {
     Command::new(env!("CARGO_BIN_EXE_bighouse"))
 }
@@ -17,7 +23,13 @@ fn help_lists_commands() {
     let out = bighouse().arg("help").output().expect("spawn");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for cmd in ["run", "workloads", "export-workload", "example-config"] {
+    for cmd in [
+        "run",
+        "sweep",
+        "workloads",
+        "export-workload",
+        "example-config",
+    ] {
         assert!(text.contains(cmd), "help is missing `{cmd}`");
     }
 }
@@ -281,6 +293,268 @@ fn run_rejects_missing_file() {
         .expect("spawn");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn exit_codes_classify_failures() {
+    // Usage errors: EX_USAGE (64).
+    let out = bighouse().arg("frobnicate").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(EXIT_USAGE), "unknown command");
+    let out = bighouse().arg("run").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(EXIT_USAGE), "run without a spec");
+    let out = bighouse()
+        .args(["sweep", "/nonexistent/sweep.json", "--resume"])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(EXIT_USAGE),
+        "sweep --resume without checkpoint-dir"
+    );
+
+    // Spec errors: EX_DATAERR (65).
+    let dir = temp_dir().join("exit-codes");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bad_spec = dir.join("bad.json");
+    std::fs::write(
+        &bad_spec,
+        r#"{"workload": {"standard": "web"}, "accuracy": -0.5}"#,
+    )
+    .expect("write spec");
+    let out = bighouse()
+        .args(["run", bad_spec.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(EXIT_SPEC),
+        "invalid experiment spec"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("accuracy"));
+    let bad_sweep = dir.join("bad-sweep.json");
+    std::fs::write(
+        &bad_sweep,
+        r#"{"base": {"workload": {"standard": "web"}}, "axes": {"nosuch": [1]}}"#,
+    )
+    .expect("write spec");
+    let out = bighouse()
+        .args(["sweep", bad_sweep.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(EXIT_SPEC), "invalid sweep axis");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn audit_violation_exits_70() {
+    // A storm budget of 0.5 events per simulated second trips the
+    // event-storm breaker on any healthy run — the run stops with an
+    // honest partial report and the CLI must exit EX_SOFTWARE.
+    let dir = temp_dir().join("audit-exit");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let spec = serde_json::json!({
+        "workload": { "standard": "web" },
+        "utilization": 0.5,
+        "accuracy": 0.2,
+        "warmup": 50,
+        "calibration": 500,
+        "paranoid": {
+            "storm_budget_events_per_sim_second": 0.5,
+            "storm_window_events": 1000,
+        },
+    });
+    let spec_path = dir.join("exp.json");
+    std::fs::write(&spec_path, spec.to_string()).expect("write spec");
+    let out = bighouse()
+        .args(["run", spec_path.to_str().unwrap(), "seed=3"])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(EXIT_AUDIT),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invariant audit failed"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_runs_a_grid_and_reports_a_trend() {
+    let dir = temp_dir().join("sweep-e2e");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sweep = serde_json::json!({
+        "base": {
+            "workload": { "standard": "web" },
+            "accuracy": 0.2,
+            "warmup": 50,
+            "calibration": 500,
+        },
+        "axes": { "utilization": [0.3, 0.6] },
+        "workers": 2,
+        "epoch_events": 50_000u64,
+    });
+    let sweep_path = dir.join("sweep.json");
+    std::fs::write(&sweep_path, sweep.to_string()).expect("write spec");
+    let report_path = dir.join("report.json");
+    let out = bighouse()
+        .args([
+            "sweep",
+            sweep_path.to_str().unwrap(),
+            "seed=9",
+            &format!("out={}", report_path.display()),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2/2 completed"), "output: {text}");
+    assert!(text.contains("utilization=0.3"), "output: {text}");
+
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report_path).expect("report written"))
+            .expect("report is JSON");
+    assert_eq!(report["total_configs"], 2);
+    assert_eq!(report["completed"].as_array().unwrap().len(), 2);
+    assert_eq!(report["quarantined"].as_array().unwrap().len(), 0);
+    // Ids sort deterministically; seeds derive from ids, not positions.
+    assert_eq!(report["completed"][0]["id"], "utilization=0.3");
+    assert_eq!(report["completed"][1]["id"], "utilization=0.6");
+    assert_ne!(
+        report["completed"][0]["seed"],
+        report["completed"][1]["seed"]
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_quarantines_poison_configs_and_exits_69() {
+    // Sweeping the paranoid block itself: one grid point is healthy, one
+    // carries an impossible storm budget that fails every attempt. The
+    // sweep must finish the healthy config, quarantine the poison one,
+    // and exit EX_UNAVAILABLE — after writing the report.
+    let dir = temp_dir().join("sweep-poison-e2e");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sweep = serde_json::json!({
+        "base": {
+            "workload": { "standard": "web" },
+            "utilization": 0.5,
+            "accuracy": 0.2,
+            "warmup": 50,
+            "calibration": 500,
+        },
+        "axes": {
+            "paranoid": [
+                null,
+                { "storm_budget_events_per_sim_second": 0.5, "storm_window_events": 1000 },
+            ],
+        },
+        "workers": 2,
+        "max_retries": 1,
+    });
+    let sweep_path = dir.join("sweep.json");
+    std::fs::write(&sweep_path, sweep.to_string()).expect("write spec");
+    let report_path = dir.join("report.json");
+    let out = bighouse()
+        .args([
+            "sweep",
+            sweep_path.to_str().unwrap(),
+            "seed=5",
+            &format!("out={}", report_path.display()),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(EXIT_QUARANTINED),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report_path).expect("report written"))
+            .expect("report is JSON");
+    assert_eq!(report["completed"].as_array().unwrap().len(), 1);
+    assert_eq!(report["completed"][0]["id"], "paranoid=null");
+    let quarantined = report["quarantined"].as_array().unwrap();
+    assert_eq!(quarantined.len(), 1);
+    // max_retries = 1 → exactly two attempts before quarantine.
+    assert_eq!(quarantined[0]["attempts"], 2);
+    assert!(quarantined[0]["error"].get("AuditFailed").is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_resume_reemits_identical_results() {
+    let dir = temp_dir().join("sweep-resume-e2e");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sweep = serde_json::json!({
+        "base": {
+            "workload": { "standard": "web" },
+            "accuracy": 0.2,
+            "warmup": 50,
+            "calibration": 500,
+        },
+        "axes": { "utilization": [0.4, 0.7] },
+        "workers": 2,
+        "epoch_events": 50_000u64,
+    });
+    let sweep_path = dir.join("sweep.json");
+    std::fs::write(&sweep_path, sweep.to_string()).expect("write spec");
+    let ckpt = dir.join("ckpt");
+    let first = dir.join("first.json");
+    let out = bighouse()
+        .args([
+            "sweep",
+            sweep_path.to_str().unwrap(),
+            "seed=13",
+            &format!("checkpoint-dir={}", ckpt.display()),
+            &format!("out={}", first.display()),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(ckpt.join("bighouse.sweep").exists(), "sweep ledger written");
+
+    // Resuming the finished sweep re-emits every result from the ledger.
+    let second = dir.join("second.json");
+    let out = bighouse()
+        .args([
+            "sweep",
+            sweep_path.to_str().unwrap(),
+            "seed=13",
+            &format!("checkpoint-dir={}", ckpt.display()),
+            "--resume",
+            &format!("out={}", second.display()),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let read = |p: &std::path::Path| -> serde_json::Value {
+        serde_json::from_str(&std::fs::read_to_string(p).expect("report written"))
+            .expect("report is JSON")
+    };
+    let (a, b) = (read(&first), read(&second));
+    assert_eq!(
+        a["completed"], b["completed"],
+        "resume must be bit-identical"
+    );
+    assert_eq!(a["quarantined"], b["quarantined"]);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

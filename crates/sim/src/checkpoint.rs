@@ -17,6 +17,7 @@ use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 
 use bighouse_des::SeedStream;
@@ -220,11 +221,17 @@ impl RunState {
 
 /// Atomic, checksummed, rotating checkpoint storage in one directory.
 ///
-/// Layout: `bighouse.ckpt` (current), `bighouse.ckpt.prev` (previous good
-/// snapshot), `bighouse.ckpt.tmp` (in-progress write, never loaded).
+/// Layout (for the default stem): `bighouse.ckpt` (current),
+/// `bighouse.ckpt.prev` (previous good snapshot), `bighouse.ckpt.tmp`
+/// (in-progress write, never loaded). The sweep orchestrator reuses the
+/// same machinery under the `bighouse.sweep` stem, so a single directory
+/// can hold both a run checkpoint and a sweep ledger without collision.
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
     dir: PathBuf,
+    stem: &'static str,
+    /// Test hook: pretend the disk filled after this many payload bytes.
+    fail_write_after: Option<usize>,
 }
 
 impl CheckpointStore {
@@ -234,6 +241,13 @@ impl CheckpointStore {
     ///
     /// Returns [`SimError::Checkpoint`] if the directory cannot be created.
     pub fn new(dir: impl Into<PathBuf>) -> Result<Self, SimError> {
+        Self::with_stem(dir, "bighouse.ckpt")
+    }
+
+    /// Opens a store whose files are named `<stem>`, `<stem>.prev`,
+    /// `<stem>.tmp` — used by the sweep ledger to share a directory with
+    /// run checkpoints.
+    pub(crate) fn with_stem(dir: impl Into<PathBuf>, stem: &'static str) -> Result<Self, SimError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| {
             SimError::Checkpoint(format!(
@@ -241,19 +255,33 @@ impl CheckpointStore {
                 dir.display()
             ))
         })?;
-        Ok(CheckpointStore { dir })
+        Ok(CheckpointStore {
+            dir,
+            stem,
+            fail_write_after: None,
+        })
+    }
+
+    /// Test hook: makes every subsequent [`save`](Self::save) fail with an
+    /// injected out-of-space error after `bytes` bytes have been written —
+    /// a deterministic stand-in for ENOSPC / short writes.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_failing_writes_after(mut self, bytes: usize) -> Self {
+        self.fail_write_after = Some(bytes);
+        self
     }
 
     /// Path of the current snapshot.
     #[must_use]
     pub fn current_path(&self) -> PathBuf {
-        self.dir.join("bighouse.ckpt")
+        self.dir.join(self.stem)
     }
 
     /// Path of the previous (fallback) snapshot.
     #[must_use]
     pub fn previous_path(&self) -> PathBuf {
-        self.dir.join("bighouse.ckpt.prev")
+        self.dir.join(format!("{}.prev", self.stem))
     }
 
     /// Writes a snapshot crash-consistently.
@@ -265,8 +293,18 @@ impl CheckpointStore {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Checkpoint`] on any serialization or I/O error.
+    /// Returns [`SimError::Checkpoint`] on serialization failure and
+    /// [`SimError::Io`] — naming the offending path — on any filesystem
+    /// failure. A failed write never leaves the in-progress `.tmp` file
+    /// behind: it is garbage by construction, and a later recovery scan
+    /// must not mistake it for salvageable state.
     pub fn save(&self, state: &RunState) -> Result<(), SimError> {
+        self.save_payload(state)
+    }
+
+    /// Generic form of [`save`](Self::save); the sweep ledger persists
+    /// through this with the same framing, atomicity, and rotation.
+    pub(crate) fn save_payload<T: Serialize>(&self, state: &T) -> Result<(), SimError> {
         let payload = serde_json::to_vec(state)
             .map_err(|e| SimError::Checkpoint(format!("cannot serialize run state: {e}")))?;
         let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
@@ -275,22 +313,46 @@ impl CheckpointStore {
         bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
 
-        let tmp = self.dir.join("bighouse.ckpt.tmp");
+        let tmp = self.dir.join(format!("{}.tmp", self.stem));
         let current = self.current_path();
-        let io_err = |what: &str, path: &Path, e: std::io::Error| {
-            SimError::Checkpoint(format!("cannot {what} {}: {e}", path.display()))
+        let io_err = |op: &'static str, path: &Path, e: &std::io::Error| SimError::Io {
+            op,
+            path: path.display().to_string(),
+            cause: e.to_string(),
         };
-        {
-            let mut file = fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+        let write_tmp = || -> Result<(), SimError> {
+            let mut file = fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, &e))?;
+            if let Some(limit) = self.fail_write_after {
+                // Injected ENOSPC: land a short write, then fail exactly
+                // as a full disk would.
+                let limit = limit.min(bytes.len());
+                file.write_all(&bytes[..limit])
+                    .map_err(|e| io_err("write", &tmp, &e))?;
+                let full = std::io::Error::new(
+                    std::io::ErrorKind::StorageFull,
+                    "injected: no space left on device",
+                );
+                return Err(io_err("write", &tmp, &full));
+            }
             file.write_all(&bytes)
-                .map_err(|e| io_err("write", &tmp, e))?;
-            file.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
+                .map_err(|e| io_err("write", &tmp, &e))?;
+            file.sync_all().map_err(|e| io_err("fsync", &tmp, &e))?;
+            Ok(())
+        };
+        if let Err(e) = write_tmp() {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
         }
         if current.exists() {
-            fs::rename(&current, self.previous_path())
-                .map_err(|e| io_err("rotate", &current, e))?;
+            fs::rename(&current, self.previous_path()).map_err(|e| {
+                let _ = fs::remove_file(&tmp);
+                io_err("rotate", &current, &e)
+            })?;
         }
-        fs::rename(&tmp, &current).map_err(|e| io_err("publish", &tmp, e))?;
+        fs::rename(&tmp, &current).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            io_err("publish", &tmp, &e)
+        })?;
         // Persist the renames themselves on platforms where directories
         // can be fsynced; without this a power loss can undo the rename.
         #[cfg(unix)]
@@ -312,6 +374,12 @@ impl CheckpointStore {
     /// *none* of them is loadable — silent restarts from scratch would
     /// discard data the operator believes is safe.
     pub fn load(&self) -> Result<Option<RunState>, SimError> {
+        self.load_payload()
+    }
+
+    /// Generic form of [`load`](Self::load) for non-`RunState` payloads
+    /// (the sweep ledger).
+    pub(crate) fn load_payload<T: DeserializeOwned>(&self) -> Result<Option<T>, SimError> {
         let mut first_error: Option<SimError> = None;
         let mut any_present = false;
         for path in [self.current_path(), self.previous_path()] {
@@ -332,16 +400,17 @@ impl CheckpointStore {
     }
 
     /// Reads and validates one snapshot file. `Ok(None)` means the file
-    /// does not exist; `Err` means it exists but is corrupt.
-    fn read_file(path: &Path) -> Result<Option<RunState>, SimError> {
+    /// does not exist; `Err` means it exists but is corrupt or unreadable.
+    fn read_file<T: DeserializeOwned>(path: &Path) -> Result<Option<T>, SimError> {
         let bytes = match fs::read(path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => {
-                return Err(SimError::Checkpoint(format!(
-                    "cannot read checkpoint {}: {e}",
-                    path.display()
-                )))
+                return Err(SimError::Io {
+                    op: "read",
+                    path: path.display().to_string(),
+                    cause: e.to_string(),
+                })
             }
         };
         let corrupt = |why: &str| {
@@ -362,7 +431,7 @@ impl CheckpointStore {
         if fnv1a(payload) != checksum {
             return Err(corrupt("checksum mismatch"));
         }
-        let state: RunState = serde_json::from_slice(payload)
+        let state: T = serde_json::from_slice(payload)
             .map_err(|e| corrupt(&format!("malformed payload: {e}")))?;
         Ok(Some(state))
     }
@@ -370,7 +439,9 @@ impl CheckpointStore {
 
 /// FNV-1a, 64-bit: tiny, dependency-free, and plenty for detecting torn or
 /// bit-rotted snapshots (this is corruption *detection*, not security).
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// Also the hash behind [`config_fingerprint`] and the sweep orchestrator's
+/// per-config seed derivation.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -499,6 +570,61 @@ mod tests {
         fs::write(store.current_path(), &bytes).unwrap();
         let err = store.load().unwrap_err();
         assert!(err.to_string().contains("magic"), "got: {err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failing_writer_surfaces_typed_io_error_and_cleans_tmp() {
+        let dir = temp_dir("enospc");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let state = sample_state();
+        store.save(&state).unwrap();
+
+        // Disk "fills" ten bytes into the next snapshot.
+        let failing = store.clone().with_failing_writes_after(10);
+        let err = failing.save(&state).unwrap_err();
+        match &err {
+            SimError::Io { op, path, cause } => {
+                assert_eq!(*op, "write");
+                assert!(path.contains("bighouse.ckpt.tmp"), "path: {path}");
+                assert!(cause.contains("no space left"), "cause: {cause}");
+            }
+            other => panic!("expected SimError::Io, got {other:?}"),
+        }
+        // The orphaned tmp file is cleaned up, and the previous good
+        // snapshot is untouched and still loadable.
+        assert!(!dir.join("bighouse.ckpt.tmp").exists());
+        let loaded = store.load().unwrap().expect("old snapshot intact");
+        assert_eq!(json(&state), json(&loaded));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_tmp_is_a_create_error() {
+        let dir = temp_dir("create-fail");
+        let store = CheckpointStore::new(&dir).unwrap();
+        // A directory squatting on the tmp path makes File::create fail.
+        fs::create_dir_all(dir.join("bighouse.ckpt.tmp")).unwrap();
+        let err = store.save(&sample_state()).unwrap_err();
+        assert!(
+            matches!(&err, SimError::Io { op, .. } if *op == "create"),
+            "got: {err:?}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stems_partition_the_directory() {
+        let dir = temp_dir("stems");
+        let run_store = CheckpointStore::new(&dir).unwrap();
+        let sweep_store = CheckpointStore::with_stem(&dir, "bighouse.sweep").unwrap();
+        run_store.save(&sample_state()).unwrap();
+        // The sweep stem sees nothing: different namespace, same dir.
+        assert_eq!(
+            sweep_store.load_payload::<RunState>().unwrap().map(|_| ()),
+            None
+        );
+        assert_ne!(run_store.current_path(), sweep_store.current_path());
         let _ = fs::remove_dir_all(&dir);
     }
 

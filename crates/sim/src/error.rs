@@ -33,6 +33,18 @@ pub enum SimError {
     },
     /// A checkpoint could not be written, read, or applied.
     Checkpoint(String),
+    /// A filesystem operation failed (short write, ENOSPC, permissions…).
+    /// Carries the offending path so the operator knows *which* file to
+    /// fix, plus a rendering of the OS error. Rendered strings (rather
+    /// than `std::io::Error`) keep `SimError` cloneable and comparable.
+    Io {
+        /// The operation that failed ("create", "write", "fsync", …).
+        op: &'static str,
+        /// The path the operation was addressing.
+        path: String,
+        /// A rendering of the underlying OS error.
+        cause: String,
+    },
     /// The runtime invariant auditor (or its progress circuit breaker)
     /// tripped during the named phase, so the run was stopped rather than
     /// allowed to hang or converge on corrupt accounting.
@@ -72,6 +84,9 @@ impl std::fmt::Display for SimError {
                 )
             }
             SimError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            SimError::Io { op, path, cause } => {
+                write!(f, "I/O error: cannot {op} {path}: {cause}")
+            }
             SimError::AuditFailed { phase, violation } => {
                 write!(f, "invariant audit failed during {phase}: {violation}")
             }
@@ -114,6 +129,13 @@ mod tests {
         assert!(SimError::Checkpoint("bad magic".into())
             .to_string()
             .contains("bad magic"));
+        let io = SimError::Io {
+            op: "write",
+            path: "/ckpt/bighouse.ckpt.tmp".into(),
+            cause: "No space left on device (os error 28)".into(),
+        };
+        assert!(io.to_string().contains("bighouse.ckpt.tmp"));
+        assert!(io.to_string().contains("No space left"));
         let audit = SimError::AuditFailed {
             phase: "calibration",
             violation: "livelock after 65536 events".into(),

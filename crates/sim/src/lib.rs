@@ -30,6 +30,11 @@
 //!   before it can poison an estimator, and livelocks/event storms are
 //!   broken with an honest partial report ([`AuditReport`]) instead of a
 //!   hang. With auditing off the estimates are bit-identical.
+//! - [`run_sweep`] orchestrates whole experiment *grids* across a
+//!   work-stealing pool: per-config panic isolation and deadlines,
+//!   bounded retry with quarantine of poison configs, deterministic
+//!   per-config seeds, and a crash-resumable completed-config ledger
+//!   aggregated into one [`SweepReport`].
 //!
 //! # Examples
 //!
@@ -60,6 +65,7 @@ mod multitier;
 mod parallel;
 mod report;
 mod runner;
+mod sweep;
 mod telemetry;
 mod trace;
 
@@ -76,4 +82,10 @@ pub use multitier::{run_multi_tier, MultiTierConfig, TierConfig};
 pub use parallel::{ParallelOutcome, ParallelRunner};
 pub use report::{ClusterSummary, FaultSummary, RuntimeStats, SimulationReport, TerminationReason};
 pub use runner::{run_resumable, run_serial, run_until_calibrated, RunOptions};
+#[doc(hidden)]
+pub use sweep::SweepFaultInjection;
+pub use sweep::{
+    config_seed, run_sweep, ConfigOutcome, QuarantinedConfig, SweepEntry, SweepError, SweepEvent,
+    SweepEventHook, SweepOptions, SweepReport, SweepRuntime,
+};
 pub use trace::{replay_trace, Trace, TraceEntry, TraceError, TraceReplayReport};

@@ -1,0 +1,1285 @@
+//! Fault-tolerant orchestration of experiment *sweeps*.
+//!
+//! The paper's workflow runs one SQS experiment at a time; production use
+//! is sweeps — a QPS grid × cluster sizes × power policies rendered into a
+//! figure. [`run_sweep`] runs thousands of configurations across a
+//! work-stealing thread pool and assumes individual configs will panic,
+//! stall, or diverge:
+//!
+//! - **Work stealing.** Configs are dealt through a [`crossbeam`] injector
+//!   with per-worker FIFO deques and stealers, so a worker finishing a
+//!   10-second config immediately steals from one stuck behind a
+//!   10-minute config. Workers can optionally be pinned round-robin to
+//!   cores (Linux).
+//! - **Deterministic seeding.** Each config's seed is derived from the
+//!   sweep's master seed and the config's *id* (not its position), so
+//!   editing the grid never reshuffles the seeds of configs that stayed,
+//!   and a config's estimates are bit-identical to running it alone via
+//!   [`run_resumable`] at [`config_seed`].
+//! - **Poison quarantine.** Every attempt runs under
+//!   [`catch_unwind`](std::panic::catch_unwind) with an optional
+//!   wall-clock deadline enforced by a watchdog thread. Failed attempts
+//!   retry with doubling backoff; a config that fails
+//!   `max_retries + 1` times is parked with a typed [`SweepError`]
+//!   instead of sinking the sweep.
+//! - **Crash-resumable.** Completed and quarantined configs land in a
+//!   ledger persisted through the checkpoint store (same magic/checksum/
+//!   atomic-rename framing, `bighouse.sweep` stem), so a SIGKILL'd sweep
+//!   resumes exactly where it was and — because per-config trajectories
+//!   are deterministic — reproduces the identical [`SweepReport`].
+//! - **Graceful wind-down.** A cooperative interrupt (SIGINT/SIGTERM in
+//!   the CLI) stops dispatch, cancels in-flight configs at their next
+//!   epoch boundary, saves the ledger, and reports partial results.
+//!
+//! One honest limitation: cancellation is cooperative at epoch
+//! boundaries. A config wedged *inside* an epoch (a livelock in the
+//! engine itself) cannot be cancelled from outside; arm paranoid mode
+//! ([`ExperimentConfig::with_audit`]) so the in-engine circuit breakers
+//! break such livelocks from within.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::{Injector, Stealer, Worker as WorkerQueue};
+use serde::{Deserialize, Serialize};
+
+use bighouse_telemetry::TelemetrySnapshot;
+
+use crate::audit::AuditReport;
+use crate::checkpoint::{config_fingerprint, fnv1a, CheckpointConfig, CheckpointStore};
+use crate::config::ExperimentConfig;
+use crate::error::SimError;
+use crate::report::{SimulationReport, TerminationReason};
+use crate::runner::{run_resumable, RunOptions};
+
+/// Backoff before the first retry; doubles per failed attempt, capped at
+/// six doublings (1.6 s).
+const RETRY_BACKOFF: Duration = Duration::from_millis(25);
+/// Watchdog poll cadence for deadlines and interrupt propagation.
+const WATCHDOG_TICK: Duration = Duration::from_millis(10);
+
+/// Derives the deterministic seed for one sweep entry.
+///
+/// A pure function of the sweep's master seed and the entry's **id** (not
+/// its position), so adding or removing configs never reshuffles the seeds
+/// — and therefore the estimates — of the configs that stayed.
+#[must_use]
+pub fn config_seed(master_seed: u64, id: &str) -> u64 {
+    let mut bytes = Vec::with_capacity(8 + id.len());
+    bytes.extend_from_slice(&master_seed.to_le_bytes());
+    bytes.extend_from_slice(id.as_bytes());
+    fnv1a(&bytes)
+}
+
+/// One experiment in a sweep: a unique id and its configuration.
+#[derive(Debug, Clone)]
+pub struct SweepEntry {
+    /// Unique name of this configuration within the sweep. Seeds, the
+    /// resume ledger, and the report are all keyed by it.
+    pub id: String,
+    /// The experiment to run.
+    pub config: ExperimentConfig,
+}
+
+impl SweepEntry {
+    /// Creates an entry.
+    pub fn new(id: impl Into<String>, config: ExperimentConfig) -> Self {
+        SweepEntry {
+            id: id.into(),
+            config,
+        }
+    }
+}
+
+/// Why a configuration was quarantined. Typed and serialized into the
+/// ledger and report, so a trend pipeline can distinguish "this config
+/// panics" from "this config never converges".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SweepError {
+    /// The config panicked inside the runner (contained by
+    /// `catch_unwind`); the payload is the rendered panic message.
+    Panicked {
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// The config exceeded its per-attempt wall-clock deadline and was
+    /// cancelled at the next epoch boundary.
+    DeadlineExceeded {
+        /// The configured deadline, in seconds.
+        seconds: f64,
+    },
+    /// The runtime invariant auditor (or a progress circuit breaker)
+    /// stopped the run.
+    AuditFailed {
+        /// Rendering of the first violation.
+        violation: String,
+    },
+    /// The runner returned a typed error, rendered.
+    RunFailed {
+        /// Rendering of the underlying [`SimError`].
+        error: String,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Panicked { message } => write!(f, "panicked: {message}"),
+            SweepError::DeadlineExceeded { seconds } => {
+                write!(f, "exceeded the {seconds}s per-attempt deadline")
+            }
+            SweepError::AuditFailed { violation } => write!(f, "audit failed: {violation}"),
+            SweepError::RunFailed { error } => write!(f, "run failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// A successfully completed configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigOutcome {
+    /// The entry's id.
+    pub id: String,
+    /// The derived per-config seed ([`config_seed`]).
+    pub seed: u64,
+    /// Attempts it took (1 = succeeded first try).
+    pub attempts: u32,
+    /// The config's full simulation report.
+    pub report: SimulationReport,
+}
+
+/// A quarantined (poison) configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedConfig {
+    /// The entry's id.
+    pub id: String,
+    /// The derived per-config seed.
+    pub seed: u64,
+    /// Attempts made before parking (always `max_retries + 1`).
+    pub attempts: u32,
+    /// The last attempt's failure.
+    pub error: SweepError,
+}
+
+/// The crash-consistent resume ledger, persisted through
+/// [`CheckpointStore`] under the `bighouse.sweep` stem.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SweepLedger {
+    /// Master seed of the sweep (resume must match).
+    master_seed: u64,
+    /// Fingerprint over (sorted ids, per-config fingerprints, epoch
+    /// size); a mismatch on resume means a different sweep.
+    sweep_fingerprint: u64,
+    /// Epoch size every config ran with (part of the determinism
+    /// contract).
+    epoch_events: u64,
+    /// Configs that finished, keyed by id.
+    completed: BTreeMap<String, ConfigOutcome>,
+    /// Configs that were parked, keyed by id.
+    quarantined: BTreeMap<String, QuarantinedConfig>,
+}
+
+impl SweepLedger {
+    fn decided(&self) -> usize {
+        self.completed.len() + self.quarantined.len()
+    }
+}
+
+/// Non-deterministic facts about a sweep execution, quarantined from the
+/// deterministic sections exactly like
+/// [`RuntimeStats`](crate::RuntimeStats) on a single run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SweepRuntime {
+    /// Wall-clock seconds for this invocation.
+    pub wall_seconds: f64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Configs restored from the resume ledger instead of re-run.
+    pub resumed: usize,
+}
+
+/// Aggregated result of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Configurations in the sweep (completed + quarantined + any left
+    /// unfinished by an interrupt).
+    pub total_configs: usize,
+    /// Completed configurations, sorted by id.
+    pub completed: Vec<ConfigOutcome>,
+    /// Quarantined configurations, sorted by id.
+    pub quarantined: Vec<QuarantinedConfig>,
+    /// Failed attempts that were retried, summed across all configs.
+    pub retries: u32,
+    /// Whether the sweep wound down before deciding every config
+    /// (interrupt or `max_decided`); `--resume` finishes the rest.
+    pub interrupted: bool,
+    /// Per-config telemetry snapshots absorbed in id order, plus
+    /// `sweep.*` counters (`None` when no config was instrumented).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub telemetry: Option<TelemetrySnapshot>,
+    /// Audit findings merged across completed configs in id order
+    /// (`None` when no config was audited).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub audit: Option<AuditReport>,
+    /// Non-deterministic execution facts.
+    #[serde(default)]
+    pub runtime: SweepRuntime,
+}
+
+impl SweepReport {
+    /// Returns a copy with every wall-clock-derived value zeroed: the
+    /// sweep runtime section, each per-config report's wall clock, and
+    /// all telemetry wall namespaces. What remains is a pure function of
+    /// (entries, master seed, epoch size) — the projection the
+    /// kill/resume bit-identity tests and CI compare.
+    #[must_use]
+    pub fn canonical(&self) -> SweepReport {
+        let mut clean = self.clone();
+        clean.runtime = SweepRuntime::default();
+        for outcome in &mut clean.completed {
+            outcome.report.runtime.wall_seconds = 0.0;
+            if let Some(snap) = &mut outcome.report.runtime.telemetry {
+                *snap = snap.without_wall_times();
+            }
+        }
+        clean.telemetry = clean.telemetry.map(|snap| snap.without_wall_times());
+        clean
+    }
+}
+
+/// Progress notification streamed to [`SweepOptions::on_event`] from the
+/// collector as configs are decided.
+#[derive(Debug, Clone)]
+pub enum SweepEvent {
+    /// A config finished (possibly unconverged, but with valid
+    /// estimates).
+    Completed {
+        /// The entry's id.
+        id: String,
+        /// Attempts it took.
+        attempts: u32,
+        /// Whether its metrics converged.
+        converged: bool,
+    },
+    /// An attempt failed; the config retries after backoff.
+    Retrying {
+        /// The entry's id.
+        id: String,
+        /// The attempt that just failed (1-based).
+        attempt: u32,
+        /// Why it failed.
+        error: SweepError,
+    },
+    /// A config exhausted its retry budget and was parked.
+    Quarantined {
+        /// The entry's id.
+        id: String,
+        /// Attempts made.
+        attempts: u32,
+        /// The final failure.
+        error: SweepError,
+    },
+}
+
+/// Shared progress callback invoked from the collector thread as each
+/// config is decided (see [`SweepOptions::on_event`]).
+pub type SweepEventHook = Arc<dyn Fn(&SweepEvent) + Send + Sync>;
+
+/// Seeded failures for robustness tests: ids in `panic_ids` panic on
+/// every attempt; ids in `stall_ids` wedge (holding their worker) until
+/// the deadline watchdog or a sweep interrupt cancels them.
+#[doc(hidden)]
+#[derive(Debug, Clone, Default)]
+pub struct SweepFaultInjection {
+    /// Ids that panic on every attempt.
+    pub panic_ids: Vec<String>,
+    /// Ids that stall until cancelled.
+    pub stall_ids: Vec<String>,
+}
+
+/// Options for [`run_sweep`].
+#[derive(Clone)]
+pub struct SweepOptions {
+    /// Worker threads (0 = one per available core, clamped to the number
+    /// of pending configs).
+    pub workers: usize,
+    /// Failed attempts tolerated per config before quarantine: a config
+    /// runs at most `max_retries + 1` times.
+    pub max_retries: u32,
+    /// Per-attempt wall-clock deadline. When it expires the watchdog arms
+    /// the attempt's cancel flag; the run stops at its next epoch
+    /// boundary and the attempt counts as failed. `None` disables.
+    pub deadline: Option<Duration>,
+    /// Event budget per epoch for every config (0 = the runner default).
+    /// Part of the determinism contract: a config's estimates are
+    /// bit-identical to a standalone [`run_resumable`] only at the same
+    /// epoch size.
+    pub epoch_events: u64,
+    /// Where to persist the resume ledger (`None` disables). The
+    /// interval counts *decided configs* between saves; the final state
+    /// is always saved.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Resume from the ledger instead of starting fresh. Requires
+    /// `checkpoint` and a loadable ledger from the *same* sweep.
+    pub resume: bool,
+    /// Cooperative interrupt: set it (e.g. from a SIGINT handler) and the
+    /// sweep stops dispatching, cancels in-flight configs at their next
+    /// epoch boundary, saves the ledger, and reports partial results.
+    pub interrupt: Option<Arc<AtomicBool>>,
+    /// Pin worker `w` to core `w mod cores` (Linux; no-op elsewhere).
+    pub pin_cores: bool,
+    /// Stop dispatching after this many configs have been decided
+    /// *this invocation* — a deterministic programmatic pause point, the
+    /// sweep-level analogue of [`RunOptions::max_epochs`].
+    pub max_decided: Option<usize>,
+    /// Progress callback, invoked from the collector thread.
+    pub on_event: Option<SweepEventHook>,
+    /// Test hook: seeded per-id failures.
+    #[doc(hidden)]
+    pub fault_injection: Option<SweepFaultInjection>,
+}
+
+impl SweepOptions {
+    /// Default failed attempts tolerated before quarantine.
+    pub const DEFAULT_MAX_RETRIES: u32 = 2;
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            workers: 0,
+            max_retries: Self::DEFAULT_MAX_RETRIES,
+            deadline: None,
+            epoch_events: 0,
+            checkpoint: None,
+            resume: false,
+            interrupt: None,
+            pin_cores: false,
+            max_decided: None,
+            on_event: None,
+            fault_injection: None,
+        }
+    }
+}
+
+impl fmt::Debug for SweepOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepOptions")
+            .field("workers", &self.workers)
+            .field("max_retries", &self.max_retries)
+            .field("deadline", &self.deadline)
+            .field("epoch_events", &self.epoch_events)
+            .field("checkpoint", &self.checkpoint)
+            .field("resume", &self.resume)
+            .field("pin_cores", &self.pin_cores)
+            .field("max_decided", &self.max_decided)
+            .field("on_event", &self.on_event.as_ref().map(|_| "Fn(..)"))
+            .field("fault_injection", &self.fault_injection)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One in-flight attempt as the watchdog sees it.
+struct AttemptWatch {
+    /// Cooperative cancel flag handed to the runner as its interrupt.
+    cancel: Arc<AtomicBool>,
+    /// When the attempt must be cancelled (`None` = no deadline).
+    deadline: Option<Instant>,
+    /// Set by the watchdog iff the cancel was *because of* the deadline,
+    /// so the worker can tell a timeout from a sweep-wide wind-down.
+    deadline_hit: Arc<AtomicBool>,
+}
+
+/// What one worker decided about one config.
+enum Decision {
+    Completed(Box<ConfigOutcome>),
+    Quarantined(QuarantinedConfig),
+    /// A sweep interrupt wound the config down mid-run; it stays
+    /// undecided and a resume will run it from scratch.
+    Cancelled,
+}
+
+/// Worker → collector messages.
+enum Message {
+    Retrying {
+        id: String,
+        attempt: u32,
+        error: SweepError,
+    },
+    Decided(Decision),
+}
+
+/// How a single attempt ended, before retry/quarantine policy is applied.
+enum Attempt {
+    Finished(Box<SimulationReport>),
+    /// The runner wound down on the cancel flag (deadline or sweep
+    /// interrupt — the worker disambiguates via `deadline_hit`).
+    Cancelled,
+    Failed(SweepError),
+}
+
+/// The crossbeam find-task idiom: local deque first, then batch-steal
+/// from the injector, then steal from siblings.
+fn find_task<T>(
+    local: &WorkerQueue<T>,
+    injector: &Injector<T>,
+    stealers: &[Stealer<T>],
+) -> Option<T> {
+    local.pop().or_else(|| {
+        std::iter::repeat_with(|| {
+            injector
+                .steal_batch_and_pop(local)
+                .or_else(|| stealers.iter().map(Stealer::steal).collect())
+        })
+        .find(|s| !s.is_retry())
+        .and_then(|s| s.success())
+    })
+}
+
+/// Best-effort round-robin core pinning (Linux). Errors are ignored: a
+/// sweep must run the same everywhere, pinning is only a locality hint.
+#[cfg(target_os = "linux")]
+fn pin_to_core(worker: usize) {
+    // Raw libc call, mirroring the CLI's libc-free signal handling: a
+    // cpu_set_t is a 1024-bit mask; set one bit and ask the kernel to
+    // pin the calling thread (pid 0).
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let core = worker % cores;
+    let mut mask = [0u64; 16];
+    if core < mask.len() * 64 {
+        mask[core / 64] = 1u64 << (core % 64);
+        // SAFETY: the mask outlives the call and the length matches.
+        unsafe {
+            let _ = sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr());
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_to_core(_worker: usize) {}
+
+/// Renders a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
+/// Runs one attempt of one config under panic isolation.
+fn run_attempt(
+    entry: &SweepEntry,
+    seed: u64,
+    epoch_events: u64,
+    cancel: &Arc<AtomicBool>,
+    faults: Option<&SweepFaultInjection>,
+) -> Attempt {
+    if let Some(faults) = faults {
+        if faults.panic_ids.contains(&entry.id) {
+            return Attempt::Failed(SweepError::Panicked {
+                message: format!("injected poison panic for `{}`", entry.id),
+            });
+        }
+        if faults.stall_ids.contains(&entry.id) {
+            // Wedge exactly like a non-advancing run would: hold the
+            // worker until cancelled, then report the wind-down.
+            while !cancel.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            return Attempt::Cancelled;
+        }
+    }
+    let opts = RunOptions {
+        epoch_events,
+        checkpoint: None,
+        resume: false,
+        max_epochs: None,
+        interrupt: Some(Arc::clone(cancel)),
+        audit: None,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_resumable(&entry.config, seed, &opts)
+    }));
+    match result {
+        Err(payload) => Attempt::Failed(SweepError::Panicked {
+            message: panic_message(payload.as_ref()),
+        }),
+        Ok(Err(e)) => Attempt::Failed(SweepError::RunFailed {
+            error: e.to_string(),
+        }),
+        Ok(Ok(report)) => match report.termination {
+            TerminationReason::Interrupted => Attempt::Cancelled,
+            TerminationReason::AuditViolation | TerminationReason::Livelock => {
+                let violation = report
+                    .audit
+                    .as_ref()
+                    .and_then(|a| a.violations.first().map(ToString::to_string))
+                    .unwrap_or_else(|| "unspecified violation".to_owned());
+                Attempt::Failed(SweepError::AuditFailed { violation })
+            }
+            _ => Attempt::Finished(Box::new(report)),
+        },
+    }
+}
+
+/// Everything a worker thread needs, bundled to keep the spawn site
+/// readable.
+struct WorkerCtx<'a> {
+    index: usize,
+    entries: &'a [SweepEntry],
+    master_seed: u64,
+    epoch_events: u64,
+    max_retries: u32,
+    deadline: Option<Duration>,
+    faults: Option<&'a SweepFaultInjection>,
+    injector: &'a Injector<usize>,
+    stealers: &'a [Stealer<usize>],
+    board: &'a Mutex<Vec<Option<AttemptWatch>>>,
+    interrupt: &'a AtomicBool,
+    tx: mpsc::Sender<Message>,
+}
+
+/// Sleeps the doubling backoff before retry `attempt + 1`, waking early on
+/// a sweep interrupt. Returns `false` if interrupted.
+fn backoff_sleep(failed_attempts: u32, interrupt: &AtomicBool) -> bool {
+    let exponent = failed_attempts.saturating_sub(1).min(6);
+    let total = RETRY_BACKOFF * 2u32.pow(exponent);
+    let began = Instant::now();
+    while began.elapsed() < total {
+        if interrupt.load(Ordering::Relaxed) {
+            return false;
+        }
+        std::thread::sleep(WATCHDOG_TICK.min(total));
+    }
+    !interrupt.load(Ordering::Relaxed)
+}
+
+/// The worker loop: steal a config, run it with retries, report the
+/// decision, repeat until the queues drain or the sweep is interrupted.
+fn worker_loop(ctx: &WorkerCtx<'_>, local: &WorkerQueue<usize>) {
+    while !ctx.interrupt.load(Ordering::Relaxed) {
+        let Some(index) = find_task(local, ctx.injector, ctx.stealers) else {
+            return;
+        };
+        let entry = &ctx.entries[index];
+        let seed = config_seed(ctx.master_seed, &entry.id);
+        let mut attempts: u32 = 0;
+        let decision = loop {
+            attempts += 1;
+            let cancel = Arc::new(AtomicBool::new(false));
+            let deadline_hit = Arc::new(AtomicBool::new(false));
+            {
+                let mut board = ctx.board.lock().expect("watch board poisoned");
+                board[ctx.index] = Some(AttemptWatch {
+                    cancel: Arc::clone(&cancel),
+                    deadline: ctx.deadline.map(|d| Instant::now() + d),
+                    deadline_hit: Arc::clone(&deadline_hit),
+                });
+            }
+            let attempt = run_attempt(entry, seed, ctx.epoch_events, &cancel, ctx.faults);
+            ctx.board.lock().expect("watch board poisoned")[ctx.index] = None;
+
+            let error = match attempt {
+                Attempt::Finished(report) => {
+                    break Decision::Completed(Box::new(ConfigOutcome {
+                        id: entry.id.clone(),
+                        seed,
+                        attempts,
+                        report: *report,
+                    }));
+                }
+                Attempt::Cancelled => {
+                    if deadline_hit.load(Ordering::Relaxed) {
+                        SweepError::DeadlineExceeded {
+                            seconds: ctx.deadline.map_or(0.0, |d| d.as_secs_f64()),
+                        }
+                    } else {
+                        // Sweep-wide wind-down: hand the config back
+                        // undecided.
+                        break Decision::Cancelled;
+                    }
+                }
+                Attempt::Failed(error) => error,
+            };
+            if attempts > ctx.max_retries {
+                break Decision::Quarantined(QuarantinedConfig {
+                    id: entry.id.clone(),
+                    seed,
+                    attempts,
+                    error,
+                });
+            }
+            let _ = ctx.tx.send(Message::Retrying {
+                id: entry.id.clone(),
+                attempt: attempts,
+                error,
+            });
+            if !backoff_sleep(attempts, ctx.interrupt) {
+                break Decision::Cancelled;
+            }
+        };
+        // A send can only fail after the collector stopped, which only
+        // happens once every sender hung up — unreachable here.
+        let _ = ctx.tx.send(Message::Decided(decision));
+    }
+}
+
+/// Runs a sweep. See the module docs for the machinery; see
+/// [`SweepOptions`] for the knobs.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] for an empty sweep or duplicate
+/// ids, [`SimError::Checkpoint`] for resume/ledger problems (no ledger,
+/// corrupt ledger, or a ledger from a different sweep), and
+/// [`SimError::Io`] when the ledger cannot be persisted. Individual
+/// config failures never surface here — they are quarantined into the
+/// report.
+pub fn run_sweep(
+    entries: &[SweepEntry],
+    master_seed: u64,
+    opts: &SweepOptions,
+) -> Result<SweepReport, SimError> {
+    let began = Instant::now();
+    if entries.is_empty() {
+        return Err(SimError::InvalidParameter {
+            name: "sweep.entries",
+            value: "0 configs".to_owned(),
+            requirement: "at least one config",
+        });
+    }
+    let mut ids = BTreeSet::new();
+    for entry in entries {
+        if !ids.insert(entry.id.as_str()) {
+            return Err(SimError::InvalidParameter {
+                name: "sweep.entries",
+                value: entry.id.clone(),
+                requirement: "unique per-config ids",
+            });
+        }
+    }
+    let epoch_events = if opts.epoch_events == 0 {
+        RunOptions::DEFAULT_EPOCH_EVENTS
+    } else {
+        opts.epoch_events
+    };
+    // The sweep fingerprint chains the per-config fingerprints in id
+    // order, so resume rejects a ledger whose grid, seeds, or epoch size
+    // differ. Per-config fingerprints already ignore the observational
+    // toggles (audit, telemetry).
+    let mut acc = format!("sweep|seed={master_seed}|epoch={epoch_events}");
+    let mut sorted: Vec<&SweepEntry> = entries.iter().collect();
+    sorted.sort_by(|a, b| a.id.cmp(&b.id));
+    for entry in sorted {
+        let fp = config_fingerprint(&entry.config, config_seed(master_seed, &entry.id));
+        acc.push_str(&format!("|{}:{fp:016x}", entry.id));
+    }
+    let sweep_fingerprint = fnv1a(acc.as_bytes());
+
+    let store = match &opts.checkpoint {
+        Some(ckpt) => Some((
+            CheckpointStore::with_stem(&ckpt.dir, "bighouse.sweep")?,
+            ckpt.interval_epochs.max(1),
+        )),
+        None => None,
+    };
+    let ledger = if opts.resume {
+        let Some((store, _)) = &store else {
+            return Err(SimError::Checkpoint(
+                "sweep resume requested without a checkpoint directory".to_owned(),
+            ));
+        };
+        let Some(ledger) = store.load_payload::<SweepLedger>()? else {
+            return Err(SimError::Checkpoint(format!(
+                "resume requested but no sweep ledger exists at {}",
+                store.current_path().display()
+            )));
+        };
+        if ledger.master_seed != master_seed
+            || ledger.sweep_fingerprint != sweep_fingerprint
+            || ledger.epoch_events != epoch_events
+        {
+            return Err(SimError::Checkpoint(
+                "stale sweep ledger: it was written by a different sweep \
+                 (configs, master seed, or epoch size differ)"
+                    .to_owned(),
+            ));
+        }
+        ledger
+    } else {
+        SweepLedger {
+            master_seed,
+            sweep_fingerprint,
+            epoch_events,
+            completed: BTreeMap::new(),
+            quarantined: BTreeMap::new(),
+        }
+    };
+    let resumed = ledger.decided();
+
+    let pending: Vec<usize> = entries
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| {
+            !ledger.completed.contains_key(&e.id) && !ledger.quarantined.contains_key(&e.id)
+        })
+        .map(|(i, _)| i)
+        .collect();
+
+    let interrupt = opts
+        .interrupt
+        .clone()
+        .unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
+    let workers = if opts.workers > 0 {
+        opts.workers
+    } else {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+    .min(pending.len().max(1));
+
+    let ledger = if pending.is_empty() {
+        ledger
+    } else {
+        run_workers(
+            entries,
+            master_seed,
+            epoch_events,
+            &pending,
+            workers,
+            ledger,
+            store.as_ref(),
+            &interrupt,
+            opts,
+        )?
+    };
+
+    // Final ledger write, so even a sweep interrupted before its first
+    // decision (or one that decided nothing new) leaves a resumable
+    // ledger behind.
+    if let Some((store, _)) = &store {
+        store.save_payload(&ledger)?;
+    }
+
+    let completed: Vec<ConfigOutcome> = ledger.completed.into_values().collect();
+    let quarantined: Vec<QuarantinedConfig> = ledger.quarantined.into_values().collect();
+    let retries = completed
+        .iter()
+        .map(|c| c.attempts - 1)
+        .chain(quarantined.iter().map(|q| q.attempts - 1))
+        .sum();
+
+    let mut telemetry: Option<TelemetrySnapshot> = None;
+    for outcome in &completed {
+        if let Some(snap) = &outcome.report.runtime.telemetry {
+            telemetry
+                .get_or_insert_with(TelemetrySnapshot::default)
+                .absorb(snap);
+        }
+    }
+    if let Some(snap) = telemetry.as_mut() {
+        snap.counters
+            .insert("sweep.configs_completed".to_owned(), completed.len() as u64);
+        snap.counters.insert(
+            "sweep.configs_quarantined".to_owned(),
+            quarantined.len() as u64,
+        );
+        snap.counters
+            .insert("sweep.retries".to_owned(), u64::from(retries));
+        snap.wall.insert(
+            "sweep.wall_seconds".to_owned(),
+            began.elapsed().as_secs_f64(),
+        );
+    }
+    let mut audit: Option<AuditReport> = None;
+    for outcome in &completed {
+        if let Some(report) = &outcome.report.audit {
+            audit.get_or_insert_with(AuditReport::default).merge(report);
+        }
+    }
+
+    let decided = completed.len() + quarantined.len();
+    Ok(SweepReport {
+        total_configs: entries.len(),
+        interrupted: decided < entries.len(),
+        completed,
+        quarantined,
+        retries,
+        telemetry,
+        audit,
+        runtime: SweepRuntime {
+            wall_seconds: began.elapsed().as_secs_f64(),
+            workers,
+            resumed,
+        },
+    })
+}
+
+/// Spawns the pool + watchdog and collects decisions into the ledger.
+#[allow(clippy::too_many_arguments)]
+fn run_workers(
+    entries: &[SweepEntry],
+    master_seed: u64,
+    epoch_events: u64,
+    pending: &[usize],
+    workers: usize,
+    mut ledger: SweepLedger,
+    store: Option<&(CheckpointStore, u64)>,
+    interrupt: &Arc<AtomicBool>,
+    opts: &SweepOptions,
+) -> Result<SweepLedger, SimError> {
+    let injector = Injector::new();
+    for &index in pending {
+        injector.push(index);
+    }
+    let locals: Vec<WorkerQueue<usize>> = (0..workers).map(|_| WorkerQueue::new_fifo()).collect();
+    let stealers: Vec<Stealer<usize>> = locals.iter().map(WorkerQueue::stealer).collect();
+    let board: Mutex<Vec<Option<AttemptWatch>>> = Mutex::new((0..workers).map(|_| None).collect());
+    let watchdog_done = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<Message>();
+
+    let mut save_error: Option<SimError> = None;
+    std::thread::scope(|scope| {
+        // Watchdog: expires deadlines and propagates the sweep interrupt
+        // into in-flight attempts' cancel flags.
+        scope.spawn(|| {
+            while !watchdog_done.load(Ordering::Relaxed) {
+                let sweep_down = interrupt.load(Ordering::Relaxed);
+                {
+                    let board = board.lock().expect("watch board poisoned");
+                    for watch in board.iter().flatten() {
+                        if sweep_down {
+                            watch.cancel.store(true, Ordering::Relaxed);
+                        } else if watch.deadline.is_some_and(|d| Instant::now() >= d) {
+                            watch.deadline_hit.store(true, Ordering::Relaxed);
+                            watch.cancel.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+                std::thread::sleep(WATCHDOG_TICK);
+            }
+        });
+
+        for (index, local) in locals.into_iter().enumerate() {
+            let ctx = WorkerCtx {
+                index,
+                entries,
+                master_seed,
+                epoch_events,
+                max_retries: opts.max_retries,
+                deadline: opts.deadline,
+                faults: opts.fault_injection.as_ref(),
+                injector: &injector,
+                stealers: &stealers,
+                board: &board,
+                interrupt,
+                tx: tx.clone(),
+            };
+            let pin = opts.pin_cores;
+            scope.spawn(move || {
+                if pin {
+                    pin_to_core(ctx.index);
+                }
+                worker_loop(&ctx, &local);
+            });
+        }
+        drop(tx);
+
+        // Collector: the scope's own thread owns the ledger and the
+        // store, so persistence is single-writer by construction.
+        let mut since_save: u64 = 0;
+        let mut decided_now: usize = 0;
+        while let Ok(message) = rx.recv() {
+            match message {
+                Message::Retrying { id, attempt, error } => {
+                    if let Some(callback) = &opts.on_event {
+                        callback(&SweepEvent::Retrying { id, attempt, error });
+                    }
+                }
+                Message::Decided(Decision::Cancelled) => {}
+                Message::Decided(decision) => {
+                    let event = match decision {
+                        Decision::Completed(outcome) => {
+                            let event = SweepEvent::Completed {
+                                id: outcome.id.clone(),
+                                attempts: outcome.attempts,
+                                converged: outcome.report.converged,
+                            };
+                            ledger.completed.insert(outcome.id.clone(), *outcome);
+                            event
+                        }
+                        Decision::Quarantined(quarantined) => {
+                            let event = SweepEvent::Quarantined {
+                                id: quarantined.id.clone(),
+                                attempts: quarantined.attempts,
+                                error: quarantined.error.clone(),
+                            };
+                            ledger
+                                .quarantined
+                                .insert(quarantined.id.clone(), quarantined);
+                            event
+                        }
+                        Decision::Cancelled => unreachable!("matched above"),
+                    };
+                    decided_now += 1;
+                    since_save += 1;
+                    if let Some((store, interval)) = store {
+                        if since_save >= *interval && save_error.is_none() {
+                            if let Err(e) = store.save_payload(&ledger) {
+                                // Persistence failing must not lose the
+                                // in-memory sweep: finish, then report.
+                                save_error = Some(e);
+                            }
+                            since_save = 0;
+                        }
+                    }
+                    if let Some(callback) = &opts.on_event {
+                        callback(&event);
+                    }
+                    if opts.max_decided.is_some_and(|max| decided_now >= max) {
+                        interrupt.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        watchdog_done.store(true, Ordering::Relaxed);
+    });
+
+    match save_error {
+        Some(e) => Err(e),
+        None => Ok(ledger),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MetricKind;
+    use bighouse_workloads::{StandardWorkload, Workload};
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bighouse-sweep-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick_config(utilization: f64) -> ExperimentConfig {
+        ExperimentConfig::new(Workload::standard(StandardWorkload::Web))
+            .with_utilization(utilization)
+            .with_target_accuracy(0.2)
+            .with_warmup(50)
+            .with_calibration(500)
+    }
+
+    fn grid(utilizations: &[f64]) -> Vec<SweepEntry> {
+        utilizations
+            .iter()
+            .map(|&u| SweepEntry::new(format!("utilization={u}"), quick_config(u)))
+            .collect()
+    }
+
+    fn estimates_json(report: &SimulationReport) -> String {
+        serde_json::to_string(&report.estimates).unwrap()
+    }
+
+    #[test]
+    fn sweep_matches_individual_runs_bit_for_bit() {
+        let entries = grid(&[0.3, 0.5, 0.7]);
+        let opts = SweepOptions {
+            workers: 2,
+            epoch_events: 50_000,
+            ..SweepOptions::default()
+        };
+        let report = run_sweep(&entries, 2012, &opts).unwrap();
+        assert_eq!(report.completed.len(), 3);
+        assert!(report.quarantined.is_empty());
+        assert!(!report.interrupted);
+        assert_eq!(report.retries, 0);
+        for outcome in &report.completed {
+            let entry = entries.iter().find(|e| e.id == outcome.id).unwrap();
+            assert_eq!(outcome.seed, config_seed(2012, &entry.id));
+            let solo = run_resumable(
+                &entry.config,
+                outcome.seed,
+                &RunOptions {
+                    epoch_events: 50_000,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(estimates_json(&outcome.report), estimates_json(&solo));
+            assert_eq!(outcome.report.events_fired, solo.events_fired);
+            assert_eq!(
+                outcome.report.simulated_seconds.to_bits(),
+                solo.simulated_seconds.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn config_seed_depends_on_id_not_position() {
+        assert_ne!(config_seed(1, "a"), config_seed(1, "b"));
+        assert_ne!(config_seed(1, "a"), config_seed(2, "a"));
+        assert_eq!(config_seed(7, "x"), config_seed(7, "x"));
+    }
+
+    #[test]
+    fn panicking_config_is_quarantined_after_bounded_retries() {
+        let mut entries = grid(&[0.4, 0.6]);
+        entries.push(SweepEntry::new("poison", quick_config(0.5)));
+        let retry_events = Arc::new(Mutex::new(Vec::new()));
+        let seen = Arc::clone(&retry_events);
+        let opts = SweepOptions {
+            workers: 2,
+            max_retries: 1,
+            epoch_events: 50_000,
+            fault_injection: Some(SweepFaultInjection {
+                panic_ids: vec!["poison".to_owned()],
+                stall_ids: vec![],
+            }),
+            on_event: Some(Arc::new(move |event| {
+                if let SweepEvent::Retrying { id, .. } = event {
+                    seen.lock().unwrap().push(id.clone());
+                }
+            })),
+            ..SweepOptions::default()
+        };
+        let report = run_sweep(&entries, 99, &opts).unwrap();
+        assert_eq!(report.completed.len(), 2);
+        assert_eq!(report.quarantined.len(), 1);
+        let poison = &report.quarantined[0];
+        assert_eq!(poison.id, "poison");
+        assert_eq!(poison.attempts, 2, "max_retries=1 means two attempts");
+        assert!(matches!(&poison.error, SweepError::Panicked { message }
+            if message.contains("injected")));
+        assert_eq!(report.retries, 1);
+        assert_eq!(retry_events.lock().unwrap().as_slice(), ["poison"]);
+        assert!(!report.interrupted);
+    }
+
+    #[test]
+    fn stalling_config_hits_deadline_and_is_quarantined() {
+        let mut entries = grid(&[0.5]);
+        entries.push(SweepEntry::new("wedged", quick_config(0.5)));
+        let opts = SweepOptions {
+            workers: 2,
+            max_retries: 1,
+            deadline: Some(Duration::from_millis(400)),
+            epoch_events: 50_000,
+            fault_injection: Some(SweepFaultInjection {
+                panic_ids: vec![],
+                stall_ids: vec!["wedged".to_owned()],
+            }),
+            ..SweepOptions::default()
+        };
+        let report = run_sweep(&entries, 4, &opts).unwrap();
+        assert_eq!(report.completed.len(), 1);
+        assert_eq!(report.quarantined.len(), 1);
+        let wedged = &report.quarantined[0];
+        assert_eq!(wedged.attempts, 2);
+        assert!(matches!(
+            wedged.error,
+            SweepError::DeadlineExceeded { seconds } if seconds > 0.0
+        ));
+    }
+
+    #[test]
+    fn killed_and_resumed_sweep_reproduces_identical_report() {
+        let dir = temp_dir("resume");
+        let entries = grid(&[0.3, 0.45, 0.6, 0.75]);
+
+        let reference = run_sweep(
+            &entries,
+            2012,
+            &SweepOptions {
+                workers: 2,
+                epoch_events: 50_000,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+
+        // "Kill" after two decisions, then resume from the ledger.
+        let partial = run_sweep(
+            &entries,
+            2012,
+            &SweepOptions {
+                workers: 2,
+                epoch_events: 50_000,
+                checkpoint: Some(CheckpointConfig::new(&dir)),
+                max_decided: Some(2),
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        // At least the two decided configs are in the ledger; in-flight
+        // ones may have completed before the wind-down reached them, so
+        // only the lower bound is deterministic.
+        assert!(partial.completed.len() >= 2);
+
+        let resumed = run_sweep(
+            &entries,
+            2012,
+            &SweepOptions {
+                workers: 2,
+                epoch_events: 50_000,
+                checkpoint: Some(CheckpointConfig::new(&dir)),
+                resume: true,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!resumed.interrupted);
+        assert!(resumed.runtime.resumed >= 2);
+        assert_eq!(
+            serde_json::to_string(&resumed.canonical()).unwrap(),
+            serde_json::to_string(&reference.canonical()).unwrap(),
+            "kill + resume must reproduce the identical report"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_ledger_is_rejected() {
+        let dir = temp_dir("stale");
+        let entries = grid(&[0.4, 0.6]);
+        let opts = SweepOptions {
+            workers: 2,
+            epoch_events: 50_000,
+            checkpoint: Some(CheckpointConfig::new(&dir)),
+            ..SweepOptions::default()
+        };
+        run_sweep(&entries, 1, &opts).unwrap();
+        // Same directory, different master seed: must refuse.
+        let resume = SweepOptions {
+            resume: true,
+            ..opts
+        };
+        let err = run_sweep(&entries, 2, &resume).unwrap_err();
+        assert!(matches!(err, SimError::Checkpoint(ref msg) if msg.contains("stale")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_without_checkpoint_dir_is_an_error() {
+        let entries = grid(&[0.5]);
+        let err = run_sweep(
+            &entries,
+            1,
+            &SweepOptions {
+                resume: true,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Checkpoint(_)));
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let entries = vec![
+            SweepEntry::new("same", quick_config(0.4)),
+            SweepEntry::new("same", quick_config(0.6)),
+        ];
+        let err = run_sweep(&entries, 1, &SweepOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InvalidParameter { name, .. } if name == "sweep.entries"
+        ));
+    }
+
+    #[test]
+    fn empty_sweep_is_rejected() {
+        let err = run_sweep(&[], 1, &SweepOptions::default()).unwrap_err();
+        assert!(matches!(err, SimError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn pre_armed_interrupt_decides_nothing() {
+        let entries = grid(&[0.4, 0.6]);
+        let flag = Arc::new(AtomicBool::new(true));
+        let report = run_sweep(
+            &entries,
+            1,
+            &SweepOptions {
+                interrupt: Some(flag),
+                epoch_events: 50_000,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(report.interrupted);
+        assert!(report.completed.is_empty());
+        assert!(report.quarantined.is_empty());
+    }
+
+    #[test]
+    fn telemetry_and_audit_aggregate_across_configs() {
+        let entries: Vec<SweepEntry> = grid(&[0.4, 0.6])
+            .into_iter()
+            .map(|e| SweepEntry {
+                id: e.id,
+                config: e
+                    .config
+                    .with_telemetry(true)
+                    .with_audit(crate::audit::AuditConfig::default()),
+            })
+            .collect();
+        let report = run_sweep(
+            &entries,
+            5,
+            &SweepOptions {
+                workers: 2,
+                epoch_events: 50_000,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        let telemetry = report.telemetry.as_ref().expect("instrumented configs");
+        assert_eq!(telemetry.counters["sweep.configs_completed"], 2);
+        assert_eq!(telemetry.counters["sweep.configs_quarantined"], 0);
+        let audit = report.audit.as_ref().expect("audited configs");
+        assert!(audit.enabled);
+        assert!(audit.passed());
+        assert!(audit.checks_run > 0);
+        // The quarantined wall namespace never leaks into canonical form.
+        let canonical = report.canonical();
+        assert!(canonical.telemetry.unwrap().wall.is_empty());
+    }
+
+    #[test]
+    fn metric_trend_is_monotonic_across_the_grid() {
+        // The whole point of a sweep: response time grows with load.
+        let entries = grid(&[0.2, 0.8]);
+        let report = run_sweep(
+            &entries,
+            2012,
+            &SweepOptions {
+                workers: 2,
+                epoch_events: 50_000,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        let mean = |id: &str| {
+            report
+                .completed
+                .iter()
+                .find(|c| c.id == id)
+                .and_then(|c| c.report.metric(MetricKind::ResponseTime.name()))
+                .map(|m| m.mean)
+                .unwrap()
+        };
+        assert!(mean("utilization=0.8") > mean("utilization=0.2"));
+    }
+}

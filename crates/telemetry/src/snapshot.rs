@@ -48,6 +48,36 @@ impl HistogramSnapshot {
             0
         }
     }
+
+    /// Merges another snapshot of the **same shape** (bounds, spacing, bin
+    /// count) into this one, bin-wise — the frozen-form counterpart of
+    /// [`FixedBinHistogram::merge`](crate::FixedBinHistogram::merge).
+    /// Returns `false` (and changes nothing) when the shapes differ.
+    pub fn merge(&mut self, other: &HistogramSnapshot) -> bool {
+        let same_shape = self.lo == other.lo
+            && self.hi == other.hi
+            && self.log_scale == other.log_scale
+            && self.bins.len() == other.bins.len();
+        if !same_shape {
+            return false;
+        }
+        for (slot, add) in self.bins.iter_mut().zip(&other.bins) {
+            *slot += add;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        true
+    }
 }
 
 /// One statistics phase-machine transition (§2.3 of the paper: warm-up →
@@ -113,6 +143,42 @@ impl TelemetrySnapshot {
         clean
     }
 
+    /// Merges another snapshot into this one — the frozen-form analogue of
+    /// [`MemoryRecorder::absorb`](crate::MemoryRecorder::absorb), used when
+    /// a sweep aggregates per-config snapshots that were frozen long before
+    /// aggregation. Counters sum; gauges and wall entries take the other
+    /// snapshot's value (last writer wins); phase logs append in call
+    /// order; histograms of matching shape merge bin-wise, and a shape
+    /// mismatch keeps ours while noting the loss under the
+    /// `telemetry.dropped_samples` counter.
+    pub fn absorb(&mut self, other: &TelemetrySnapshot) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += delta;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name.clone(), *value);
+        }
+        for (name, value) in &other.wall {
+            self.wall.insert(name.clone(), *value);
+        }
+        self.phases.extend(other.phases.iter().cloned());
+        for (name, hist) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => {
+                    if !mine.merge(hist) {
+                        *self
+                            .counters
+                            .entry("telemetry.dropped_samples".to_owned())
+                            .or_insert(0) += hist.count;
+                    }
+                }
+                None => {
+                    self.histograms.insert(name.clone(), hist.clone());
+                }
+            }
+        }
+    }
+
     /// True when nothing was recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -155,6 +221,54 @@ mod tests {
         assert_eq!(clean.phases[0].wall_seconds, 0.0);
         assert_eq!(clean.phases[0].simulated_seconds, 4.5);
         assert_eq!(clean.counters["des.events_fired"], 10);
+    }
+
+    fn hist(bins: usize, samples: &[f64]) -> HistogramSnapshot {
+        let mut h = crate::FixedBinHistogram::linear(0.0, 8.0, bins);
+        for &s in samples {
+            h.observe(s);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn snapshot_absorb_matches_recorder_absorb_semantics() {
+        let mut a = TelemetrySnapshot::default();
+        a.counters.insert("n".into(), 2);
+        a.gauges.insert("g".into(), 1.0);
+        a.histograms.insert("h".into(), hist(4, &[1.0, 3.0]));
+        let mut b = TelemetrySnapshot::default();
+        b.counters.insert("n".into(), 3);
+        b.gauges.insert("g".into(), 9.0);
+        b.histograms.insert("h".into(), hist(4, &[5.0]));
+        a.absorb(&b);
+        assert_eq!(a.counters["n"], 5);
+        assert_eq!(a.gauges["g"], 9.0, "gauges are last-writer-wins");
+        assert_eq!(a.histograms["h"].count, 3);
+        assert_eq!(a.histograms["h"].sum, 9.0);
+        assert_eq!(a.histograms["h"].min, Some(1.0));
+        assert_eq!(a.histograms["h"].max, Some(5.0));
+    }
+
+    #[test]
+    fn snapshot_absorb_drops_mismatched_histograms_loudly() {
+        let mut a = TelemetrySnapshot::default();
+        a.histograms.insert("h".into(), hist(4, &[1.0]));
+        let mut b = TelemetrySnapshot::default();
+        b.histograms.insert("h".into(), hist(8, &[1.0, 2.0]));
+        a.absorb(&b);
+        assert_eq!(a.histograms["h"].bins.len(), 4, "ours is kept");
+        assert_eq!(a.counters["telemetry.dropped_samples"], 2);
+    }
+
+    #[test]
+    fn histogram_merge_handles_empty_min_max() {
+        let mut empty = hist(4, &[]);
+        let full = hist(4, &[2.0]);
+        assert!(empty.merge(&full));
+        assert_eq!(empty.min, Some(2.0));
+        assert_eq!(empty.max, Some(2.0));
+        assert_eq!(empty.count, 1);
     }
 
     #[test]
