@@ -79,10 +79,10 @@ pub mod prelude {
     pub use bighouse_sim::{
         config_seed, run_resumable, run_serial, run_sweep, run_until_calibrated, ArrivalMode,
         AuditConfig, AuditReport, AuditViolation, AuditWarning, CheckpointConfig, ClusterSim,
-        ConfigOutcome, ExperimentConfig, FaultSummary, MetricKind, ParallelOutcome, ParallelRunner,
-        QuarantinedConfig, RunOptions, RuntimeStats, SimError, SimulationReport, SweepEntry,
-        SweepError, SweepEvent, SweepEventHook, SweepOptions, SweepReport, SweepRuntime,
-        TerminationReason,
+        ConfigOutcome, ExecBackend, ExperimentConfig, FaultSummary, MetricKind, ParallelOutcome,
+        ParallelRunner, ProcLimits, ProcSlaveConfig, QuarantinedConfig, RunOptions, RuntimeStats,
+        SimError, SimulationReport, SweepEntry, SweepError, SweepEvent, SweepEventHook,
+        SweepOptions, SweepReport, SweepRuntime, TerminationReason,
     };
     pub use bighouse_stats::{
         Histogram, HistogramSpec, MetricEstimate, MetricSpec, OutputMetric, Phase, RunningStats,

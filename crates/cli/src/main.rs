@@ -4,9 +4,11 @@
 //! bighouse run <experiment.json> [seed=N] [out=report.json]
 //!              [checkpoint-dir=DIR] [checkpoint-interval=EPOCHS]
 //!              [epoch-events=N] [telemetry=out.json]
+//!              [backend=threads|lockstep|processes] [--slave-processes]
+//!              [slave-mem-mb=N] [slave-cpu-secs=S]
 //!              [--resume] [--paranoid] [--telemetry-summary]
 //! bighouse sweep <sweep.json> [seed=N] [out=report.json]
-//!              [checkpoint-dir=DIR] [workers=N]
+//!              [checkpoint-dir=DIR] [workers=N] [--isolate]
 //!              [--resume] [--paranoid] [--telemetry]
 //! bighouse workloads
 //! bighouse export-workload <name> <path>
@@ -16,6 +18,13 @@
 //! Exit codes follow sysexits conventions so scripts can tell failure
 //! classes apart: 64 usage, 65 bad spec/data, 69 quarantined configs in
 //! an otherwise-finished sweep, 70 invariant-audit violation, 1 other.
+//!
+//! A hidden `bighouse __slave` entrypoint turns the binary into a
+//! sandboxed slave child for the process-isolated execution backend
+//! (`--slave-processes`, `sweep --isolate`); it is spawned by a
+//! supervising `bighouse` master, speaks length-prefixed checksummed
+//! frames on stdin/stdout, and exits 0 ok / 65 corrupt frame stream /
+//! 70 simulation error / 75 resource cap exceeded / 101 panic.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -24,9 +33,9 @@ use std::time::Duration;
 
 use bighouse::dists::Distribution;
 use bighouse::sim::{
-    run_resumable, run_serial, run_sweep, AuditConfig, CheckpointConfig, ParallelRunner,
-    RunOptions, RuntimeStats, SimError, SimulationReport, SweepEntry, SweepEvent, SweepOptions,
-    TerminationReason,
+    run_resumable, run_serial, run_sweep, AuditConfig, CheckpointConfig, ExecBackend,
+    ParallelRunner, ProcChaos, ProcLimits, ProcSlaveConfig, RunOptions, RuntimeStats, SimError,
+    SimulationReport, SweepEntry, SweepEvent, SweepOptions, TerminationReason,
 };
 use bighouse::telemetry::TelemetrySnapshot;
 use bighouse::workloads::{StandardWorkload, Workload};
@@ -100,15 +109,20 @@ mod signals {
         INTERRUPTED.store(true, Ordering::Relaxed);
     }
 
-    /// Installs SIGINT (2) and SIGTERM (15) handlers; returns the flag
-    /// they set. Idempotent.
+    /// Installs SIGHUP (1), SIGINT (2), and SIGTERM (15) handlers;
+    /// returns the flag they set. Idempotent. SIGHUP is treated exactly
+    /// like SIGTERM — a dropped terminal winds the run down gracefully
+    /// (final checkpoint, partial report, every slave child reaped)
+    /// instead of killing it mid-epoch.
     pub fn install() -> &'static AtomicBool {
         extern "C" {
             fn signal(signum: i32, handler: usize) -> usize;
         }
+        const SIGHUP: i32 = 1;
         const SIGINT: i32 = 2;
         const SIGTERM: i32 = 15;
         unsafe {
+            signal(SIGHUP, handle as usize);
             signal(SIGINT, handle as usize);
             signal(SIGTERM, handle as usize);
         }
@@ -137,6 +151,12 @@ fn interrupt_flag() -> Arc<AtomicBool> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Slave mode is dispatched before anything else: the child must not
+    // parse user flags, print banners, or install the wind-down signal
+    // handlers (its lifecycle is owned by the master over stdin).
+    if args.first().map(String::as_str) == Some("__slave") {
+        return ExitCode::from(bighouse::sim::slave_main());
+    }
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
@@ -167,6 +187,8 @@ fn print_usage() {
     println!("  bighouse run <experiment.json> [seed=N] [out=report.json]");
     println!("               [checkpoint-dir=DIR] [checkpoint-interval=EPOCHS]");
     println!("               [epoch-events=N] [telemetry=out.json]");
+    println!("               [backend=threads|lockstep|processes] [--slave-processes]");
+    println!("               [slave-mem-mb=N] [slave-cpu-secs=S]");
     println!("               [--resume] [--paranoid] [--telemetry-summary]");
     println!("      Run the experiment described by a JSON configuration file;");
     println!("      prints estimates, optionally writing the full report as JSON.");
@@ -180,8 +202,17 @@ fn print_usage() {
     println!("      latency histograms, phase transitions) and writes the snapshot");
     println!("      as JSON; --telemetry-summary prints a human-readable table.");
     println!("      Telemetry is observational: estimates stay bit-identical.");
+    println!("      With slaves > 1 in the spec, --slave-processes (or");
+    println!("      backend=processes) sandboxes every slave in a child OS");
+    println!("      process over a checksummed IPC fabric: a slave that");
+    println!("      segfaults, aborts, or is OOM-killed is respawned from its");
+    println!("      epoch checkpoint with bit-identical final estimates.");
+    println!("      backend=lockstep runs the same deterministic epoch-barrier");
+    println!("      protocol on in-process threads. slave-mem-mb / slave-cpu-secs");
+    println!("      arm per-child resource caps (a slave over its cap exits 75");
+    println!("      and is counted, not resurrected).");
     println!("  bighouse sweep <sweep.json> [seed=N] [out=report.json]");
-    println!("               [checkpoint-dir=DIR] [workers=N]");
+    println!("               [checkpoint-dir=DIR] [workers=N] [--isolate]");
     println!("               [--resume] [--paranoid] [--telemetry]");
     println!("      Run an experiment grid (a base spec crossed with value axes)");
     println!("      on a work-stealing pool. Each config gets a deterministic");
@@ -189,7 +220,10 @@ fn print_usage() {
     println!("      retried with backoff and quarantined instead of sinking the");
     println!("      sweep. With checkpoint-dir the completed-config ledger is");
     println!("      snapshotted so a killed sweep resumes bit-identically with");
-    println!("      --resume; SIGINT/SIGTERM wind down with a partial report.");
+    println!("      --resume; SIGHUP/SIGINT/SIGTERM wind down with a partial");
+    println!("      report. --isolate runs every attempt in a sandboxed child");
+    println!("      process: segfaults, aborts, and wedged configs are killed");
+    println!("      and quarantined as `crashed` instead of sinking the pool.");
     println!("      Exits 69 if any config was quarantined (see sysexits note).");
     println!("  bighouse workloads");
     println!("      List the built-in Table 1 workload models and their moments.");
@@ -212,6 +246,53 @@ fn kv_arg(args: &[String], key: &str) -> Option<String> {
 fn flag_arg(args: &[String], key: &str) -> bool {
     args.iter().any(|a| a.trim_start_matches('-') == key)
         || kv_arg(args, key).is_some_and(|v| v == "1" || v == "true")
+}
+
+/// Parses the per-child resource caps (`slave-mem-mb=`, `slave-cpu-secs=`)
+/// shared by the process backend and `sweep --isolate`.
+fn limits_args(args: &[String]) -> Result<ProcLimits, CliError> {
+    let max_rss_bytes = kv_arg(args, "slave-mem-mb")
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| CliError::Usage(format!("bad slave-mem-mb `{s}`")))
+        })
+        .transpose()?
+        .map(|mb| mb.saturating_mul(1024 * 1024));
+    let max_cpu_seconds = kv_arg(args, "slave-cpu-secs")
+        .map(|s| {
+            s.parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite() && *v > 0.0)
+                .ok_or_else(|| CliError::Usage(format!("bad slave-cpu-secs `{s}`")))
+        })
+        .transpose()?;
+    Ok(ProcLimits {
+        max_rss_bytes,
+        max_cpu_seconds,
+    })
+}
+
+/// Parses the execution-backend selection for parallel runs:
+/// `--slave-processes` (or `backend=processes`) sandboxes each slave in a
+/// child OS process behind the checksummed IPC fabric; `backend=lockstep`
+/// runs the same deterministic epoch-barrier protocol on in-process
+/// threads; `backend=threads` (the default) is the free-running thread
+/// pool.
+fn backend_arg(args: &[String]) -> Result<ExecBackend, CliError> {
+    let backend = kv_arg(args, "backend");
+    if flag_arg(args, "slave-processes") || backend.as_deref() == Some("processes") {
+        return Ok(ExecBackend::Processes(ProcSlaveConfig {
+            limits: limits_args(args)?,
+            ..ProcSlaveConfig::default()
+        }));
+    }
+    match backend.as_deref() {
+        None | Some("threads") => Ok(ExecBackend::Threads),
+        Some("lockstep") => Ok(ExecBackend::ThreadLockstep),
+        Some(other) => Err(CliError::Usage(format!(
+            "bad backend `{other}` (expected threads, lockstep, or processes)"
+        ))),
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<(), CliError> {
@@ -275,11 +356,33 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
                     "resume is only supported for serial runs (slaves=1)".into(),
                 ));
             }
-            eprintln!("running with {slaves} parallel slaves (master seed {seed})...");
-            let outcome = ParallelRunner::new(config, slaves)
+            let backend = backend_arg(args)?;
+            eprintln!(
+                "running with {slaves} parallel slaves ({} backend, master seed {seed})...",
+                match &backend {
+                    ExecBackend::Threads => "thread",
+                    ExecBackend::ThreadLockstep => "lockstep",
+                    ExecBackend::Processes(_) => "process",
+                }
+            );
+            let mut runner = ParallelRunner::new(config, slaves)
                 .with_interrupt(interrupt_flag())
-                .run(seed)
-                .map_err(|e| e.to_string())?;
+                .with_backend(backend);
+            // epoch-events also sizes the slaves' checkpoint epochs (the
+            // granularity of crash recovery and of the lockstep barrier).
+            if kv_arg(args, "epoch-events").is_some() && epoch_events > 0 {
+                runner = runner.with_slave_epoch(epoch_events);
+            }
+            // Chaos-smoke hook for CI: deterministically crash one slave
+            // (kill:N, abort:N, panic:N) to prove supervised recovery.
+            if let Some(chaos) = std::env::var("BIGHOUSE_PROC_CHAOS")
+                .ok()
+                .as_deref()
+                .and_then(ProcChaos::from_env_str)
+            {
+                runner = runner.with_proc_chaos(chaos);
+            }
+            let outcome = runner.run(seed).map_err(|e| e.to_string())?;
             println!(
                 "supervision: {} resurrections, {} dead slaves{}",
                 outcome.resurrections,
@@ -437,7 +540,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         .ok_or_else(|| {
             CliError::Usage(
                 "usage: bighouse sweep <sweep.json> [seed=N] [out=report.json] \
-                 [checkpoint-dir=DIR] [workers=N] [--resume] [--paranoid] [--telemetry]"
+                 [checkpoint-dir=DIR] [workers=N] [--isolate] [--resume] \
+                 [--paranoid] [--telemetry]"
                     .into(),
             )
         })?;
@@ -490,6 +594,14 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
             workers.to_string()
         }
     );
+    let isolate = if flag_arg(args, "isolate") || sweep.isolate_processes {
+        Some(ProcSlaveConfig {
+            limits: limits_args(args)?,
+            ..ProcSlaveConfig::default()
+        })
+    } else {
+        None
+    };
     let opts = SweepOptions {
         workers,
         max_retries: sweep.max_retries,
@@ -499,6 +611,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         resume,
         interrupt: Some(interrupt_flag()),
         pin_cores: sweep.pin_cores,
+        isolate_processes: isolate,
         on_event: Some(Arc::new(|event: &SweepEvent| match event {
             SweepEvent::Completed {
                 id,

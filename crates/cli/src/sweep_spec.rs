@@ -69,6 +69,13 @@ pub struct SweepSpec {
     /// Pin workers to cores round-robin (Linux only; best effort).
     #[serde(default)]
     pub pin_cores: bool,
+    /// Run every config attempt in a sandboxed child process (the same
+    /// as passing `--isolate` on the command line): poison configs that
+    /// abort, segfault, or wedge mid-epoch are killed and quarantined as
+    /// `crashed` instead of taking the worker pool down. Estimates are
+    /// bit-identical to in-thread attempts.
+    #[serde(default)]
+    pub isolate_processes: bool,
 }
 
 impl SweepSpec {
@@ -371,5 +378,14 @@ mod tests {
         assert_eq!(s.config_deadline_seconds, None);
         assert_eq!(s.epoch_events, 0);
         assert!(!s.pin_cores);
+        assert!(!s.isolate_processes);
+    }
+
+    #[test]
+    fn isolate_processes_round_trips() {
+        let s = sweep(&format!(r#"{{{BASE}, "isolate_processes": true}}"#));
+        assert!(s.isolate_processes);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(SweepSpec::from_json(&json).unwrap().isolate_processes);
     }
 }

@@ -571,3 +571,217 @@ fn export_rejects_unknown_workload() {
     assert!(!out.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The hidden slave entrypoint must fail closed: with no master on the
+/// other end of stdin there is no hello frame, and the child exits with
+/// the frame-protocol code (65) without touching any user-facing path.
+#[test]
+fn slave_entrypoint_without_a_master_fails_closed() {
+    let out = bighouse()
+        .arg("__slave")
+        .stdin(std::process::Stdio::null())
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(65), "EOF before hello is EX_DATAERR");
+    assert!(out.stdout.is_empty(), "no frames may be emitted");
+}
+
+/// Writes a parallel experiment spec and returns its path.
+fn parallel_spec(dir: &std::path::Path, accuracy: f64, slaves: u64) -> std::path::PathBuf {
+    let spec = serde_json::json!({
+        "workload": { "standard": "web" },
+        "utilization": 0.5,
+        "accuracy": accuracy,
+        "warmup": 50,
+        "calibration": 500,
+        "slaves": slaves,
+        "max_events": 100_000_000u64,
+    });
+    let path = dir.join("parallel.json");
+    std::fs::write(&path, spec.to_string()).expect("write spec");
+    path
+}
+
+/// A slave SIGKILLed mid-run under the process backend must be
+/// resurrected (respawn counter > 0) and the final estimates must be
+/// bit-identical to an undisturbed in-process lockstep run — the CLI
+/// face of the determinism-under-fire contract, and the same comparison
+/// the `proc-chaos-smoke` CI job makes with `jq`.
+#[test]
+fn slave_processes_chaos_run_matches_lockstep_bit_for_bit() {
+    let dir = temp_dir().join("proc-chaos");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let spec_path = parallel_spec(&dir, 0.05, 2);
+    let clean_path = dir.join("clean.json");
+    let chaos_path = dir.join("chaos.json");
+
+    let clean = bighouse()
+        .args([
+            "run",
+            spec_path.to_str().unwrap(),
+            "seed=7",
+            "backend=lockstep",
+            "epoch-events=50000",
+            &format!("out={}", clean_path.display()),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        clean.status.success(),
+        "clean run failed: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    let chaos = bighouse()
+        .args([
+            "run",
+            spec_path.to_str().unwrap(),
+            "seed=7",
+            "--slave-processes",
+            "epoch-events=50000",
+            &format!("out={}", chaos_path.display()),
+        ])
+        .env("BIGHOUSE_PROC_CHAOS", "kill:1")
+        .output()
+        .expect("spawn");
+    assert!(
+        chaos.status.success(),
+        "chaos run failed: {}",
+        String::from_utf8_lossy(&chaos.stderr)
+    );
+    let text = String::from_utf8_lossy(&chaos.stdout);
+    let resurrections: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("supervision: ")?.split_whitespace().next()?.parse().ok())
+        .expect("supervision line present");
+    assert!(resurrections >= 1, "the SIGKILL chaos never fired: {text}");
+
+    let clean_report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&clean_path).unwrap()).unwrap();
+    let chaos_report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&chaos_path).unwrap()).unwrap();
+    assert_eq!(
+        clean_report["estimates"], chaos_report["estimates"],
+        "a SIGKILLed slave must replay to identical estimates"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// SIGHUP must behave exactly like SIGTERM: the master winds the run
+/// down gracefully (exit 0, partial estimates) and leaves no slave
+/// child behind — not running, not zombied.
+#[cfg(unix)]
+#[test]
+fn sighup_winds_down_process_backend_without_orphans() {
+    let dir = temp_dir().join("sighup");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    // An accuracy target this run cannot hit quickly: the master will
+    // still be supervising when the signal lands.
+    let spec_path = parallel_spec(&dir, 0.005, 2);
+    let mut master = bighouse()
+        .args([
+            "run",
+            spec_path.to_str().unwrap(),
+            "seed=11",
+            "--slave-processes",
+            "epoch-events=50000",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn master");
+    let master_pid = master.id();
+    // Let calibration finish and the slave children come up.
+    std::thread::sleep(std::time::Duration::from_millis(1500));
+    let hup = std::process::Command::new("kill")
+        .args(["-HUP", &master_pid.to_string()])
+        .status()
+        .expect("send SIGHUP");
+    assert!(hup.success(), "kill -HUP failed");
+
+    // The master must exit cleanly within the wind-down budget.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = master.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "master ignored SIGHUP for 30s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    assert!(status.success(), "graceful wind-down exits 0: {status:?}");
+
+    // No slave child survives: scan /proc for our master's slave marker.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let marker = format!("BIGHOUSE_PROCSLAVE={master_pid}");
+    let mut leftovers = Vec::new();
+    if let Ok(entries) = std::fs::read_dir("/proc") {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(pid) = name.to_str().and_then(|s| s.parse::<u32>().ok()) else {
+                continue;
+            };
+            if std::fs::read(format!("/proc/{pid}/environ"))
+                .map(|env| env.split(|b| *b == 0).any(|kv| kv == marker.as_bytes()))
+                .unwrap_or(false)
+            {
+                leftovers.push(pid);
+            }
+        }
+    }
+    assert!(leftovers.is_empty(), "orphaned slave children: {leftovers:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `sweep --isolate` quarantines a config whose child cannot even spawn
+/// the experiment — here the poison is an impossible audit budget, which
+/// under process isolation still ends as a typed quarantine and exit 69,
+/// with the healthy config completing normally.
+#[test]
+fn isolated_sweep_still_quarantines_and_completes_neighbors() {
+    let dir = temp_dir().join("isolated-sweep");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sweep = serde_json::json!({
+        "base": {
+            "workload": { "standard": "web" },
+            "accuracy": 0.2,
+            "warmup": 50,
+            "calibration": 500,
+        },
+        "axes": {
+            "paranoid": [
+                null,
+                { "storm_budget_events_per_sim_second": 1e-9, "storm_window_events": 100 },
+            ],
+        },
+        "workers": 2,
+        "max_retries": 0,
+        "epoch_events": 50_000u64,
+    });
+    let sweep_path = dir.join("sweep.json");
+    std::fs::write(&sweep_path, sweep.to_string()).expect("write spec");
+    let report_path = dir.join("report.json");
+    let out = bighouse()
+        .args([
+            "sweep",
+            sweep_path.to_str().unwrap(),
+            "seed=13",
+            "--isolate",
+            &format!("out={}", report_path.display()),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(EXIT_QUARANTINED),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+    assert_eq!(report["completed"].as_array().unwrap().len(), 1);
+    assert_eq!(report["quarantined"].as_array().unwrap().len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -9,7 +9,7 @@ use crate::audit::AuditConfig;
 use crate::error::SimError;
 
 /// How arrivals reach the cluster's servers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum ArrivalMode {
     /// Every server has its own independent arrival stream drawn from the
     /// workload (the paper's cluster-scaling experiments, where each
@@ -20,7 +20,7 @@ pub enum ArrivalMode {
 }
 
 /// The built-in observables an experiment can track.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum MetricKind {
     /// Per-task sojourn time (always tracked).
     ResponseTime,
@@ -64,7 +64,7 @@ impl MetricKind {
 /// Construct with [`ExperimentConfig::new`] and refine with the builder
 /// methods; all defaults mirror the paper (§4: quad-core servers, 95%
 /// confidence, E = 0.05 on the mean and the 95th percentile).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ExperimentConfig {
     pub(crate) workload: Workload,
     pub(crate) servers: usize,

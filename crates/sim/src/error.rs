@@ -54,6 +54,24 @@ pub enum SimError {
         /// A rendering of the first violation.
         violation: String,
     },
+    /// A frame on the master↔slave IPC fabric was malformed: truncated
+    /// mid-frame, failed its FNV-1a checksum, carried an unknown protocol
+    /// version, oversized its declared length, or would not deserialize.
+    /// Corruption on the pipe is reported as data, never as a panic.
+    Frame {
+        /// What the decoder rejected ("truncated header", "checksum
+        /// mismatch", …).
+        detail: String,
+    },
+    /// A slave child process failed outside the frame protocol: it could
+    /// not be spawned, exited with a non-zero status, or was killed by a
+    /// signal before delivering its final shard.
+    SlaveProcess {
+        /// Which slave (index into the run's slave set).
+        slave: usize,
+        /// A rendering of what happened ("exit code 70", "signal", …).
+        detail: String,
+    },
     /// A caller-supplied parameter is outside its legal range. Used by
     /// builders that validate instead of asserting, so malformed input
     /// (e.g. a hostile experiment spec) surfaces as an error, not a panic.
@@ -89,6 +107,12 @@ impl std::fmt::Display for SimError {
             }
             SimError::AuditFailed { phase, violation } => {
                 write!(f, "invariant audit failed during {phase}: {violation}")
+            }
+            SimError::Frame { detail } => {
+                write!(f, "frame protocol error: {detail}")
+            }
+            SimError::SlaveProcess { slave, detail } => {
+                write!(f, "slave process {slave} failed: {detail}")
             }
             SimError::InvalidParameter {
                 name,
@@ -141,6 +165,16 @@ mod tests {
             violation: "livelock after 65536 events".into(),
         };
         assert!(audit.to_string().contains("livelock"));
+        let frame = SimError::Frame {
+            detail: "checksum mismatch: stored 1 computed 2".into(),
+        };
+        assert!(frame.to_string().contains("checksum"));
+        let proc = SimError::SlaveProcess {
+            slave: 3,
+            detail: "killed by signal".into(),
+        };
+        assert!(proc.to_string().contains('3'));
+        assert!(proc.to_string().contains("signal"));
         let param = SimError::InvalidParameter {
             name: "watchdog_seconds",
             value: "NaN".into(),

@@ -63,6 +63,7 @@ mod config;
 mod error;
 mod multitier;
 mod parallel;
+pub mod procslave;
 mod report;
 mod runner;
 mod sweep;
@@ -80,6 +81,9 @@ pub use config::{ArrivalMode, ExperimentConfig, MetricKind};
 pub use error::SimError;
 pub use multitier::{run_multi_tier, MultiTierConfig, TierConfig};
 pub use parallel::{ParallelOutcome, ParallelRunner};
+#[doc(hidden)]
+pub use procslave::ProcChaos;
+pub use procslave::{slave_main, ExecBackend, ProcLimits, ProcSlaveConfig};
 pub use report::{ClusterSummary, FaultSummary, RuntimeStats, SimulationReport, TerminationReason};
 pub use runner::{run_resumable, run_serial, run_until_calibrated, RunOptions};
 #[doc(hidden)]

@@ -50,19 +50,24 @@ use crate::audit::{AuditConfig, AuditReport};
 use crate::cluster::ClusterSim;
 use crate::config::ExperimentConfig;
 use crate::error::SimError;
+use crate::procslave::{
+    full_jitter_backoff, ExecBackend, FinalShard, ProcChaos, SlaveTelemetryShard,
+};
 use crate::report::TerminationReason;
 use crate::runner::run_until_calibrated;
 
 /// How many events each slave simulates between progress reports to the
 /// master.
-const CHUNK_EVENTS: u64 = 20_000;
+pub(crate) const CHUNK_EVENTS: u64 = 20_000;
 
 /// How often the master re-checks deadlines, interrupts, and due respawns
 /// while waiting for slave messages.
-const WATCHDOG_TICK: Duration = Duration::from_millis(25);
+pub(crate) const WATCHDOG_TICK: Duration = Duration::from_millis(25);
 
-/// Base delay before a crashed slave's first restart; doubles per attempt.
-const RESTART_BACKOFF: Duration = Duration::from_millis(25);
+/// Base delay before a crashed slave's first restart; doubles per attempt
+/// (with full jitter — see [`full_jitter_backoff`] — so a pool of
+/// simultaneously crashed slaves does not respawn in lockstep).
+pub(crate) const RESTART_BACKOFF: Duration = Duration::from_millis(25);
 
 /// The result of a parallel run.
 #[derive(Debug, Clone)]
@@ -119,15 +124,16 @@ impl ParallelOutcome {
 
 /// A slave's resumable state: everything the master needs to restart it
 /// without losing samples. Checkpointed at epoch boundaries, when no
-/// calendar state is in flight.
-#[derive(Debug, Clone, Default)]
-struct SlaveState {
+/// calendar state is in flight. Serializable so the process backend can
+/// ship it across the IPC fabric verbatim.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct SlaveState {
     /// Next epoch index to simulate.
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Events simulated across completed epochs.
-    events: u64,
+    pub(crate) events: u64,
     /// Statistics accumulated so far (`None` before the first epoch).
-    stats: Option<StatsCollection>,
+    pub(crate) stats: Option<StatsCollection>,
 }
 
 /// Messages slaves send the master. Every message carries the sender's
@@ -148,11 +154,9 @@ enum SlaveMessage {
     Final {
         slave: usize,
         incarnation: u32,
-        histograms: Vec<Option<Histogram>>,
-        lags: Vec<usize>,
-        total_observed: Vec<u64>,
-        events: u64,
-        audit: Option<Box<AuditReport>>,
+        /// The merge shard — the same unit the process backend ships over
+        /// the IPC fabric, so both backends share one merge path.
+        shard: Box<FinalShard>,
     },
     /// The slave panicked (or failed to build); it will send nothing else.
     Died { slave: usize, incarnation: u32 },
@@ -213,7 +217,7 @@ fn record_death(
     if sup.restarts_left[slave] > 0 {
         sup.restarts_left[slave] -= 1;
         let attempt = max_restarts - sup.restarts_left[slave]; // 1-based
-        let backoff = RESTART_BACKOFF * 2u32.pow((attempt - 1).min(6));
+        let backoff = full_jitter_backoff(RESTART_BACKOFF, attempt, slave as u64);
         sup.respawn_at[slave] = Some(Instant::now() + backoff);
         // Until the resurrection reports in, count the slave's sample pool
         // at its checkpointed (guaranteed-recoverable) size.
@@ -234,7 +238,7 @@ fn record_death(
 }
 
 /// The per-metric sample moments recoverable from a slave checkpoint.
-fn checkpoint_moments(state: &SlaveState, metrics: usize) -> Vec<Option<RunningStats>> {
+pub(crate) fn checkpoint_moments(state: &SlaveState, metrics: usize) -> Vec<Option<RunningStats>> {
     match &state.stats {
         Some(stats) => stats
             .iter()
@@ -259,15 +263,17 @@ fn checkpoint_moments(state: &SlaveState, metrics: usize) -> Vec<Option<RunningS
 /// ```
 #[derive(Debug)]
 pub struct ParallelRunner {
-    config: ExperimentConfig,
-    slaves: usize,
-    watchdog: Option<f64>,
-    max_restarts: u32,
-    slave_epoch_events: u64,
-    slave_stall_timeout: Option<Duration>,
-    interrupt: Option<Arc<AtomicBool>>,
-    forced_panic: Option<usize>,
-    persistent_panic: Option<usize>,
+    pub(crate) config: ExperimentConfig,
+    pub(crate) slaves: usize,
+    pub(crate) watchdog: Option<f64>,
+    pub(crate) max_restarts: u32,
+    pub(crate) slave_epoch_events: u64,
+    pub(crate) slave_stall_timeout: Option<Duration>,
+    pub(crate) interrupt: Option<Arc<AtomicBool>>,
+    pub(crate) backend: ExecBackend,
+    pub(crate) proc_chaos: Option<ProcChaos>,
+    pub(crate) forced_panic: Option<usize>,
+    pub(crate) persistent_panic: Option<usize>,
 }
 
 impl ParallelRunner {
@@ -287,9 +293,34 @@ impl ParallelRunner {
             slave_epoch_events: 500_000,
             slave_stall_timeout: None,
             interrupt: None,
+            backend: ExecBackend::default(),
+            proc_chaos: None,
             forced_panic: None,
             persistent_panic: None,
         }
+    }
+
+    /// Selects the execution substrate: free-running threads (the default;
+    /// fastest convergence, scheduling-dependent stopping point),
+    /// deterministic epoch-lockstep threads, or sandboxed child OS
+    /// processes over the checksummed IPC fabric (see
+    /// [`crate::procslave`]). The lockstep backends produce bit-identical
+    /// estimates for a given (config, seed, slave count, epoch size) —
+    /// even across transports and slave crashes.
+    #[must_use]
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Chaos hook: injects a deterministic crash (kill/abort/panic) into
+    /// one slave's first incarnation. Honored by the lockstep backends;
+    /// the free-running thread backend ignores it.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_proc_chaos(mut self, chaos: ProcChaos) -> Self {
+        self.proc_chaos = Some(chaos);
+        self
     }
 
     /// Arms a wall-clock watchdog: if the aggregate sample has not sufficed
@@ -399,6 +430,17 @@ impl ParallelRunner {
     /// and [`SimError::NoSurvivingSlaves`] if every slave dies permanently
     /// before delivering results.
     pub fn run(&self, master_seed: u64) -> Result<ParallelOutcome, SimError> {
+        match &self.backend {
+            ExecBackend::Threads => self.run_threads(master_seed),
+            ExecBackend::ThreadLockstep => crate::procslave::run_lockstep(self, master_seed, None),
+            ExecBackend::Processes(cfg) => {
+                crate::procslave::run_lockstep(self, master_seed, Some(cfg))
+            }
+        }
+    }
+
+    /// The original free-running thread backend.
+    fn run_threads(&self, master_seed: u64) -> Result<ParallelOutcome, SimError> {
         let start = Instant::now();
 
         // Phase 1–2: master warm-up + calibration fixes the bin schemes.
@@ -490,7 +532,7 @@ impl ParallelRunner {
             // sample reaches its requirement.
             let mut latest: Vec<Vec<Option<RunningStats>>> =
                 vec![vec![None; specs.len()]; self.slaves];
-            let mut finals: Vec<Option<SlaveMessage>> = (0..self.slaves).map(|_| None).collect();
+            let mut finals: Vec<Option<Box<FinalShard>>> = (0..self.slaves).map(|_| None).collect();
             while (0..self.slaves).any(|s| !sup.settled(s)) {
                 let msg = match rx.recv_timeout(WATCHDOG_TICK) {
                     Ok(msg) => Some(msg),
@@ -564,28 +606,20 @@ impl ParallelRunner {
                     }
                     // A death notice from a fenced (stale) incarnation.
                     Some(SlaveMessage::Died { .. }) => {}
-                    Some(final_msg @ SlaveMessage::Final { .. }) => {
-                        let SlaveMessage::Final {
-                            slave, incarnation, ..
-                        } = &final_msg
-                        else {
-                            unreachable!("matched Final above");
-                        };
-                        let (slave, incarnation) = (*slave, *incarnation);
+                    Some(SlaveMessage::Final {
+                        slave,
+                        incarnation,
+                        shard,
+                    }) => {
                         n_finals += 1;
                         if incarnation == sup.incarnations[slave] && !sup.settled(slave) {
                             sup.finished[slave] = true;
-                            if let SlaveMessage::Final {
-                                audit: Some(audit), ..
-                            } = &final_msg
-                            {
-                                if !audit.passed() {
-                                    // One slave's broken invariants poison
-                                    // the merge; wind everyone down now.
-                                    stop.store(true, Ordering::Relaxed);
-                                }
+                            if shard.audit.as_ref().is_some_and(|a| !a.passed()) {
+                                // One slave's broken invariants poison the
+                                // merge; wind everyone down now.
+                                stop.store(true, Ordering::Relaxed);
                             }
-                            finals[slave] = Some(final_msg);
+                            finals[slave] = Some(shard);
                         }
                     }
                 }
@@ -635,11 +669,8 @@ impl ParallelRunner {
             let merge_start = Instant::now();
             outcome.estimates = merge_finals(&specs, &finals, &mut outcome.slave_events);
             merge_seconds = merge_start.elapsed().as_secs_f64();
-            for message in finals.iter().flatten() {
-                if let SlaveMessage::Final {
-                    audit: Some(audit), ..
-                } = message
-                {
+            for shard in finals.iter().flatten() {
+                if let Some(audit) = &shard.audit {
                     outcome
                         .audit
                         .get_or_insert_with(AuditReport::default)
@@ -719,7 +750,7 @@ impl ParallelRunner {
 /// slave's seed and the epoch index — so a resurrected slave replays a
 /// lost partial epoch with exactly the trajectory the dead incarnation
 /// would have had.
-fn epoch_seed(slave_seed: u64, epoch: u64) -> u64 {
+pub(crate) fn epoch_seed(slave_seed: u64, epoch: u64) -> u64 {
     let mut stream = SeedStream::new(slave_seed);
     let mut seed = stream.next_seed();
     for _ in 0..epoch {
@@ -823,18 +854,24 @@ fn run_slave(
     let _ = tx.send(SlaveMessage::Final {
         slave,
         incarnation,
-        histograms,
-        lags,
-        total_observed,
-        events: state.events,
-        audit: audit_total.map(Box::new),
+        shard: Box::new(FinalShard {
+            histograms,
+            lags,
+            total_observed,
+            events: state.events,
+            audit: audit_total,
+            telemetry: SlaveTelemetryShard::default(),
+        }),
     });
     Ok(())
 }
 
 /// Whether the merged sample across slaves satisfies every metric's
 /// requirement (paper Eqs. 2–3 applied to the aggregate).
-fn aggregate_sufficient(specs: &[MetricSpec], latest: &[Vec<Option<RunningStats>>]) -> bool {
+pub(crate) fn aggregate_sufficient(
+    specs: &[MetricSpec],
+    latest: &[Vec<Option<RunningStats>>],
+) -> bool {
     for (idx, spec) in specs.iter().enumerate() {
         let mut merged = RunningStats::new();
         for slave in latest {
@@ -873,32 +910,23 @@ fn aggregate_sufficient(specs: &[MetricSpec], latest: &[Vec<Option<RunningStats>
     true
 }
 
-fn merge_finals(
+/// Merge phase shared by every backend: bin-wise histogram merge of the
+/// surviving slaves' final shards (indexed by slave).
+pub(crate) fn merge_finals(
     specs: &[MetricSpec],
-    finals: &[Option<SlaveMessage>],
+    finals: &[Option<Box<FinalShard>>],
     slave_events: &mut [u64],
 ) -> Vec<MetricEstimate> {
     let mut merged_hists: Vec<Option<Histogram>> = vec![None; specs.len()];
     let mut lags: Vec<usize> = vec![1; specs.len()];
     let mut observed: Vec<u64> = vec![0; specs.len()];
-    for message in finals.iter().flatten() {
-        let SlaveMessage::Final {
-            slave,
-            incarnation: _,
-            histograms,
-            lags: slave_lags,
-            total_observed,
-            events,
-            audit: _,
-        } = message
-        else {
-            continue;
-        };
-        slave_events[*slave] = *events;
-        for (idx, hist) in histograms.iter().enumerate() {
+    for (slave, shard) in finals.iter().enumerate() {
+        let Some(shard) = shard else { continue };
+        slave_events[slave] = shard.events;
+        for (idx, hist) in shard.histograms.iter().enumerate() {
             let Some(hist) = hist else { continue };
-            observed[idx] += total_observed[idx];
-            lags[idx] = lags[idx].max(slave_lags[idx]);
+            observed[idx] += shard.total_observed[idx];
+            lags[idx] = lags[idx].max(shard.lags[idx]);
             match &mut merged_hists[idx] {
                 Some(acc) => acc.merge(hist),
                 slot @ None => *slot = Some(hist.clone()),

@@ -31,11 +31,15 @@
 //!   the CLI) stops dispatch, cancels in-flight configs at their next
 //!   epoch boundary, saves the ledger, and reports partial results.
 //!
-//! One honest limitation: cancellation is cooperative at epoch
-//! boundaries. A config wedged *inside* an epoch (a livelock in the
-//! engine itself) cannot be cancelled from outside; arm paranoid mode
-//! ([`ExperimentConfig::with_audit`]) so the in-engine circuit breakers
-//! break such livelocks from within.
+//! One honest limitation of the in-thread mode: cancellation is
+//! cooperative at epoch boundaries. A config wedged *inside* an epoch (a
+//! livelock in the engine itself) cannot be cancelled from outside; arm
+//! paranoid mode ([`ExperimentConfig::with_audit`]) so the in-engine
+//! circuit breakers break such livelocks from within — or turn on
+//! [`SweepOptions::isolate_processes`], which runs every attempt in a
+//! sandboxed child process ([`crate::procslave`]): a wedged, aborting, or
+//! segfaulting config is SIGKILLed after a grace period and surfaces as a
+//! typed [`SweepError::Crashed`], never as a hung or dead sweep.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -53,11 +57,13 @@ use crate::audit::AuditReport;
 use crate::checkpoint::{config_fingerprint, fnv1a, CheckpointConfig, CheckpointStore};
 use crate::config::ExperimentConfig;
 use crate::error::SimError;
+use crate::procslave::{full_jitter_backoff, run_solo_in_child, ProcSlaveConfig};
 use crate::report::{SimulationReport, TerminationReason};
 use crate::runner::{run_resumable, RunOptions};
 
-/// Backoff before the first retry; doubles per failed attempt, capped at
-/// six doublings (1.6 s).
+/// Base of the retry backoff: the cap doubles per failed attempt (at
+/// most six doublings, 1.6 s) and the actual sleep is drawn full-jitter
+/// in `[0, cap]`, deterministically per (config, attempt).
 const RETRY_BACKOFF: Duration = Duration::from_millis(25);
 /// Watchdog poll cadence for deadlines and interrupt propagation.
 const WATCHDOG_TICK: Duration = Duration::from_millis(10);
@@ -123,6 +129,16 @@ pub enum SweepError {
         /// Rendering of the underlying [`SimError`].
         error: String,
     },
+    /// The config's sandboxed child process died without delivering a
+    /// report — segfault, abort, OOM-kill, resource-cap kill, or a
+    /// corrupt IPC stream. Only produced with
+    /// [`SweepOptions::isolate_processes`]; the in-thread mode cannot
+    /// survive (or observe) these failure classes.
+    Crashed {
+        /// Rendering of what happened to the child ("exit code 134",
+        /// "killed by signal", "checksum mismatch", …).
+        detail: String,
+    },
 }
 
 impl fmt::Display for SweepError {
@@ -134,6 +150,7 @@ impl fmt::Display for SweepError {
             }
             SweepError::AuditFailed { violation } => write!(f, "audit failed: {violation}"),
             SweepError::RunFailed { error } => write!(f, "run failed: {error}"),
+            SweepError::Crashed { detail } => write!(f, "child process crashed: {detail}"),
         }
     }
 }
@@ -339,6 +356,13 @@ pub struct SweepOptions {
     pub max_decided: Option<usize>,
     /// Progress callback, invoked from the collector thread.
     pub on_event: Option<SweepEventHook>,
+    /// Run every attempt in a sandboxed child OS process (re-exec via the
+    /// hidden `__slave` entrypoint) instead of in-thread: a poison config
+    /// that aborts, segfaults, or wedges mid-epoch is killed and
+    /// quarantined as [`SweepError::Crashed`] without taking the worker
+    /// pool down. Estimates stay bit-identical to in-thread runs. `None`
+    /// (the default) keeps the in-thread `catch_unwind` isolation.
+    pub isolate_processes: Option<ProcSlaveConfig>,
     /// Test hook: seeded per-id failures.
     #[doc(hidden)]
     pub fault_injection: Option<SweepFaultInjection>,
@@ -362,6 +386,7 @@ impl Default for SweepOptions {
             pin_cores: false,
             max_decided: None,
             on_event: None,
+            isolate_processes: None,
             fault_injection: None,
         }
     }
@@ -379,6 +404,7 @@ impl fmt::Debug for SweepOptions {
             .field("pin_cores", &self.pin_cores)
             .field("max_decided", &self.max_decided)
             .field("on_event", &self.on_event.as_ref().map(|_| "Fn(..)"))
+            .field("isolate_processes", &self.isolate_processes)
             .field("fault_injection", &self.fault_injection)
             .finish_non_exhaustive()
     }
@@ -475,12 +501,14 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         .unwrap_or_else(|| "non-string panic payload".to_owned())
 }
 
-/// Runs one attempt of one config under panic isolation.
+/// Runs one attempt of one config under panic isolation (in-thread) or
+/// full process isolation (`isolate` set).
 fn run_attempt(
     entry: &SweepEntry,
     seed: u64,
     epoch_events: u64,
     cancel: &Arc<AtomicBool>,
+    isolate: Option<&ProcSlaveConfig>,
     faults: Option<&SweepFaultInjection>,
 ) -> Attempt {
     if let Some(faults) = faults {
@@ -497,6 +525,24 @@ fn run_attempt(
             }
             return Attempt::Cancelled;
         }
+    }
+    if let Some(proc_cfg) = isolate {
+        return match run_solo_in_child(&entry.config, seed, epoch_events, proc_cfg, Some(cancel), false)
+        {
+            Ok(report) => finish_attempt(report),
+            // Any child failure after a cancellation request is the
+            // cancellation: the worker disambiguates deadline-kill from
+            // sweep wind-down via its `deadline_hit` flag, exactly as for
+            // a cooperative in-thread wind-down.
+            Err(_) if cancel.load(Ordering::Relaxed) => Attempt::Cancelled,
+            Err(SimError::SlaveProcess { detail, .. }) => {
+                Attempt::Failed(SweepError::Crashed { detail })
+            }
+            Err(SimError::Frame { detail }) => Attempt::Failed(SweepError::Crashed { detail }),
+            Err(e) => Attempt::Failed(SweepError::RunFailed {
+                error: e.to_string(),
+            }),
+        };
     }
     let opts = RunOptions {
         epoch_events,
@@ -516,18 +562,24 @@ fn run_attempt(
         Ok(Err(e)) => Attempt::Failed(SweepError::RunFailed {
             error: e.to_string(),
         }),
-        Ok(Ok(report)) => match report.termination {
-            TerminationReason::Interrupted => Attempt::Cancelled,
-            TerminationReason::AuditViolation | TerminationReason::Livelock => {
-                let violation = report
-                    .audit
-                    .as_ref()
-                    .and_then(|a| a.violations.first().map(ToString::to_string))
-                    .unwrap_or_else(|| "unspecified violation".to_owned());
-                Attempt::Failed(SweepError::AuditFailed { violation })
-            }
-            _ => Attempt::Finished(Box::new(report)),
-        },
+        Ok(Ok(report)) => finish_attempt(report),
+    }
+}
+
+/// Applies the shared termination → attempt mapping to a finished report,
+/// whether it came back in-thread or over the IPC fabric.
+fn finish_attempt(report: SimulationReport) -> Attempt {
+    match report.termination {
+        TerminationReason::Interrupted => Attempt::Cancelled,
+        TerminationReason::AuditViolation | TerminationReason::Livelock => {
+            let violation = report
+                .audit
+                .as_ref()
+                .and_then(|a| a.violations.first().map(ToString::to_string))
+                .unwrap_or_else(|| "unspecified violation".to_owned());
+            Attempt::Failed(SweepError::AuditFailed { violation })
+        }
+        _ => Attempt::Finished(Box::new(report)),
     }
 }
 
@@ -540,6 +592,7 @@ struct WorkerCtx<'a> {
     epoch_events: u64,
     max_retries: u32,
     deadline: Option<Duration>,
+    isolate: Option<&'a ProcSlaveConfig>,
     faults: Option<&'a SweepFaultInjection>,
     injector: &'a Injector<usize>,
     stealers: &'a [Stealer<usize>],
@@ -548,11 +601,14 @@ struct WorkerCtx<'a> {
     tx: mpsc::Sender<Message>,
 }
 
-/// Sleeps the doubling backoff before retry `attempt + 1`, waking early on
-/// a sweep interrupt. Returns `false` if interrupted.
-fn backoff_sleep(failed_attempts: u32, interrupt: &AtomicBool) -> bool {
-    let exponent = failed_attempts.saturating_sub(1).min(6);
-    let total = RETRY_BACKOFF * 2u32.pow(exponent);
+/// Sleeps the full-jitter doubling backoff before retry `attempt + 1`,
+/// waking early on a sweep interrupt. Returns `false` if interrupted. The
+/// salt (the config's id hash) decorrelates retry schedules across
+/// configs, so a batch of configs that all crashed at once (e.g. a
+/// machine-wide hiccup under process isolation) does not retry in
+/// lockstep.
+fn backoff_sleep(failed_attempts: u32, interrupt: &AtomicBool, salt: u64) -> bool {
+    let total = full_jitter_backoff(RETRY_BACKOFF, failed_attempts, salt);
     let began = Instant::now();
     while began.elapsed() < total {
         if interrupt.load(Ordering::Relaxed) {
@@ -585,7 +641,14 @@ fn worker_loop(ctx: &WorkerCtx<'_>, local: &WorkerQueue<usize>) {
                     deadline_hit: Arc::clone(&deadline_hit),
                 });
             }
-            let attempt = run_attempt(entry, seed, ctx.epoch_events, &cancel, ctx.faults);
+            let attempt = run_attempt(
+                entry,
+                seed,
+                ctx.epoch_events,
+                &cancel,
+                ctx.isolate,
+                ctx.faults,
+            );
             ctx.board.lock().expect("watch board poisoned")[ctx.index] = None;
 
             let error = match attempt {
@@ -623,7 +686,7 @@ fn worker_loop(ctx: &WorkerCtx<'_>, local: &WorkerQueue<usize>) {
                 attempt: attempts,
                 error,
             });
-            if !backoff_sleep(attempts, ctx.interrupt) {
+            if !backoff_sleep(attempts, ctx.interrupt, fnv1a(entry.id.as_bytes())) {
                 break Decision::Cancelled;
             }
         };
@@ -876,6 +939,7 @@ fn run_workers(
                 epoch_events,
                 max_retries: opts.max_retries,
                 deadline: opts.deadline,
+                isolate: opts.isolate_processes.as_ref(),
                 faults: opts.fault_injection.as_ref(),
                 injector: &injector,
                 stealers: &stealers,
@@ -1255,6 +1319,34 @@ mod tests {
         // The quarantined wall namespace never leaks into canonical form.
         let canonical = report.canonical();
         assert!(canonical.telemetry.unwrap().wall.is_empty());
+    }
+
+    #[test]
+    fn unspawnable_isolated_config_is_quarantined_as_crashed() {
+        // Process isolation with a program that cannot exist: every
+        // attempt fails at spawn, which must surface as a typed
+        // `Crashed` quarantine — never a panic or a hung sweep.
+        let entries = grid(&[0.5]);
+        let opts = SweepOptions {
+            workers: 1,
+            max_retries: 1,
+            epoch_events: 50_000,
+            isolate_processes: Some(ProcSlaveConfig {
+                program: Some("/nonexistent/bighouse-slave-binary".into()),
+                ..ProcSlaveConfig::default()
+            }),
+            ..SweepOptions::default()
+        };
+        let report = run_sweep(&entries, 11, &opts).unwrap();
+        assert!(report.completed.is_empty());
+        assert_eq!(report.quarantined.len(), 1);
+        let crashed = &report.quarantined[0];
+        assert_eq!(crashed.attempts, 2);
+        assert!(
+            matches!(&crashed.error, SweepError::Crashed { detail } if detail.contains("spawn")),
+            "{:?}",
+            crashed.error
+        );
     }
 
     #[test]

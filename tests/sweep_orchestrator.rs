@@ -147,3 +147,90 @@ fn poison_configs_are_quarantined_and_the_sweep_is_crash_resumable() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A SIGKILL can land mid-write and tear the sweep ledger in half. The
+/// checkpoint store keeps the previous snapshot as a fallback, so a
+/// resume from a torn `bighouse.sweep` must silently recover from
+/// `bighouse.sweep.prev` and still reproduce the identical report; only
+/// when *every* snapshot is corrupt may it refuse — with a typed
+/// checkpoint error, never a panic.
+#[test]
+fn torn_ledger_falls_back_to_prev_and_double_corruption_is_typed() {
+    let healthy = |u: f64| {
+        ExperimentConfig::new(Workload::standard(StandardWorkload::Web))
+            .with_utilization(u)
+            .with_target_accuracy(0.15)
+            .with_warmup(100)
+            .with_calibration(500)
+    };
+    let entries = vec![
+        SweepEntry::new("utilization=0.35", healthy(0.35)),
+        SweepEntry::new("utilization=0.55", healthy(0.55)),
+        SweepEntry::new("utilization=0.65", healthy(0.65)),
+    ];
+    let base = SweepOptions {
+        epoch_events: EPOCH_EVENTS,
+        workers: 2,
+        ..SweepOptions::default()
+    };
+    let reference = run_sweep(&entries, MASTER_SEED, &base).expect("reference sweep");
+
+    let dir = std::env::temp_dir().join(format!("bighouse-torn-ledger-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let partial = run_sweep(
+        &entries,
+        MASTER_SEED,
+        &SweepOptions {
+            checkpoint: Some(CheckpointConfig::new(&dir)),
+            max_decided: Some(2),
+            ..base.clone()
+        },
+    )
+    .expect("partial sweep");
+    assert!(partial.completed.len() >= 2);
+
+    // Tear the current ledger mid-frame, as a crash during a write
+    // would: the length/checksum framing no longer validates.
+    let ledger = dir.join("bighouse.sweep");
+    let prev = dir.join("bighouse.sweep.prev");
+    let bytes = std::fs::read(&ledger).expect("ledger exists");
+    assert!(prev.exists(), "interval saves must have rotated a fallback");
+    std::fs::write(&ledger, &bytes[..bytes.len() / 2]).expect("tear ledger");
+
+    let resumed = run_sweep(
+        &entries,
+        MASTER_SEED,
+        &SweepOptions {
+            checkpoint: Some(CheckpointConfig::new(&dir)),
+            resume: true,
+            ..base.clone()
+        },
+    )
+    .expect("resume must fall back to the .prev snapshot");
+    assert!(!resumed.interrupted);
+    assert_eq!(
+        serde_json::to_string(&reference.canonical()).unwrap(),
+        serde_json::to_string(&resumed.canonical()).unwrap(),
+        "torn-ledger resume must reproduce the identical report"
+    );
+
+    // Corrupt every snapshot: the orchestrator must refuse with a typed
+    // checkpoint error instead of silently restarting (or panicking).
+    std::fs::write(&ledger, b"not a ledger").unwrap();
+    std::fs::write(&prev, b"also not a ledger").unwrap();
+    let err = run_sweep(
+        &entries,
+        MASTER_SEED,
+        &SweepOptions {
+            checkpoint: Some(CheckpointConfig::new(&dir)),
+            resume: true,
+            ..base
+        },
+    )
+    .expect_err("doubly-corrupt ledger must be a typed error");
+    assert!(
+        matches!(err, SimError::Checkpoint(ref msg) if msg.contains("corrupt")),
+        "unexpected error: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
