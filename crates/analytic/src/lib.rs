@@ -10,6 +10,9 @@
 //!
 //! - [`mm1`]: the M/M/1 queue (exact, including response-time quantiles),
 //! - [`mmk`]: the M/M/k queue via the [`erlang_c`] delay formula,
+//! - [`mmkk`]: the finite-capacity M/M/k/K queue (truncated birth–death) —
+//!   the closed form behind admission-controlled clusters, reducing to
+//!   Erlang-B at `K = k` and approaching M/M/k as `K → ∞`,
 //! - [`mg1`]: the M/G/1 queue via Pollaczek–Khinchine,
 //! - [`erlang_b`]/[`erlang_c`]: the Erlang blocking and delay formulas,
 //! - [`kingman`]: Kingman's G/G/1 heavy-traffic waiting-time
@@ -205,6 +208,116 @@ pub mod mmk {
     }
 }
 
+/// The finite-capacity M/M/k/K queue: `k` servers, at most `K ≥ k` jobs in
+/// the system (in service + queued). Arrivals finding `K` jobs are blocked
+/// (shed), which is exactly what a bounded-queue admission controller does
+/// to an M/M/k cluster — so these closed forms are the CI oracle for
+/// `sim::resilience`'s admission control.
+///
+/// Computed from the truncated birth–death chain: with offered load
+/// `a = λ/µ`, the unnormalized state weights are
+/// `t_0 = 1; t_n = t_{n−1}·a/n (n ≤ k); t_n = t_{n−1}·a/k (n > k)`,
+/// and `P(N = n) = t_n / Σt`. Unlike M/M/k, the chain is ergodic for *any*
+/// positive load — blocking keeps it stable even at `a ≥ k`.
+pub mod mmkk {
+    /// Unnormalized birth–death weights `t_0..t_K` for offered load `a`.
+    fn weights(a: f64, k: u32, capacity: u32) -> Vec<f64> {
+        assert!(
+            a.is_finite() && a > 0.0,
+            "offered load must be positive, got {a}"
+        );
+        assert!(k > 0, "need at least one server");
+        assert!(
+            capacity >= k,
+            "capacity K = {capacity} must be at least the server count k = {k}"
+        );
+        let mut t = Vec::with_capacity(capacity as usize + 1);
+        t.push(1.0f64);
+        for n in 1..=capacity {
+            let divisor = f64::from(n.min(k));
+            let next = t[n as usize - 1] * a / divisor;
+            t.push(next);
+        }
+        // Normalize by the running maximum to keep extreme loads finite;
+        // every consumer divides by the sum, so scale cancels.
+        let max = t.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+        if max > 1e100 {
+            for w in &mut t {
+                *w /= max;
+            }
+        }
+        t
+    }
+
+    /// Blocking probability `P(N = K)`: the fraction of arrivals shed by a
+    /// bounded queue of capacity `K` (PASTA: arrivals see time averages).
+    ///
+    /// At `K = k` this is exactly [`super::erlang_b`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not positive and finite, `k` is zero, or
+    /// `capacity < k`.
+    #[must_use]
+    pub fn blocking_probability(a: f64, k: u32, capacity: u32) -> f64 {
+        let t = weights(a, k, capacity);
+        let sum: f64 = t.iter().sum();
+        t[capacity as usize] / sum
+    }
+
+    /// Mean number of jobs waiting in the queue: `Σ_{n>k} (n−k)·P(N = n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid inputs as [`blocking_probability`].
+    #[must_use]
+    pub fn mean_queue_length(a: f64, k: u32, capacity: u32) -> f64 {
+        let t = weights(a, k, capacity);
+        let sum: f64 = t.iter().sum();
+        t.iter()
+            .enumerate()
+            .skip(k as usize + 1)
+            .map(|(n, w)| (n - k as usize) as f64 * w)
+            .sum::<f64>()
+            / sum
+    }
+
+    /// Mean waiting time of an *admitted* job, by Little's law over the
+    /// queue: `W = Lq / λ_eff` with `λ_eff = λ(1 − p_K)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid inputs or a non-positive arrival rate.
+    #[must_use]
+    pub fn mean_waiting(lambda: f64, mu: f64, k: u32, capacity: u32) -> f64 {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "arrival rate must be positive, got {lambda}"
+        );
+        assert!(
+            mu.is_finite() && mu > 0.0,
+            "service rate must be positive, got {mu}"
+        );
+        let a = lambda / mu;
+        let p_block = blocking_probability(a, k, capacity);
+        let effective = lambda * (1.0 - p_block);
+        if effective <= 0.0 {
+            return 0.0;
+        }
+        mean_queue_length(a, k, capacity) / effective
+    }
+
+    /// Mean response time of an admitted job: `1/µ + W`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid inputs as [`mean_waiting`].
+    #[must_use]
+    pub fn mean_response(lambda: f64, mu: f64, k: u32, capacity: u32) -> f64 {
+        1.0 / mu + mean_waiting(lambda, mu, k, capacity)
+    }
+}
+
 /// The M/G/1 queue (Pollaczek–Khinchine).
 pub mod mg1 {
     /// Mean waiting time for service with mean `mean_service` and
@@ -334,6 +447,69 @@ mod tests {
         let t1 = mm1::mean_response(0.8, mu);
         let t4 = mmk::mean_response(3.2, mu, 4);
         assert!(t4 < t1, "pooling should reduce response: {t4} vs {t1}");
+    }
+
+    #[test]
+    fn mmkk_at_capacity_k_is_erlang_b() {
+        for (a, k) in [(0.5, 1u32), (3.0, 4), (10.0, 10), (20.0, 8)] {
+            let loss = mmkk::blocking_probability(a, k, k);
+            let b = erlang_b(a, k);
+            assert!(
+                (loss - b).abs() < 1e-12,
+                "M/M/{k}/{k} blocking {loss} vs Erlang-B {b}"
+            );
+            // A pure loss system has no queue.
+            assert!(mmkk::mean_queue_length(a, k, k).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mmkk_large_capacity_approaches_mmk() {
+        let (lambda, mu, k) = (3.2, 1.0, 4u32);
+        let w_inf = mmk::mean_waiting(lambda, mu, k);
+        let w_big = mmkk::mean_waiting(lambda, mu, k, 400);
+        assert!(
+            (w_big - w_inf).abs() / w_inf < 1e-6,
+            "M/M/k/K waiting {w_big} vs M/M/k {w_inf}"
+        );
+        assert!(mmkk::blocking_probability(lambda / mu, k, 400) < 1e-9);
+    }
+
+    #[test]
+    fn mmkk_blocking_decreases_with_capacity() {
+        let (a, k) = (6.0, 4u32);
+        let mut prev = 1.0;
+        for capacity in [4u32, 6, 8, 16, 32] {
+            let p = mmkk::blocking_probability(a, k, capacity);
+            assert!(p < prev, "blocking must shrink as K grows: {p} vs {prev}");
+            assert!(p > 0.0 && p < 1.0);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn mmkk_stable_even_when_overloaded() {
+        // a > k would make M/M/k diverge; the bounded queue stays ergodic
+        // and sheds most arrivals.
+        let p = mmkk::blocking_probability(40.0, 4, 8);
+        assert!(p > 0.85 && p < 1.0, "overload blocking {p}");
+        // Waiting stays bounded by the full queue drained at rate kµ.
+        let w = mmkk::mean_waiting(40.0, 1.0, 4, 8);
+        assert!(w > 0.0 && w <= 4.0 / 4.0 + 1e-9, "overload waiting {w}");
+    }
+
+    #[test]
+    fn mmkk_mean_response_adds_service() {
+        let (lambda, mu, k, cap) = (3.0, 1.0, 4u32, 12u32);
+        let w = mmkk::mean_waiting(lambda, mu, k, cap);
+        let t = mmkk::mean_response(lambda, mu, k, cap);
+        assert!((t - (w + 1.0 / mu)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least the server count")]
+    fn mmkk_rejects_capacity_below_k() {
+        let _ = mmkk::blocking_probability(1.0, 4, 3);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Tracked performance baseline for the hot simulation loop.
 //!
-//! Runs two fixed-seed scenarios end to end, plus a calendar
+//! Runs three fixed-seed scenarios end to end, plus a calendar
 //! schedule/pop microbenchmark, and writes the measured throughput to
 //! `BENCH_pr2.json` at the repository root (or the path given as the
 //! first positional argument):
@@ -12,7 +12,10 @@
 //!    failure/repair process and the availability metric, exercising
 //!    cancellations (timeout cancels, repair reschedules) and the
 //!    stranded-job path.
-//! 3. **sweep** — a 6-config grid (utilization × cluster size) through
+//! 3. **mmk_resilience** — the same cluster behind bounded-queue
+//!    admission control with hedged requests, exercising the per-arrival
+//!    admission check and the hedge launch/cancel churn.
+//! 4. **sweep** — a 6-config grid (utilization × cluster size) through
 //!    the work-stealing sweep orchestrator with a fixed worker count,
 //!    measuring aggregate grid throughput.
 //!
@@ -76,8 +79,20 @@ fn scenarios() -> Vec<Scenario> {
             name: "mmk_faults",
             seed: 43,
             config: base
+                .clone()
                 .with_faults(FaultProcess::exponential(50.0, 2.0).expect("valid fault process"))
                 .with_metric(MetricKind::Availability),
+        },
+        Scenario {
+            name: "mmk_resilience",
+            seed: 44,
+            config: base
+                .with_resilience(
+                    ResilienceConfig::new()
+                        .with_admission(AdmissionPolicy::BoundedQueue { capacity: 64 })
+                        .with_hedge(0.02),
+                )
+                .with_metric(MetricKind::ShedRate),
         },
     ]
 }

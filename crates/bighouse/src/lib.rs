@@ -77,12 +77,13 @@ pub mod prelude {
         LinearPowerModel, LoadBalancer, PowerCapper, Server, SleepState,
     };
     pub use bighouse_sim::{
-        config_seed, run_resumable, run_serial, run_sweep, run_until_calibrated, ArrivalMode,
-        AuditConfig, AuditReport, AuditViolation, AuditWarning, CheckpointConfig, ClusterSim,
-        ConfigOutcome, ExecBackend, ExperimentConfig, FaultSummary, MetricKind, ParallelOutcome,
-        ParallelRunner, ProcLimits, ProcSlaveConfig, QuarantinedConfig, RunOptions, RuntimeStats,
-        SimError, SimulationReport, SweepEntry, SweepError, SweepEvent, SweepEventHook,
-        SweepOptions, SweepReport, SweepRuntime, TerminationReason,
+        config_seed, run_resumable, run_serial, run_sweep, run_until_calibrated, AdmissionPolicy,
+        ArrivalMode, AuditConfig, AuditReport, AuditViolation, AuditWarning, CheckpointConfig,
+        ClassDisposition, ClusterSim, ConfigOutcome, ExecBackend, ExperimentConfig, FaultSummary,
+        HedgePolicy, MetricKind, OverloadRamp, ParallelOutcome, ParallelRunner, ProcLimits,
+        ProcSlaveConfig, QuarantinedConfig, ResilienceConfig, ResilienceSummary, RunOptions,
+        RuntimeStats, SheddingPolicy, SimError, SimulationReport, SweepEntry, SweepError,
+        SweepEvent, SweepEventHook, SweepOptions, SweepReport, SweepRuntime, TerminationReason,
     };
     pub use bighouse_stats::{
         Histogram, HistogramSpec, MetricEstimate, MetricSpec, OutputMetric, Phase, RunningStats,

@@ -14,5 +14,5 @@
 mod spec;
 mod sweep_spec;
 
-pub use spec::{AuditSpec, CappingSpec, ExperimentSpec, SpecError, WorkloadRef};
+pub use spec::{AuditSpec, CappingSpec, ExperimentSpec, ResilienceSpec, SpecError, WorkloadRef};
 pub use sweep_spec::{SweepSpec, MAX_SWEEP_CONFIGS};

@@ -419,6 +419,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
                     total_energy_joules: 0.0,
                     average_power_watts: 0.0,
                     faults: None,
+                    resilience: None,
                 },
                 audit: outcome.audit.clone(),
             }
@@ -489,6 +490,24 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             "  faults: {} server failures, goodput {}/{} admitted, {} timed out, {} retries",
             fs.server_failures, fs.goodput, fs.admitted, fs.timed_out, fs.retries
         );
+    }
+    if let Some(rs) = &report.cluster.resilience {
+        println!(
+            "  resilience: {}/{} admitted ({} shed), goodput {}, {} timed out",
+            rs.admitted, rs.offered, rs.shed, rs.goodput, rs.timed_out
+        );
+        if rs.hedges_launched > 0 {
+            println!(
+                "  hedging: {} launched, {} won, {} cancelled",
+                rs.hedges_launched, rs.hedge_wins, rs.hedge_cancelled
+            );
+        }
+        for (class, c) in rs.per_class.iter().enumerate() {
+            println!(
+                "    class {class}: offered {}, shed {}, goodput {}, slo met {}",
+                c.offered, c.shed, c.goodput, c.slo_met
+            );
+        }
     }
     if report.termination == TerminationReason::Interrupted {
         eprintln!(

@@ -4,7 +4,10 @@ use serde::{Deserialize, Serialize};
 
 use bighouse::faults::{FaultSpec, RetrySpec};
 use bighouse::models::{DvfsModel, IdlePolicy, LinearPowerModel, PowerCapper};
-use bighouse::sim::{AuditConfig, ExperimentConfig, MetricKind};
+use bighouse::sim::{
+    AdmissionPolicy, AuditConfig, ExperimentConfig, HedgePolicy, MetricKind, OverloadRamp,
+    ResilienceConfig, SheddingPolicy,
+};
 use bighouse::workloads::{StandardWorkload, Workload};
 
 /// Error decoding or resolving an experiment specification.
@@ -175,6 +178,73 @@ impl AuditSpec {
     }
 }
 
+/// Optional overload-resilience block of the spec: admission control,
+/// priority-class shedding, hedged requests, a deterministic overload
+/// ramp, and SLO tracking. Every field is optional; presence of the block
+/// (even empty, `"resilience": {}`) turns request tracking on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceSpec {
+    /// Front-door admission control, e.g.
+    /// `{"BoundedQueue": {"capacity": 64}}` or
+    /// `{"TokenBucket": {"rate": 500.0, "burst": 32.0}}`.
+    #[serde(default)]
+    pub admission: Option<AdmissionPolicy>,
+    /// Per-class queue-depth shedding thresholds (class 0 first).
+    #[serde(default)]
+    pub shedding: Option<Vec<usize>>,
+    /// Hedge launch deadline in seconds (requires at least 2 servers).
+    #[serde(default)]
+    pub hedge_deadline: Option<f64>,
+    /// Number of priority classes (default 1).
+    #[serde(default = "default_classes")]
+    pub classes: usize,
+    /// Relative arrival weight per class; empty means uniform.
+    #[serde(default)]
+    pub class_weights: Vec<f64>,
+    /// Deterministic overload interval multiplying the arrival rate.
+    #[serde(default)]
+    pub ramp: Option<OverloadRamp>,
+    /// Per-request SLO deadline in seconds.
+    #[serde(default)]
+    pub slo_deadline: Option<f64>,
+}
+
+fn default_classes() -> usize {
+    1
+}
+
+impl ResilienceSpec {
+    /// Builds the simulator-level config (unvalidated — see
+    /// [`ResilienceSpec::validate`]).
+    #[must_use]
+    pub fn to_config(&self) -> ResilienceConfig {
+        ResilienceConfig {
+            admission: self.admission,
+            shedding: self
+                .shedding
+                .clone()
+                .map(|depth_thresholds| SheddingPolicy { depth_thresholds }),
+            hedge: self.hedge_deadline.map(|deadline| HedgePolicy { deadline }),
+            classes: self.classes,
+            class_weights: self.class_weights.clone(),
+            ramp: self.ramp,
+            slo_deadline: self.slo_deadline,
+        }
+    }
+
+    /// Range-checks the block against the cluster size, naming the
+    /// offending field (`resilience.…`) on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] naming the field and its requirement.
+    pub fn validate(&self, servers: usize) -> Result<(), SpecError> {
+        self.to_config()
+            .validate(servers)
+            .map_err(|e| SpecError::Invalid(e.to_string()))
+    }
+}
+
 fn default_servers() -> usize {
     1
 }
@@ -276,6 +346,10 @@ pub struct ExperimentSpec {
     /// of the block turns the runtime invariant auditor on.
     #[serde(default)]
     pub paranoid: Option<AuditSpec>,
+    /// Optional overload-resilience block: admission control, shedding,
+    /// hedged requests, overload ramp, SLO tracking.
+    #[serde(default)]
+    pub resilience: Option<ResilienceSpec>,
 }
 
 impl ExperimentSpec {
@@ -321,6 +395,7 @@ impl ExperimentSpec {
             max_events: 1_000_000_000,
             slaves: None,
             paranoid: None,
+            resilience: None,
         }
     }
 
@@ -398,6 +473,9 @@ impl ExperimentSpec {
         if let Some(paranoid) = &self.paranoid {
             paranoid.validate()?;
         }
+        if let Some(resilience) = &self.resilience {
+            resilience.validate(self.servers)?;
+        }
         Ok(())
     }
 
@@ -455,6 +533,9 @@ impl ExperimentSpec {
         if let Some(paranoid) = &self.paranoid {
             config = config.with_audit(paranoid.resolve());
         }
+        if let Some(resilience) = &self.resilience {
+            config = config.with_resilience(resilience.to_config());
+        }
         for name in &self.metrics {
             let kind = match name.as_str() {
                 "response_time" => MetricKind::ResponseTime,
@@ -462,10 +543,15 @@ impl ExperimentSpec {
                 "capping_level" => MetricKind::CappingLevel,
                 "server_power" => MetricKind::ServerPower,
                 "availability" => MetricKind::Availability,
+                "shed_rate" => MetricKind::ShedRate,
+                "hedge_win_rate" => MetricKind::HedgeWinRate,
+                "goodput_fraction" => MetricKind::GoodputFraction,
+                "slo_attainment" => MetricKind::SloAttainment,
                 other => {
                     return Err(SpecError::Invalid(format!(
                         "unknown metric `{other}` (expected response_time, waiting_time, \
-                         capping_level, server_power, or availability)"
+                         capping_level, server_power, availability, shed_rate, \
+                         hedge_win_rate, goodput_fraction, or slo_attainment)"
                     )))
                 }
             };
@@ -653,6 +739,130 @@ mod tests {
                 "error for `{field}` should name `{expected}`: {msg}"
             );
         }
+    }
+
+    #[test]
+    fn resilience_block_resolves_with_all_features() {
+        let spec = ExperimentSpec::from_json(
+            r#"{"workload": {"standard": "web"},
+                "servers": 4,
+                "resilience": {
+                    "admission": {"BoundedQueue": {"capacity": 64}},
+                    "shedding": [64, 32],
+                    "hedge_deadline": 0.25,
+                    "classes": 2,
+                    "class_weights": [3.0, 1.0],
+                    "ramp": {"start": 100.0, "duration": 50.0, "multiplier": 3.0},
+                    "slo_deadline": 0.5
+                },
+                "metrics": ["response_time", "shed_rate", "hedge_win_rate",
+                            "goodput_fraction", "slo_attainment"]}"#,
+        )
+        .unwrap();
+        let config = spec.resolve().unwrap();
+        let r = config.resilience().expect("resilience block enables it");
+        assert_eq!(r.classes, 2);
+        assert!(r.hedge.is_some());
+    }
+
+    #[test]
+    fn empty_resilience_block_is_tracking_only() {
+        let spec =
+            ExperimentSpec::from_json(r#"{"workload": {"standard": "web"}, "resilience": {}}"#)
+                .unwrap();
+        let config = spec.resolve().unwrap();
+        let r = config
+            .resilience()
+            .expect("block presence enables tracking");
+        assert_eq!(r, &ResilienceConfig::default());
+    }
+
+    #[test]
+    fn hostile_resilience_fields_are_errors_not_panics() {
+        let cases = [
+            (
+                r#""resilience": {"admission": {"BoundedQueue": {"capacity": 0}}}"#,
+                "resilience.admission.capacity",
+            ),
+            (
+                r#""resilience": {"admission": {"TokenBucket": {"rate": 1e999, "burst": 5.0}}}"#,
+                "resilience.admission.rate",
+            ),
+            (
+                r#""resilience": {"admission": {"TokenBucket": {"rate": 10.0, "burst": 0.5}}}"#,
+                "resilience.admission.burst",
+            ),
+            (r#""resilience": {"classes": 0}"#, "resilience.classes"),
+            (
+                r#""resilience": {"classes": 2, "class_weights": [1.0]}"#,
+                "resilience.class_weights",
+            ),
+            (
+                r#""resilience": {"classes": 2, "class_weights": [1.0, -2.0]}"#,
+                "resilience.class_weights",
+            ),
+            (
+                r#""resilience": {"classes": 2, "shedding": [10]}"#,
+                "resilience.shedding",
+            ),
+            (
+                r#""resilience": {"hedge_deadline": 0.0}"#,
+                "resilience.hedge",
+            ),
+            (
+                r#""resilience": {"ramp": {"start": -1.0, "duration": 5.0, "multiplier": 2.0}}"#,
+                "resilience.ramp.start",
+            ),
+            (
+                r#""resilience": {"ramp": {"start": 0.0, "duration": 0.0, "multiplier": 2.0}}"#,
+                "resilience.ramp.duration",
+            ),
+            (
+                r#""resilience": {"ramp": {"start": 0.0, "duration": 5.0, "multiplier": 1e999}}"#,
+                "resilience.ramp.multiplier",
+            ),
+            (
+                r#""resilience": {"slo_deadline": -0.5}"#,
+                "resilience.slo_deadline",
+            ),
+        ];
+        for (field, expected) in cases {
+            let json = format!(r#"{{"workload": {{"standard": "web"}}, {field}}}"#);
+            let spec = ExperimentSpec::from_json(&json).expect("valid JSON shape");
+            let err = spec
+                .resolve()
+                .expect_err(&format!("{field} must be rejected"));
+            let msg = err.to_string();
+            assert!(
+                msg.contains(expected),
+                "error for `{field}` should name `{expected}`: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn hedging_on_one_server_is_rejected_at_spec_level() {
+        // A hedge needs somewhere else to send the duplicate.
+        let spec = ExperimentSpec::from_json(
+            r#"{"workload": {"standard": "web"},
+                "servers": 1,
+                "resilience": {"hedge_deadline": 0.5}}"#,
+        )
+        .unwrap();
+        let err = spec.resolve().unwrap_err().to_string();
+        assert!(err.contains("resilience.hedge"), "{err}");
+    }
+
+    #[test]
+    fn resilience_metrics_without_the_block_fail_at_run_build() {
+        // Like availability-without-faults: the names resolve, the
+        // config-level validation rejects them when the run is built.
+        let spec = ExperimentSpec::from_json(
+            r#"{"workload": {"standard": "web"}, "metrics": ["shed_rate"]}"#,
+        )
+        .unwrap();
+        let config = spec.resolve().unwrap();
+        assert!(bighouse::sim::run_serial(&config, 1).is_err());
     }
 
     #[test]

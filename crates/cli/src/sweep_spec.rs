@@ -357,6 +357,37 @@ mod tests {
     }
 
     #[test]
+    fn resilience_axis_sweeps_admission_policies() {
+        // The overload-protection block is an ordinary experiment field,
+        // so admission policies sweep like anything else: off vs. two
+        // bounded-queue capacities, with deterministic ids.
+        let s = sweep(&format!(
+            r#"{{{BASE}, "axes": {{"resilience":
+                [null,
+                 {{"admission": {{"BoundedQueue": {{"capacity": 8}}}}}},
+                 {{"admission": {{"BoundedQueue": {{"capacity": 32}}}}}}]}}}}"#
+        ));
+        let entries = s.render().unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(
+            entries
+                .iter()
+                .filter(|(_, s)| s.resilience.is_some())
+                .count(),
+            2
+        );
+        // Hostile values inside the swept block still fail with the
+        // config id attached.
+        let bad = sweep(&format!(
+            r#"{{{BASE}, "axes": {{"resilience":
+                [{{"admission": {{"BoundedQueue": {{"capacity": 0}}}}}}]}}}}"#
+        ));
+        let err = bad.render().unwrap_err().to_string();
+        assert!(err.contains("config `resilience="), "{err}");
+        assert!(err.contains("resilience.admission.capacity"), "{err}");
+    }
+
+    #[test]
     fn template_like_round_trip() {
         let s = sweep(&format!(
             r#"{{{BASE}, "axes": {{"utilization": [0.3, 0.7]}},

@@ -6,7 +6,8 @@
 
 use proptest::prelude::*;
 
-use bighouse_cli::{CappingSpec, ExperimentSpec};
+use bighouse::sim::{AdmissionPolicy, OverloadRamp};
+use bighouse_cli::{CappingSpec, ExperimentSpec, ResilienceSpec};
 
 /// Floats including every hazard class the JSON parser can produce
 /// (`1e999` parses as `inf`; `-1e999` as `-inf`) plus NaN, which can only
@@ -23,6 +24,43 @@ fn weird_f64() -> impl Strategy<Value = f64> {
         Just(0.0),
         Just(-0.0),
     ]
+}
+
+/// An arbitrary resilience block mixing valid and hostile values for
+/// every sub-policy, including NaN-bearing floats.
+fn weird_resilience() -> impl Strategy<Value = ResilienceSpec> {
+    (
+        proptest::option::of(prop_oneof![
+            any::<usize>().prop_map(|capacity| AdmissionPolicy::BoundedQueue { capacity }),
+            (weird_f64(), weird_f64())
+                .prop_map(|(rate, burst)| AdmissionPolicy::TokenBucket { rate, burst }),
+        ]),
+        proptest::option::of(proptest::collection::vec(any::<usize>(), 0..4)),
+        proptest::option::of(weird_f64()),
+        0usize..6,
+        proptest::collection::vec(weird_f64(), 0..4),
+        proptest::option::of((weird_f64(), weird_f64(), weird_f64()).prop_map(
+            |(start, duration, multiplier)| OverloadRamp {
+                start,
+                duration,
+                multiplier,
+            },
+        )),
+        proptest::option::of(weird_f64()),
+    )
+        .prop_map(
+            |(admission, shedding, hedge_deadline, classes, class_weights, ramp, slo_deadline)| {
+                ResilienceSpec {
+                    admission,
+                    shedding,
+                    hedge_deadline,
+                    classes,
+                    class_weights,
+                    ramp,
+                    slo_deadline,
+                }
+            },
+        )
 }
 
 proptest! {
@@ -84,6 +122,7 @@ proptest! {
         max_events in any::<u64>(),
         slaves in proptest::option::of(any::<usize>()),
         capping in proptest::option::of((weird_f64(), weird_f64())),
+        resilience in proptest::option::of(weird_resilience()),
     ) {
         let mut spec = ExperimentSpec::template();
         spec.servers = servers;
@@ -100,6 +139,34 @@ proptest! {
             budget_fraction,
             alpha,
         });
+        spec.resilience = resilience;
         let _ = spec.resolve();
+    }
+
+    /// Structurally valid JSON with hostile resilience payloads: whatever
+    /// parses must resolve to Ok or a typed error naming the field.
+    #[test]
+    fn hostile_resilience_json_resolves_without_panicking(
+        field in prop_oneof![
+            Just("hedge_deadline"),
+            Just("slo_deadline"),
+            Just("classes"),
+        ],
+        raw in prop_oneof![
+            Just("1e999".to_owned()),
+            Just("-1e999".to_owned()),
+            Just("0".to_owned()),
+            Just("-0.0".to_owned()),
+            Just("null".to_owned()),
+            (-1e12f64..1e12).prop_map(|v| format!("{v}")),
+        ],
+    ) {
+        let json = format!(
+            r#"{{"workload": {{"standard": "web"}}, "servers": 4,
+                 "resilience": {{"{field}": {raw}}}}}"#
+        );
+        if let Ok(spec) = ExperimentSpec::from_json(&json) {
+            let _ = spec.resolve();
+        }
     }
 }

@@ -184,6 +184,7 @@ pub struct RetryPolicy {
     max_retries: u32,
     backoff_base: f64,
     backoff_cap: f64,
+    cancel_on_timeout: bool,
 }
 
 impl RetryPolicy {
@@ -205,6 +206,7 @@ impl RetryPolicy {
             max_retries: 3,
             backoff_base: timeout / 10.0,
             backoff_cap: timeout,
+            cancel_on_timeout: true,
         }
     }
 
@@ -237,10 +239,33 @@ impl RetryPolicy {
         self
     }
 
+    /// Sets whether a client timeout cancels the in-flight attempt
+    /// (default `true`).
+    ///
+    /// With `false`, giving up is invisible to the server: the abandoned
+    /// attempt keeps its queue slot or core and runs to completion as
+    /// wasted *zombie work*, while the retry arrives as a brand-new
+    /// request. This models real RPC stacks without cross-tier
+    /// cancellation — the work amplification that makes retry storms
+    /// metastable. With `true` (the default) the client's timeout
+    /// propagates and the attempt is cancelled wherever it is.
+    #[must_use]
+    pub fn with_cancel_on_timeout(mut self, cancel: bool) -> Self {
+        self.cancel_on_timeout = cancel;
+        self
+    }
+
     /// Per-attempt timeout in seconds.
     #[must_use]
     pub fn timeout(&self) -> f64 {
         self.timeout
+    }
+
+    /// Whether a timeout cancels the in-flight attempt (`true`) or
+    /// abandons it to complete as zombie work (`false`).
+    #[must_use]
+    pub fn cancels_on_timeout(&self) -> bool {
+        self.cancel_on_timeout
     }
 
     /// Retries granted after the initial attempt.
@@ -309,10 +334,18 @@ pub struct RetrySpec {
     /// Backoff cap in seconds (default `timeout`).
     #[serde(default)]
     pub backoff_cap: Option<f64>,
+    /// Whether a timeout cancels the in-flight attempt (default `true`).
+    /// `false` abandons it to complete as wasted zombie work instead.
+    #[serde(default = "default_cancel_on_timeout")]
+    pub cancel_on_timeout: bool,
 }
 
 fn default_max_retries() -> u32 {
     3
+}
+
+fn default_cancel_on_timeout() -> bool {
+    true
 }
 
 impl RetrySpec {
@@ -337,7 +370,9 @@ impl RetrySpec {
         if !(cap.is_finite() && cap > 0.0) {
             return Err(format!("backoff cap must be positive, got {cap}"));
         }
-        policy = policy.with_backoff(base, cap);
+        policy = policy
+            .with_backoff(base, cap)
+            .with_cancel_on_timeout(self.cancel_on_timeout);
         Ok(policy)
     }
 }
@@ -453,10 +488,12 @@ mod tests {
             max_retries: 2,
             backoff_base: None,
             backoff_cap: None,
+            cancel_on_timeout: true,
         };
         let policy = r.build().unwrap();
         assert_eq!(policy.max_retries(), 2);
         assert!((policy.backoff_ceiling(1) - 0.05).abs() < 1e-12);
+        assert!(policy.cancels_on_timeout());
     }
 
     #[test]
@@ -472,7 +509,8 @@ mod tests {
             timeout: 0.0,
             max_retries: 0,
             backoff_base: None,
-            backoff_cap: None
+            backoff_cap: None,
+            cancel_on_timeout: true
         }
         .build()
         .is_err());

@@ -106,7 +106,7 @@ impl Default for AuditConfig {
 /// JSON round trip as numbers.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AuditViolation {
-    /// The fault-mode request ledger failed to balance:
+    /// The tracked-request ledger failed to balance:
     /// `goodput + timed_out + in_flight` must equal `admitted`.
     RequestLedger {
         /// Requests admitted to the cluster.
@@ -117,6 +117,16 @@ pub enum AuditViolation {
         timed_out: u64,
         /// Requests still tracked in flight.
         in_flight: u64,
+    },
+    /// The shed ledger failed to balance: every offered arrival must be
+    /// either admitted or shed (`admitted + shed == offered`).
+    ShedConservation {
+        /// Arrivals offered to the cluster.
+        offered: u64,
+        /// Arrivals admitted past admission control and shedding.
+        admitted: u64,
+        /// Arrivals shed at the front door.
+        shed: u64,
     },
     /// Job conservation failed: every injected job must be completed on
     /// some server or still in the system.
@@ -216,6 +226,15 @@ impl std::fmt::Display for AuditViolation {
                 f,
                 "request ledger out of balance: goodput {goodput} + timed-out {timed_out} \
                  + in-flight {in_flight} != admitted {admitted}"
+            ),
+            AuditViolation::ShedConservation {
+                offered,
+                admitted,
+                shed,
+            } => write!(
+                f,
+                "shed ledger out of balance: admitted {admitted} + shed {shed} \
+                 != offered {offered}"
             ),
             AuditViolation::JobConservation {
                 injected,
@@ -401,13 +420,23 @@ pub enum SeededBug {
     /// Schedule a same-timestamp event from every handler: a zero-advance
     /// livelock.
     Livelock,
+    /// Retire a hedged request twice: when its primary completes first,
+    /// count goodput but leave the request tracked so the hedge completion
+    /// retires it again. The request ledger must catch the double credit.
+    DoubleHedgeCompletion,
 }
 
 /// The cluster-side ledger snapshot handed to each invariant sweep.
 pub(crate) struct AuditLedger {
-    pub fault_mode: bool,
+    /// Whether per-request tracking is on (faults, retries, or resilience):
+    /// the request ledger replaces raw job conservation then.
+    pub tracked: bool,
+    /// Whether the resilience subsystem is on (enables the shed ledger).
+    pub resilience: bool,
     pub injected: u64,
+    pub offered: u64,
     pub admitted: u64,
+    pub shed: u64,
     pub goodput: u64,
     pub timed_out: u64,
     pub in_flight: u64,
@@ -516,7 +545,7 @@ impl Auditor {
         let completed: u64 = servers.iter().map(Server::completed_jobs).sum();
         let in_system: u64 = servers.iter().map(|s| s.outstanding() as u64).sum();
 
-        if ledger.fault_mode {
+        if ledger.tracked {
             if ledger.goodput + ledger.timed_out + ledger.in_flight != ledger.admitted {
                 self.report.violations.push(AuditViolation::RequestLedger {
                     admitted: ledger.admitted,
@@ -524,6 +553,15 @@ impl Auditor {
                     timed_out: ledger.timed_out,
                     in_flight: ledger.in_flight,
                 });
+            }
+            if ledger.resilience && ledger.admitted + ledger.shed != ledger.offered {
+                self.report
+                    .violations
+                    .push(AuditViolation::ShedConservation {
+                        offered: ledger.offered,
+                        admitted: ledger.admitted,
+                        shed: ledger.shed,
+                    });
             }
         } else if completed + in_system != ledger.injected {
             self.report
@@ -605,10 +643,11 @@ impl Auditor {
     }
 
     /// Time-weighted sampling of L (jobs in system) between sweeps. Only
-    /// meaningful without faults/retries: timeouts and drops muddy both λ
-    /// and W, so the probe is skipped in fault mode.
+    /// meaningful without faults/retries/shedding: timeouts, drops, and
+    /// rejected arrivals muddy both λ and W, so the probe is skipped in
+    /// tracked mode.
     fn sample_littles(&mut self, now: Time, ledger: &AuditLedger, in_system: u64) {
-        if ledger.fault_mode {
+        if ledger.tracked {
             return;
         }
         let seconds = now.as_seconds();
@@ -640,7 +679,7 @@ impl Auditor {
             return;
         };
         let elapsed = self.littles_last - start;
-        if ledger.fault_mode || ledger.injected < MIN_JOBS || elapsed <= 0.0 || w <= 0.0 {
+        if ledger.tracked || ledger.injected < MIN_JOBS || elapsed <= 0.0 || w <= 0.0 {
             return;
         }
         let l = self.littles_integral / elapsed;
@@ -676,9 +715,12 @@ mod tests {
 
     fn ledger(injected: u64) -> AuditLedger {
         AuditLedger {
-            fault_mode: false,
+            tracked: false,
+            resilience: false,
             injected,
+            offered: 0,
             admitted: 0,
+            shed: 0,
             goodput: 0,
             timed_out: 0,
             in_flight: 0,
@@ -745,18 +787,59 @@ mod tests {
     fn request_ledger_mismatch_is_flagged() {
         let mut auditor = Auditor::new(AuditConfig::default(), 0, None);
         let bad = AuditLedger {
-            fault_mode: true,
+            tracked: true,
             injected: 10,
             admitted: 10,
             goodput: 7,
             timed_out: 1,
             in_flight: 1, // 7 + 1 + 1 != 10
+            ..ledger(10)
         };
         auditor.sweep(Time::from_seconds(1.0), &[], &bad);
         assert!(matches!(
             auditor.report().violations[0],
             AuditViolation::RequestLedger { admitted: 10, .. }
         ));
+    }
+
+    #[test]
+    fn shed_conservation_mismatch_is_flagged() {
+        let mut auditor = Auditor::new(AuditConfig::default(), 0, None);
+        let bad = AuditLedger {
+            tracked: true,
+            resilience: true,
+            offered: 20,
+            admitted: 15,
+            shed: 4, // 15 + 4 != 20
+            goodput: 14,
+            timed_out: 0,
+            in_flight: 1,
+            ..ledger(20)
+        };
+        auditor.sweep(Time::from_seconds(1.0), &[], &bad);
+        assert!(matches!(
+            auditor.report().violations[0],
+            AuditViolation::ShedConservation {
+                offered: 20,
+                admitted: 15,
+                shed: 4
+            }
+        ));
+        // A balanced shed ledger passes.
+        let mut auditor = Auditor::new(AuditConfig::default(), 0, None);
+        let good = AuditLedger {
+            tracked: true,
+            resilience: true,
+            offered: 20,
+            admitted: 15,
+            shed: 5,
+            goodput: 14,
+            timed_out: 0,
+            in_flight: 1,
+            ..ledger(20)
+        };
+        auditor.sweep(Time::from_seconds(1.0), &[], &good);
+        assert!(!auditor.failed());
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::audit::AuditReport;
 use crate::config::ExperimentConfig;
 use crate::error::SimError;
 use crate::report::{ClusterSummary, FaultSummary};
+use crate::resilience::{ClassDisposition, ResilienceSummary};
 
 /// File magic + format version: `BHCKPT` then a NUL and the version byte.
 /// Bump the final byte on any incompatible payload change.
@@ -89,6 +90,36 @@ pub struct FaultTotals {
     pub failed_weight: f64,
 }
 
+/// Exact totals a resumable run accumulates across epochs for the
+/// resilience section of the final [`ClusterSummary`]. Pure counts, so
+/// epochs add directly.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceTotals {
+    /// Arrivals offered to the cluster.
+    pub offered: u64,
+    /// Arrivals admitted past admission control and shedding.
+    pub admitted: u64,
+    /// Arrivals shed at the front door.
+    pub shed: u64,
+    /// Admitted requests that completed.
+    pub goodput: u64,
+    /// Admitted requests dropped after exhausting retries.
+    pub timed_out: u64,
+    /// Requests in flight at an epoch boundary (dropped with the epoch's
+    /// calendar; counted so the disposition invariant still balances).
+    pub in_flight_dropped: u64,
+    /// Hedge duplicates launched.
+    pub hedges_launched: u64,
+    /// Requests whose hedge finished first.
+    pub hedge_wins: u64,
+    /// Losing duplicates cancelled mid-service.
+    pub hedge_cancelled: u64,
+    /// Goodput completions within the SLO deadline.
+    pub slo_met: u64,
+    /// Per-class dispositions (empty for a single class).
+    pub per_class: Vec<ClassDisposition>,
+}
+
 /// Time-weighted cluster totals accumulated across epochs.
 ///
 /// Each epoch reports time-*fractions* (idle, napping, utilization); the
@@ -110,6 +141,10 @@ pub struct RunTotals {
     pub utilization_weight: f64,
     /// Fault bookkeeping (`None` when fault injection is off).
     pub faults: Option<FaultTotals>,
+    /// Resilience bookkeeping (`None` when resilience is off; absent in
+    /// checkpoints written before the subsystem existed).
+    #[serde(default)]
+    pub resilience: Option<ResilienceTotals>,
 }
 
 impl RunTotals {
@@ -131,6 +166,32 @@ impl RunTotals {
             totals.preempted_jobs += f.preempted_jobs;
             totals.in_flight_dropped += f.in_flight_at_end;
             totals.failed_weight += f.mean_failed_fraction * seconds;
+        }
+        if let Some(r) = &summary.resilience {
+            let totals = self
+                .resilience
+                .get_or_insert_with(ResilienceTotals::default);
+            totals.offered += r.offered;
+            totals.admitted += r.admitted;
+            totals.shed += r.shed;
+            totals.goodput += r.goodput;
+            totals.timed_out += r.timed_out;
+            totals.in_flight_dropped += r.in_flight_at_end;
+            totals.hedges_launched += r.hedges_launched;
+            totals.hedge_wins += r.hedge_wins;
+            totals.hedge_cancelled += r.hedge_cancelled;
+            totals.slo_met += r.slo_met;
+            if totals.per_class.len() < r.per_class.len() {
+                totals
+                    .per_class
+                    .resize(r.per_class.len(), ClassDisposition::default());
+            }
+            for (acc, c) in totals.per_class.iter_mut().zip(&r.per_class) {
+                acc.offered += c.offered;
+                acc.shed += c.shed;
+                acc.goodput += c.goodput;
+                acc.slo_met += c.slo_met;
+            }
         }
     }
 
@@ -156,6 +217,19 @@ impl RunTotals {
                 preempted_jobs: f.preempted_jobs,
                 in_flight_at_end: f.in_flight_dropped,
                 mean_failed_fraction: frac(f.failed_weight),
+            }),
+            resilience: self.resilience.as_ref().map(|r| ResilienceSummary {
+                offered: r.offered,
+                admitted: r.admitted,
+                shed: r.shed,
+                goodput: r.goodput,
+                timed_out: r.timed_out,
+                in_flight_at_end: r.in_flight_dropped,
+                hedges_launched: r.hedges_launched,
+                hedge_wins: r.hedge_wins,
+                hedge_cancelled: r.hedge_cancelled,
+                slo_met: r.slo_met,
+                per_class: r.per_class.clone(),
             }),
         }
     }
@@ -676,6 +750,7 @@ mod tests {
             total_energy_joules: 10.0,
             average_power_watts: 0.0,
             faults: None,
+            resilience: None,
         };
         // A 10-second epoch at 0.8 idle and a 30-second epoch at 0.4 idle
         // must average to 0.5, not the unweighted 0.6.

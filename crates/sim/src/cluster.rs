@@ -13,6 +13,7 @@ use crate::audit::{AuditLedger, AuditReport, Auditor, SeededBug};
 use crate::config::{ArrivalMode, ExperimentConfig, MetricKind};
 use crate::error::SimError;
 use crate::report::{ClusterSummary, FaultSummary};
+use crate::resilience::{AdmissionPolicy, ResilienceState, ResilienceSummary};
 use crate::telemetry::ClusterTelemetry;
 use bighouse_telemetry::Recorder as _;
 
@@ -56,6 +57,19 @@ pub enum ClusterEvent {
         /// Raw [`JobId`] of the request.
         job: u64,
     },
+    /// A request's hedge deadline expires: duplicate it to a second server
+    /// ([`crate::HedgePolicy`]).
+    HedgeFire {
+        /// Raw [`JobId`] of the *primary* request.
+        job: u64,
+    },
+}
+
+/// A live hedge duplicate: its own job id and where it runs.
+#[derive(Debug, Clone, Copy)]
+struct HedgeJob {
+    job: u64,
+    server: usize,
 }
 
 /// Per-request bookkeeping while fault injection or retries are active.
@@ -76,6 +90,12 @@ struct RequestState {
     /// A [`ClusterEvent::Redispatch`] is pending (backoff in progress);
     /// repair-time drains must not double-place the request.
     pending_redispatch: bool,
+    /// Priority class (0 = most important; always 0 with one class).
+    class: u8,
+    /// Live hedge-deadline event, if a hedge policy is armed.
+    hedge_fire: Option<EventHandle>,
+    /// Live hedge duplicate, if one has been launched.
+    hedge: Option<HedgeJob>,
 }
 
 /// The simulated cluster: servers, arrival processes, the optional global
@@ -98,15 +118,33 @@ pub struct ClusterSim {
     capping_id: Option<MetricId>,
     power_id: Option<MetricId>,
     availability_id: Option<MetricId>,
+    shed_id: Option<MetricId>,
+    hedge_win_id: Option<MetricId>,
+    goodput_id: Option<MetricId>,
+    slo_id: Option<MetricId>,
     energy_marks: Vec<f64>,
     failed_marks: Vec<f64>,
     job_counter: u64,
     stop_on_convergence: bool,
-    /// True when faults or retries are configured; the entire request
-    /// tracking machinery below is bypassed (zero cost) when false.
+    /// True when faults or retries are configured; gates the
+    /// [`FaultSummary`].
     fault_mode: bool,
-    /// Per-request state, touched on every admit/complete/timeout in fault
-    /// mode — a deterministic fast-hash map, never iterated.
+    /// True when faults, retries, *or* resilience are configured; the
+    /// entire request tracking machinery below is bypassed (zero cost)
+    /// when false.
+    track_mode: bool,
+    /// Overload-resilience runtime state (`None` when resilience is off —
+    /// every resilience branch then costs one null check).
+    resilience: Option<Box<ResilienceState>>,
+    /// Maps a live hedge duplicate's job id to its primary's key.
+    hedge_of: FastMap<u64, u64>,
+    /// Job ids abandoned by a non-cancelling timeout
+    /// ([`bighouse_faults::RetryPolicy::with_cancel_on_timeout`]): still running on a
+    /// server but invisible to the client. Their completions are real
+    /// work for the server books yet must not be recorded as responses.
+    zombies: FastMap<u64, ()>,
+    /// Per-request state, touched on every admit/complete/timeout in
+    /// tracked mode — a deterministic fast-hash map, never iterated.
     requests: FastMap<u64, RequestState>,
     /// Requests with no live server to run on, awaiting a repair.
     stranded: VecDeque<u64>,
@@ -189,6 +227,10 @@ impl ClusterSim {
         let mut capping_id = None;
         let mut power_id = None;
         let mut availability_id = None;
+        let mut shed_id = None;
+        let mut hedge_win_id = None;
+        let mut goodput_id = None;
+        let mut slo_id = None;
         for (kind, spec) in config.metric_specs() {
             let id = match forced_histograms.get(spec.name()) {
                 Some(&hist) => stats.add_metric_with_histogram(spec, hist),
@@ -200,12 +242,21 @@ impl ClusterSim {
                 MetricKind::CappingLevel => capping_id = Some(id),
                 MetricKind::ServerPower => power_id = Some(id),
                 MetricKind::Availability => availability_id = Some(id),
+                MetricKind::ShedRate => shed_id = Some(id),
+                MetricKind::HedgeWinRate => hedge_win_id = Some(id),
+                MetricKind::GoodputFraction => goodput_id = Some(id),
+                MetricKind::SloAttainment => slo_id = Some(id),
             }
         }
         let response_id = response_id
             .ok_or_else(|| SimError::InvalidConfig("response time metric missing".into()))?;
         let n = config.servers;
         let fault_mode = config.faults.is_some() || config.retry.is_some();
+        let track_mode = fault_mode || config.resilience.is_some();
+        let resilience = config
+            .resilience
+            .as_ref()
+            .map(|r| Box::new(ResilienceState::new(r)));
         let audit = config.audit.as_ref().map(|cfg| {
             // The energy budget bound must cover every power state a
             // server can occupy, not just nominal peak.
@@ -232,11 +283,19 @@ impl ClusterSim {
             capping_id,
             power_id,
             availability_id,
+            shed_id,
+            hedge_win_id,
+            goodput_id,
+            slo_id,
             energy_marks: vec![0.0; n],
             failed_marks: vec![0.0; n],
             job_counter: 0,
             stop_on_convergence: true,
             fault_mode,
+            track_mode,
+            resilience,
+            hedge_of: FastMap::default(),
+            zombies: FastMap::default(),
             requests: FastMap::default(),
             stranded: VecDeque::new(),
             epoch_utilizations: Vec::new(),
@@ -259,15 +318,16 @@ impl ClusterSim {
     /// each server (if faults are configured), and, if needed, the first
     /// budgeting/observation epoch. Call exactly once before running.
     pub fn prime(&mut self, cal: &mut Calendar<ClusterEvent>) {
+        let now = cal.now();
         match self.config.arrival_mode {
             ArrivalMode::PerServer => {
                 for s in 0..self.servers.len() {
-                    let dt = self.config.workload.interarrival().sample(&mut self.rng);
+                    let dt = self.next_interarrival(now);
                     cal.schedule_in(dt, ClusterEvent::Arrival { server: s });
                 }
             }
             ArrivalMode::LoadBalanced(_) => {
-                let dt = self.config.workload.interarrival().sample(&mut self.rng);
+                let dt = self.next_interarrival(now);
                 cal.schedule_in(dt, ClusterEvent::BalancedArrival);
             }
         }
@@ -279,11 +339,28 @@ impl ClusterSim {
         }
         if let Some(capper) = &self.capper {
             cal.schedule_in(capper.epoch_seconds(), ClusterEvent::CappingEpoch);
-        } else if self.power_id.is_some() || self.availability_id.is_some() {
+        } else if self.power_id.is_some()
+            || self.availability_id.is_some()
+            || self.shed_id.is_some()
+            || self.hedge_win_id.is_some()
+            || self.goodput_id.is_some()
+        {
             cal.schedule_in(
                 PowerCapper::DEFAULT_EPOCH_SECONDS,
                 ClusterEvent::ObservationEpoch,
             );
+        }
+    }
+
+    /// Samples the next inter-arrival gap, compressed by the overload ramp
+    /// while it is active. With no resilience config this is exactly one
+    /// workload draw — the identical RNG sequence as before the ramp
+    /// existed.
+    fn next_interarrival(&mut self, now: Time) -> f64 {
+        let dt = self.config.workload.interarrival().sample(&mut self.rng);
+        match self.config.resilience.as_ref().and_then(|r| r.ramp) {
+            Some(ramp) if ramp.active_at(now.as_seconds()) => dt / ramp.multiplier,
+            _ => dt,
         }
     }
 
@@ -384,6 +461,23 @@ impl ClusterSim {
         } else {
             None
         };
+        let resilience = self.resilience.as_deref().map(|state| ResilienceSummary {
+            offered: state.offered,
+            admitted: self.n_admitted,
+            shed: state.shed,
+            goodput: self.n_goodput,
+            timed_out: self.n_timed_out,
+            in_flight_at_end: self.requests.len() as u64,
+            hedges_launched: state.hedges_launched,
+            hedge_wins: state.hedge_wins,
+            hedge_cancelled: state.hedge_cancelled,
+            slo_met: state.slo_met,
+            per_class: if state.per_class.len() > 1 {
+                state.per_class.clone()
+            } else {
+                Vec::new()
+            },
+        });
         ClusterSummary {
             servers: self.servers.len(),
             jobs_completed: self.servers.iter().map(Server::completed_jobs).sum(),
@@ -412,6 +506,26 @@ impl ClusterSim {
                 0.0
             },
             faults,
+            resilience,
+        }
+    }
+
+    /// The current ledger snapshot for an audit sweep.
+    fn ledger(&self) -> AuditLedger {
+        let (offered, shed) = match self.resilience.as_deref() {
+            Some(state) => (state.offered, state.shed),
+            None => (0, 0),
+        };
+        AuditLedger {
+            tracked: self.track_mode,
+            resilience: self.resilience.is_some(),
+            injected: self.job_counter,
+            offered,
+            admitted: self.n_admitted,
+            shed,
+            goodput: self.n_goodput,
+            timed_out: self.n_timed_out,
+            in_flight: self.requests.len() as u64,
         }
     }
 
@@ -442,18 +556,14 @@ impl ClusterSim {
     /// sweep or an earlier observation tripwire) requires the run to stop.
     #[inline]
     fn audit_tick(&mut self, now: Time) -> bool {
+        if self.audit.is_none() {
+            return false;
+        }
+        let ledger = self.ledger();
         let Some(audit) = self.audit.as_deref_mut() else {
             return false;
         };
         if audit.event_due() {
-            let ledger = AuditLedger {
-                fault_mode: self.fault_mode,
-                injected: self.job_counter,
-                admitted: self.n_admitted,
-                goodput: self.n_goodput,
-                timed_out: self.n_timed_out,
-                in_flight: self.requests.len() as u64,
-            };
             audit.sweep(now, &self.servers, &ledger);
         }
         audit.failed()
@@ -484,14 +594,7 @@ impl ClusterSim {
             .metric(self.response_id)
             .estimate()
             .map(|e| e.mean);
-        let ledger = AuditLedger {
-            fault_mode: self.fault_mode,
-            injected: self.job_counter,
-            admitted: self.n_admitted,
-            goodput: self.n_goodput,
-            timed_out: self.n_timed_out,
-            in_flight: self.requests.len() as u64,
-        };
+        let ledger = self.ledger();
         if let Some(audit) = self.audit.as_deref_mut() {
             audit.finalize(now, &self.servers, &ledger, mean_response);
         }
@@ -538,6 +641,17 @@ impl ClusterSim {
                 self.bug_pending = false;
                 continue;
             }
+            if self.track_mode && self.zombies.remove(&f.id.raw()).is_some() {
+                // An abandoned attempt finishing long after its client
+                // gave up: the server really burned the time (it stays in
+                // the server's books and the audit cross-check), but the
+                // completion is invisible to the client — no response
+                // observation, no ledger retirement.
+                if let Some(audit) = self.audit.as_deref_mut() {
+                    audit.note_completion();
+                }
+                continue;
+            }
             let mut response = f.response_time();
             if self.bug_pending && self.seeded_bug == Some(SeededBug::NanObservation) {
                 self.bug_pending = false;
@@ -555,14 +669,118 @@ impl ClusterSim {
                     self.observe(id, "waiting_time", wait, cal.now());
                 }
             }
-            if self.fault_mode {
-                if let Some(req) = self.requests.remove(&f.id.raw()) {
-                    self.n_goodput += 1;
-                    if let Some(handle) = req.timeout {
-                        cal.cancel(handle);
+            if self.track_mode {
+                self.retire_completion(f.id.raw(), response, cal);
+            }
+        }
+    }
+
+    /// Retires one tracked completion: the finished job is either a hedge
+    /// duplicate (retire its primary and cancel the primary's execution)
+    /// or a primary (retire it and cancel its hedge, if one is running).
+    /// Retirement happens exactly when the request leaves the map, so a
+    /// hedged pair can never be credited twice.
+    fn retire_completion(&mut self, fid: u64, response: f64, cal: &mut Calendar<ClusterEvent>) {
+        if let Some(primary) = self.hedge_of.remove(&fid) {
+            // The hedge finished first: its primary is still running.
+            let Some(req) = self.requests.remove(&primary) else {
+                return;
+            };
+            self.n_goodput += 1;
+            if let Some(handle) = req.timeout {
+                cal.cancel(handle);
+            }
+            if let Some(handle) = req.hedge_fire {
+                cal.cancel(handle);
+            }
+            if let Some(state) = self.resilience.as_deref_mut() {
+                state.hedge_wins += 1;
+            }
+            self.note_goodput_slo(req.class, response, cal.now());
+            if let Some(s) = req.server {
+                let now = cal.now();
+                let (finished, cancelled) = self.servers[s].cancel_job(JobId::new(primary), now);
+                if cancelled {
+                    if let Some(state) = self.resilience.as_deref_mut() {
+                        state.hedge_cancelled += 1;
                     }
                 }
+                self.record_finished(&finished, cal);
+                self.reschedule_attention(s, now, cal);
             }
+            return;
+        }
+        let Some(mut req) = self.requests.remove(&fid) else {
+            return;
+        };
+        if self.bug_pending
+            && self.seeded_bug == Some(SeededBug::DoubleHedgeCompletion)
+            && req.hedge.is_some()
+        {
+            // Mutation hook: credit goodput but keep the request tracked
+            // (and its hedge mapping live), so the hedge completion retires
+            // the same request a second time. The request ledger must catch
+            // the double credit.
+            self.bug_pending = false;
+            self.n_goodput += 1;
+            req.timeout = None;
+            req.hedge_fire = None;
+            req.server = None;
+            self.requests.insert(fid, req);
+            return;
+        }
+        self.n_goodput += 1;
+        if let Some(handle) = req.timeout {
+            cal.cancel(handle);
+        }
+        if let Some(handle) = req.hedge_fire {
+            cal.cancel(handle);
+        }
+        self.note_goodput_slo(req.class, response, cal.now());
+        if let Some(hedge) = req.hedge.take() {
+            // The primary won: cancel the losing duplicate mid-service —
+            // the tail-at-scale bet paying off through the calendar's
+            // O(log n) cancel.
+            self.hedge_of.remove(&hedge.job);
+            let now = cal.now();
+            let (finished, cancelled) =
+                self.servers[hedge.server].cancel_job(JobId::new(hedge.job), now);
+            if cancelled {
+                if let Some(state) = self.resilience.as_deref_mut() {
+                    state.hedge_cancelled += 1;
+                }
+            }
+            self.record_finished(&finished, cal);
+            self.reschedule_attention(hedge.server, now, cal);
+        }
+    }
+
+    /// Per-class and SLO bookkeeping for one goodput retirement.
+    fn note_goodput_slo(&mut self, class: u8, response: f64, now: Time) {
+        let deadline = self.config.resilience.as_ref().and_then(|r| r.slo_deadline);
+        let met = {
+            let Some(state) = self.resilience.as_deref_mut() else {
+                return;
+            };
+            if let Some(c) = state.per_class.get_mut(class as usize) {
+                c.goodput += 1;
+            }
+            match deadline {
+                Some(d) => {
+                    let met = response <= d;
+                    if met {
+                        state.slo_met += 1;
+                        if let Some(c) = state.per_class.get_mut(class as usize) {
+                            c.slo_met += 1;
+                        }
+                    }
+                    Some(met)
+                }
+                None => None,
+            }
+        };
+        if let (Some(id), Some(met)) = (self.slo_id, met) {
+            self.observe(id, "slo_attainment", f64::from(u8::from(met)), now);
         }
     }
 
@@ -577,9 +795,15 @@ impl ClusterSim {
         self.record_finished(&finished, cal);
     }
 
-    /// Admits a request under fault tracking: samples its size, registers
-    /// it, arms its timeout (if a retry policy is set), and places it.
+    /// Admits a request under tracking: runs it past admission control and
+    /// class shedding, then samples its size, registers it, arms its
+    /// timeout (if a retry policy is set), and places it. A shed arrival
+    /// consumes no service-time draw: the request never exists.
     fn admit(&mut self, home: Option<usize>, now: Time, cal: &mut Calendar<ClusterEvent>) {
+        let class = self.draw_class();
+        if self.resilience.is_some() && !self.admit_gate(class, now) {
+            return;
+        }
         let size = self.config.workload.service().sample(&mut self.rng);
         let job = Job::new(JobId::new(self.job_counter), now, size.max(1e-12));
         self.job_counter += 1;
@@ -594,10 +818,81 @@ impl ClusterSim {
                 server: None,
                 timeout: None,
                 pending_redispatch: false,
+                class,
+                hedge_fire: None,
+                hedge: None,
             },
         );
         self.arm_timeout(key, cal);
         self.try_place(key, now, cal);
+    }
+
+    /// Draws an arrival's priority class against the cumulative weights
+    /// (one RNG draw, only with two or more classes).
+    fn draw_class(&mut self) -> u8 {
+        let Some(state) = self.resilience.as_deref() else {
+            return 0;
+        };
+        if state.class_cdf.is_empty() {
+            return 0;
+        }
+        let u = self.rng.half_open01();
+        let last = state.class_cdf.len() - 1;
+        state.class_cdf.iter().position(|&c| u < c).unwrap_or(last) as u8
+    }
+
+    /// The front door: counts the offered arrival and decides whether to
+    /// admit it. Returns `false` when the arrival is shed — by the bounded
+    /// queue, the token bucket, or the class's depth threshold.
+    fn admit_gate(&mut self, class: u8, now: Time) -> bool {
+        let in_flight = self.requests.len();
+        let (admission, shed_threshold) = match self.config.resilience.as_ref() {
+            Some(r) => (
+                r.admission,
+                r.shedding
+                    .as_ref()
+                    .and_then(|s| s.depth_thresholds.get(class as usize).copied()),
+            ),
+            None => (None, None),
+        };
+        let Some(state) = self.resilience.as_deref_mut() else {
+            return true;
+        };
+        state.offered += 1;
+        if let Some(c) = state.per_class.get_mut(class as usize) {
+            c.offered += 1;
+        }
+        let mut shed = false;
+        match admission {
+            Some(AdmissionPolicy::BoundedQueue { capacity }) if in_flight >= capacity => {
+                shed = true;
+            }
+            Some(AdmissionPolicy::TokenBucket { rate, burst }) => {
+                let t = now.as_seconds();
+                state.tokens = (state.tokens + rate * (t - state.tokens_at).max(0.0)).min(burst);
+                state.tokens_at = t;
+                if state.tokens >= 1.0 {
+                    state.tokens -= 1.0;
+                } else {
+                    shed = true;
+                }
+            }
+            _ => {}
+        }
+        if !shed {
+            if let Some(threshold) = shed_threshold {
+                if in_flight >= threshold {
+                    shed = true;
+                }
+            }
+        }
+        if shed {
+            state.shed += 1;
+            if let Some(c) = state.per_class.get_mut(class as usize) {
+                c.shed += 1;
+            }
+        }
+        !shed
     }
 
     /// Arms the client-side timeout for a request, if retries are
@@ -651,9 +946,84 @@ impl ClusterSim {
                 let finished = self.servers[s].arrive(job, now);
                 self.record_finished(&finished, cal);
                 self.reschedule_attention(s, now, cal);
+                self.arm_hedge(key, cal);
             }
             None => self.stranded.push_back(key),
         }
+    }
+
+    /// Arms the hedge deadline for a freshly placed request, if a hedge
+    /// policy is configured and neither a hedge nor a deadline is already
+    /// live for it.
+    fn arm_hedge(&mut self, key: u64, cal: &mut Calendar<ClusterEvent>) {
+        let Some(policy) = self.config.resilience.as_ref().and_then(|r| r.hedge) else {
+            return;
+        };
+        let Some(req) = self.requests.get_mut(&key) else {
+            return;
+        };
+        if req.server.is_none() || req.hedge.is_some() || req.hedge_fire.is_some() {
+            return;
+        }
+        req.hedge_fire =
+            Some(cal.schedule_in(policy.deadline, ClusterEvent::HedgeFire { job: key }));
+    }
+
+    /// The hedge deadline fired: the request is still unfinished, so
+    /// duplicate it to the least-loaded *other* live server. The duplicate
+    /// keeps the original arrival time, so whichever copy finishes first
+    /// records the true request latency.
+    fn handle_hedge_fire(&mut self, key: u64, now: Time, cal: &mut Calendar<ClusterEvent>) {
+        let (arrival, primary_server) = match self.requests.get_mut(&key) {
+            Some(req) => {
+                req.hedge_fire = None;
+                if req.hedge.is_some() {
+                    return;
+                }
+                match req.server {
+                    Some(s) => (req.job.arrival(), s),
+                    // Unplaced (stranded or awaiting a redispatch): the
+                    // deadline re-arms at the next placement.
+                    None => return,
+                }
+            }
+            None => return, // stale: the request already completed
+        };
+        // Deterministic target pick — least outstanding work, lowest index
+        // on ties; no RNG, so hedging perturbs no other draw.
+        let mut target: Option<usize> = None;
+        for (i, server) in self.servers.iter().enumerate() {
+            if i == primary_server || server.is_failed() {
+                continue;
+            }
+            match target {
+                Some(t) if self.servers[t].outstanding() <= server.outstanding() => {}
+                _ => target = Some(i),
+            }
+        }
+        let Some(s) = target else {
+            return; // nowhere to hedge to right now
+        };
+        let size = self.config.workload.service().sample(&mut self.rng);
+        let hid = self.job_counter;
+        self.job_counter += 1;
+        let job = Job::new(JobId::new(hid), arrival, size.max(1e-12));
+        if let Some(req) = self.requests.get_mut(&key) {
+            req.hedge = Some(HedgeJob {
+                job: hid,
+                server: s,
+            });
+        }
+        self.hedge_of.insert(hid, key);
+        if let Some(state) = self.resilience.as_deref_mut() {
+            state.hedges_launched += 1;
+        }
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.note_queue_depth(self.servers[s].outstanding());
+        }
+        let finished = self.servers[s].arrive(job, now);
+        self.record_finished(&finished, cal);
+        self.reschedule_attention(s, now, cal);
     }
 
     fn handle_failure(&mut self, server: usize, now: Time, cal: &mut Calendar<ClusterEvent>) {
@@ -668,6 +1038,15 @@ impl ClusterSim {
         for job in lost {
             self.n_preempted += 1;
             let key = job.id().raw();
+            if let Some(primary) = self.hedge_of.remove(&key) {
+                // A hedge duplicate died with the server; its primary
+                // fights on alone (a fresh deadline re-arms only after a
+                // retry redispatch).
+                if let Some(req) = self.requests.get_mut(&primary) {
+                    req.hedge = None;
+                }
+                continue;
+            }
             match self.requests.get_mut(&key) {
                 // The request keeps its running timeout across the
                 // preemption; only its placement is reset.
@@ -717,36 +1096,83 @@ impl ClusterSim {
             }
             None => return, // stale: request already completed
         };
+        let abandons = !policy.cancels_on_timeout() && server.is_some();
         if let Some(s) = server {
-            let (finished, cancelled) = self.servers[s].cancel_job(JobId::new(key), now);
-            self.record_finished(&finished, cal);
-            self.reschedule_attention(s, now, cal);
-            if !cancelled {
-                // The job completed in the same instant the timeout fired:
-                // the completion wins, and record_finished above already
-                // retired the request as goodput.
-                return;
+            if abandons {
+                // The client gave up but the server never hears about it:
+                // the attempt keeps its queue slot or core and will
+                // complete as zombie work. Mark it so record_finished
+                // swallows that completion.
+                self.zombies.insert(key, ());
+            } else {
+                let (finished, cancelled) = self.servers[s].cancel_job(JobId::new(key), now);
+                self.record_finished(&finished, cal);
+                self.reschedule_attention(s, now, cal);
+                if !cancelled {
+                    // The job completed in the same instant the timeout
+                    // fired: the completion wins, and record_finished above
+                    // already retired the request as goodput.
+                    return;
+                }
             }
+        }
+        // The attempt is over: the hedge (if any) dies with it.
+        let (hedge, hedge_fire) = match self.requests.get_mut(&key) {
+            Some(req) => (req.hedge.take(), req.hedge_fire.take()),
+            None => return,
+        };
+        if let Some(handle) = hedge_fire {
+            cal.cancel(handle);
+        }
+        if let Some(hedge) = hedge {
+            let (finished, cancelled) =
+                self.servers[hedge.server].cancel_job(JobId::new(hedge.job), now);
+            if cancelled {
+                self.hedge_of.remove(&hedge.job);
+                if let Some(state) = self.resilience.as_deref_mut() {
+                    state.hedge_cancelled += 1;
+                }
+            }
+            // If the hedge completed in this same instant (!cancelled), the
+            // completion wins: record_finished retires the request as a
+            // hedge win via the still-live hedge_of mapping, and the re-get
+            // below comes up empty.
+            self.record_finished(&finished, cal);
+            self.reschedule_attention(hedge.server, now, cal);
         }
         let Some(req) = self.requests.get_mut(&key) else {
             return;
         };
-        if attempt <= policy.max_retries() {
-            self.n_retries += 1;
-            req.attempt += 1;
-            req.server = None;
-            req.pending_redispatch = true;
-            let delay = policy.backoff_delay(attempt, &mut self.rng);
-            cal.schedule_in(delay, ClusterEvent::Redispatch { job: key });
-            if let Some(t) = self.telemetry.as_deref_mut() {
-                t.rec.counter_add("sim.retries", 1);
-            }
-        } else {
+        if attempt > policy.max_retries() {
             self.n_timed_out += 1;
             self.requests.remove(&key);
             if let Some(t) = self.telemetry.as_deref_mut() {
                 t.rec.counter_add("sim.timeouts", 1);
             }
+            return;
+        }
+        self.n_retries += 1;
+        req.attempt += 1;
+        req.server = None;
+        req.pending_redispatch = true;
+        let retry_key = if abandons {
+            // The old id stays with the zombie: the retry reaches the
+            // cluster as a brand-new job under a fresh id, so the request
+            // is re-keyed. Old and new attempts now coexist on the
+            // servers — the work amplification that fuels a retry storm.
+            let mut req = self.requests.remove(&key).expect("fetched above");
+            let fresh = self.job_counter;
+            self.job_counter += 1;
+            req.job = Job::new(JobId::new(fresh), req.job.arrival(), req.job.size());
+            self.requests.insert(fresh, req);
+            fresh
+        } else {
+            key
+        };
+        let delay = policy.backoff_delay(attempt, &mut self.rng);
+        cal.schedule_in(delay, ClusterEvent::Redispatch { job: retry_key });
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.rec.counter_add("sim.retries", 1);
         }
     }
 
@@ -759,6 +1185,17 @@ impl ClusterSim {
                 }
             }
             None => return,
+        }
+        // A retried attempt is a fresh execution, not a replay: its service
+        // demand is a fresh draw (the hedge path at `hedge_fire` does the
+        // same). Replaying the original draw would make any request whose
+        // size exceeds the client timeout unservable on every attempt, and
+        // a heavy-tailed workload has enough of those to poison the run.
+        // The job id and arrival are preserved so the recorded response
+        // time still spans the whole request saga.
+        let size = self.config.workload.service().sample(&mut self.rng);
+        if let Some(req) = self.requests.get_mut(&key) {
+            req.job = Job::new(req.job.id(), req.job.arrival(), size.max(1e-12));
         }
         self.arm_timeout(key, cal);
         self.try_place(key, now, cal);
@@ -829,6 +1266,50 @@ impl ClusterSim {
                 );
             }
         }
+        // Resilience rates are epoch-paced like power/availability: one
+        // observation per epoch from the counter deltas since the last
+        // tick, each metric against its own mark so deltas never couple.
+        let (shed_rate, hedge_win_rate, goodput_fraction) = {
+            let n_goodput = self.n_goodput;
+            let n_timed_out = self.n_timed_out;
+            match self.resilience.as_deref_mut() {
+                Some(state) => {
+                    let offered_d = state.offered - state.offered_mark;
+                    let shed_d = state.shed - state.shed_rate_mark;
+                    state.offered_mark = state.offered;
+                    state.shed_rate_mark = state.shed;
+                    let shed_rate = (offered_d > 0).then(|| shed_d as f64 / offered_d as f64);
+
+                    let launched_d = state.hedges_launched - state.hedge_launch_mark;
+                    let wins_d = state.hedge_wins - state.hedge_win_mark;
+                    state.hedge_launch_mark = state.hedges_launched;
+                    state.hedge_win_mark = state.hedge_wins;
+                    let hedge_win_rate =
+                        (launched_d > 0).then(|| wins_d as f64 / launched_d as f64);
+
+                    let goodput_d = n_goodput - state.goodput_mark;
+                    let timed_out_d = n_timed_out - state.timed_out_mark;
+                    let shed_g_d = state.shed - state.shed_goodput_mark;
+                    state.goodput_mark = n_goodput;
+                    state.timed_out_mark = n_timed_out;
+                    state.shed_goodput_mark = state.shed;
+                    let disposed = goodput_d + timed_out_d + shed_g_d;
+                    let goodput_fraction =
+                        (disposed > 0).then(|| goodput_d as f64 / disposed as f64);
+                    (shed_rate, hedge_win_rate, goodput_fraction)
+                }
+                None => (None, None, None),
+            }
+        };
+        if let (Some(id), Some(x)) = (self.shed_id, shed_rate) {
+            self.observe(id, "shed_rate", x, now);
+        }
+        if let (Some(id), Some(x)) = (self.hedge_win_id, hedge_win_rate) {
+            self.observe(id, "hedge_win_rate", x, now);
+        }
+        if let (Some(id), Some(x)) = (self.goodput_id, goodput_fraction) {
+            self.observe(id, "goodput_fraction", x, now);
+        }
         for s in 0..self.servers.len() {
             self.reschedule_attention(s, now, cal);
         }
@@ -847,17 +1328,17 @@ impl Simulation for ClusterSim {
     ) -> Control {
         match event {
             ClusterEvent::Arrival { server } => {
-                if self.fault_mode {
+                if self.track_mode {
                     self.admit(Some(server), now, cal);
                 } else {
                     self.inject(server, now, cal);
                     self.reschedule_attention(server, now, cal);
                 }
-                let dt = self.config.workload.interarrival().sample(&mut self.rng);
+                let dt = self.next_interarrival(now);
                 cal.schedule_in(dt, ClusterEvent::Arrival { server });
             }
             ClusterEvent::BalancedArrival => {
-                if self.fault_mode {
+                if self.track_mode {
                     self.admit(None, now, cal);
                 } else {
                     // Route straight off server state — no per-arrival
@@ -873,7 +1354,7 @@ impl Simulation for ClusterSim {
                         self.reschedule_attention(server, now, cal);
                     }
                 }
-                let dt = self.config.workload.interarrival().sample(&mut self.rng);
+                let dt = self.next_interarrival(now);
                 cal.schedule_in(dt, ClusterEvent::BalancedArrival);
             }
             ClusterEvent::Attention { server } => {
@@ -908,6 +1389,9 @@ impl Simulation for ClusterSim {
             }
             ClusterEvent::Redispatch { job } => {
                 self.handle_redispatch(job, now, cal);
+            }
+            ClusterEvent::HedgeFire { job } => {
+                self.handle_hedge_fire(job, now, cal);
             }
         }
         if self.bug_pending && self.seeded_bug == Some(SeededBug::Livelock) {
@@ -1257,6 +1741,36 @@ mod tests {
     }
 
     #[test]
+    fn abandoned_attempts_finish_as_zombie_work() {
+        let service_mean = Workload::standard(StandardWorkload::Web).service().mean();
+        // Timeouts fire while attempts hold cores, and the client walks
+        // away instead of cancelling: the abandoned attempts must run to
+        // completion as zombies, so the servers complete strictly more
+        // jobs than the request ledger retires as goodput. The load is
+        // kept low enough that zombie amplification stays subcritical
+        // (0.25 x 2 attempts < 1) — the run must still converge.
+        let retry = RetryPolicy::new(service_mean * 0.5)
+            .with_max_retries(1)
+            .with_cancel_on_timeout(false);
+        let config = quick_config()
+            .with_utilization(0.25)
+            .with_retry(retry)
+            .with_max_events(2_000_000);
+        let (sim, now, _) = run(config, 23);
+        let summary = sim.summary(now);
+        let fs = summary.faults.expect("retry implies fault mode");
+        assert!(fs.timed_out > 50, "timed_out {}", fs.timed_out);
+        // The request ledger still balances exactly — zombies are server
+        // work, not tracked requests.
+        assert_eq!(fs.goodput + fs.timed_out + fs.in_flight_at_end, fs.admitted);
+        assert!(
+            summary.jobs_completed > fs.goodput + fs.timed_out / 2,
+            "zombie completions missing from the server books: {} jobs for {fs:?}",
+            summary.jobs_completed
+        );
+    }
+
+    #[test]
     fn fault_mode_is_deterministic_given_seed() {
         let make = || {
             quick_config()
@@ -1270,6 +1784,155 @@ mod tests {
         let (b, now_b, ev_b) = run(make(), 31);
         assert_eq!(now_a, now_b);
         assert_eq!(ev_a, ev_b);
+        assert_eq!(a.summary(now_a).faults, b.summary(now_b).faults);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_and_ledger_balances() {
+        use crate::resilience::ResilienceConfig;
+        // One quad-core server at 90% load with only 6 requests allowed in
+        // flight: the queue saturates and the front door must shed.
+        let config = quick_config()
+            .with_utilization(0.9)
+            .with_resilience(
+                ResilienceConfig::new()
+                    .with_admission(AdmissionPolicy::BoundedQueue { capacity: 6 }),
+            )
+            .with_max_events(2_000_000);
+        let (sim, now, _) = run(config, 41);
+        let summary = sim.summary(now);
+        assert!(summary.faults.is_none(), "no fault process configured");
+        let rs = summary.resilience.expect("resilience mode on");
+        assert!(rs.offered > 1000, "offered {}", rs.offered);
+        assert!(rs.shed > 0, "a saturated bounded queue must shed");
+        assert_eq!(rs.admitted + rs.shed, rs.offered, "{rs:?}");
+        assert_eq!(rs.goodput + rs.timed_out + rs.in_flight_at_end, rs.admitted);
+        assert_eq!(rs.timed_out, 0, "no retry policy, nothing can time out");
+        // In-flight can never exceed the admission capacity.
+        assert!(rs.in_flight_at_end <= 6, "{rs:?}");
+    }
+
+    #[test]
+    fn hedged_requests_win_and_cancel_losers() {
+        use crate::resilience::ResilienceConfig;
+        let service_mean = Workload::standard(StandardWorkload::Web).service().mean();
+        // Hedge aggressively (deadline well below the mean) on a 4-server
+        // cluster: plenty of duplicates, and with the Web workload's heavy
+        // tail some of them must beat their stragglers.
+        let config = quick_config()
+            .with_servers(4)
+            .with_utilization(0.3)
+            .with_resilience(ResilienceConfig::new().with_hedge(service_mean * 0.5))
+            .with_metric(MetricKind::HedgeWinRate)
+            .with_calibration(200)
+            .with_max_events(4_000_000);
+        let (sim, now, _) = run(config, 42);
+        let summary = sim.summary(now);
+        let rs = summary.resilience.expect("resilience mode on");
+        assert!(rs.hedges_launched > 100, "{rs:?}");
+        assert!(rs.hedge_wins > 0, "some hedges must win: {rs:?}");
+        assert!(rs.hedge_wins <= rs.hedges_launched);
+        // Every resolved hedged pair cancelled its loser mid-service (ties
+        // where the loser completed in the same instant are the exception).
+        assert!(rs.hedge_cancelled > 0, "{rs:?}");
+        assert_eq!(rs.admitted + rs.shed, rs.offered);
+        assert_eq!(rs.goodput + rs.timed_out + rs.in_flight_at_end, rs.admitted);
+    }
+
+    #[test]
+    fn class_shedding_drops_lowest_class_first() {
+        use crate::resilience::ResilienceConfig;
+        // Class 1 is shed at depth 2; class 0 effectively never. Under 90%
+        // load the queue regularly sits at depth >= 2.
+        let config = quick_config()
+            .with_utilization(0.9)
+            .with_resilience(
+                ResilienceConfig::new()
+                    .with_classes(2, vec![1.0, 1.0])
+                    .with_shedding(vec![1_000_000, 2]),
+            )
+            .with_max_events(2_000_000);
+        let (sim, now, _) = run(config, 43);
+        let rs = sim.summary(now).resilience.expect("resilience mode on");
+        assert_eq!(rs.per_class.len(), 2);
+        let [c0, c1] = [rs.per_class[0], rs.per_class[1]];
+        assert!(c0.offered > 100 && c1.offered > 100, "{rs:?}");
+        assert_eq!(c0.shed, 0, "class 0's threshold is unreachable: {rs:?}");
+        assert!(c1.shed > 0, "class 1 must be shed at depth 2: {rs:?}");
+        assert_eq!(c0.offered + c1.offered, rs.offered);
+        assert_eq!(c0.shed + c1.shed, rs.shed);
+        assert_eq!(c0.goodput + c1.goodput, rs.goodput);
+    }
+
+    #[test]
+    fn token_bucket_caps_admission_rate() {
+        use crate::resilience::ResilienceConfig;
+        // The config rescales the interarrival for the target utilization,
+        // so measure the offered rate from the finished config. Refill at
+        // half that rate: about half the arrivals drain the burst and the
+        // rest are shed.
+        let base = quick_config();
+        let rate = 0.5 / base.workload().interarrival().mean();
+        let config = base
+            .with_resilience(
+                ResilienceConfig::new()
+                    .with_admission(AdmissionPolicy::TokenBucket { rate, burst: 5.0 }),
+            )
+            .with_metric(MetricKind::ShedRate)
+            .with_calibration(200)
+            .with_max_events(2_000_000);
+        let (sim, now, _) = run(config, 44);
+        let rs = sim.summary(now).resilience.expect("resilience mode on");
+        assert_eq!(rs.admitted + rs.shed, rs.offered);
+        let shed_fraction = rs.shed as f64 / rs.offered as f64;
+        assert!(
+            (0.3..0.7).contains(&shed_fraction),
+            "token bucket at half rate should shed about half, got {shed_fraction}"
+        );
+    }
+
+    #[test]
+    fn slo_attainment_is_tracked_per_completion() {
+        use crate::resilience::ResilienceConfig;
+        let service_mean = Workload::standard(StandardWorkload::Web).service().mean();
+        let config = quick_config()
+            .with_resilience(ResilienceConfig::new().with_slo_deadline(service_mean * 2.0))
+            .with_metric(MetricKind::SloAttainment)
+            .with_calibration(200)
+            .with_max_events(2_000_000);
+        let (sim, now, _) = run(config, 45);
+        let rs = sim.summary(now).resilience.expect("resilience mode on");
+        assert!(rs.goodput > 100);
+        assert!(rs.slo_met > 0 && rs.slo_met <= rs.goodput, "{rs:?}");
+        let slo = sim.stats().metric_by_name("slo_attainment").unwrap();
+        assert_eq!(slo.total_observed(), rs.goodput);
+    }
+
+    #[test]
+    fn resilience_mode_is_deterministic_given_seed() {
+        use crate::resilience::ResilienceConfig;
+        let service_mean = Workload::standard(StandardWorkload::Web).service().mean();
+        let make = || {
+            quick_config()
+                .with_servers(2)
+                .with_faults(FaultProcess::exponential(15.0, 1.5).unwrap())
+                .with_retry(RetryPolicy::new(service_mean * 20.0))
+                .with_resilience(
+                    ResilienceConfig::new()
+                        .with_admission(AdmissionPolicy::BoundedQueue { capacity: 32 })
+                        .with_classes(2, vec![3.0, 1.0])
+                        .with_shedding(vec![32, 8])
+                        .with_hedge(service_mean * 2.0)
+                        .with_ramp(5.0, 10.0, 2.0)
+                        .with_slo_deadline(service_mean * 4.0),
+                )
+                .with_max_events(2_000_000)
+        };
+        let (a, now_a, ev_a) = run(make(), 46);
+        let (b, now_b, ev_b) = run(make(), 46);
+        assert_eq!(now_a, now_b);
+        assert_eq!(ev_a, ev_b);
+        assert_eq!(a.summary(now_a).resilience, b.summary(now_b).resilience);
         assert_eq!(a.summary(now_a).faults, b.summary(now_b).faults);
     }
 

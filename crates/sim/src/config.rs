@@ -7,6 +7,7 @@ use bighouse_workloads::Workload;
 
 use crate::audit::AuditConfig;
 use crate::error::SimError;
+use crate::resilience::ResilienceConfig;
 
 /// How arrivals reach the cluster's servers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -43,6 +44,23 @@ pub enum MetricKind {
     /// (requires fault injection). Epoch-paced like power; its long-run
     /// mean converges to the analytic `MTBF / (MTBF + MTTR)`.
     Availability,
+    /// Per-epoch fraction of offered arrivals shed by admission control or
+    /// class thresholds (requires a resilience config). Under a bounded
+    /// queue its long-run mean converges to the analytic M/M/k/K blocking
+    /// probability (Erlang-B when K = k).
+    ShedRate,
+    /// Per-epoch fraction of launched hedges that finished before their
+    /// primary (requires a hedge policy).
+    HedgeWinRate,
+    /// Per-epoch goodput / (goodput + timed-out + shed): the fraction of
+    /// disposed offered load that produced a useful completion (requires a
+    /// resilience config). This is the goodput-vs-throughput observable —
+    /// under a retry storm it collapses while raw throughput stays busy.
+    GoodputFraction,
+    /// Per-completion indicator that response time met the SLO deadline
+    /// (requires `resilience.slo_deadline`). Request-paced; its mean is
+    /// SLO attainment.
+    SloAttainment,
 }
 
 impl MetricKind {
@@ -55,6 +73,10 @@ impl MetricKind {
             MetricKind::CappingLevel => "capping_level",
             MetricKind::ServerPower => "server_power",
             MetricKind::Availability => "availability",
+            MetricKind::ShedRate => "shed_rate",
+            MetricKind::HedgeWinRate => "hedge_win_rate",
+            MetricKind::GoodputFraction => "goodput_fraction",
+            MetricKind::SloAttainment => "slo_attainment",
         }
     }
 }
@@ -85,6 +107,7 @@ pub struct ExperimentConfig {
     pub(crate) max_events: u64,
     pub(crate) faults: Option<FaultProcess>,
     pub(crate) retry: Option<RetryPolicy>,
+    pub(crate) resilience: Option<ResilienceConfig>,
     pub(crate) audit: Option<AuditConfig>,
     pub(crate) telemetry: bool,
 }
@@ -112,6 +135,7 @@ impl ExperimentConfig {
             max_events: u64::MAX,
             faults: None,
             retry: None,
+            resilience: None,
             audit: None,
             telemetry: false,
         }
@@ -312,6 +336,24 @@ impl ExperimentConfig {
         self
     }
 
+    /// Enables the overload-resilience subsystem: admission control,
+    /// priority-class load shedding, hedged requests, and/or a
+    /// deterministic overload ramp, per the given config. With the config
+    /// absent the simulation draws the identical RNG sequence and takes
+    /// identical branches, so estimates are bit-identical to runs built
+    /// before this subsystem existed.
+    #[must_use]
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = Some(resilience);
+        self
+    }
+
+    /// The resilience configuration, if overload protection is enabled.
+    #[must_use]
+    pub fn resilience(&self) -> Option<&ResilienceConfig> {
+        self.resilience.as_ref()
+    }
+
     /// Enables the runtime invariant auditor ("paranoid mode"): every
     /// observation is vetted before entering the statistics, conservation
     /// and energy accounting are swept on an event cadence, and the
@@ -393,13 +435,18 @@ impl ExperimentConfig {
                             .with_confidence(self.confidence)
                             .with_warmup(self.warmup)
                             .with_calibration(self.calibration);
-                        // Availability mass sits on {0, 1}: its quantiles
-                        // are degenerate (zero density), so by default only
-                        // the mean carries an accuracy target.
-                        if *kind == MetricKind::Availability {
-                            spec.with_quantiles(&[])
-                        } else {
-                            spec.with_quantiles(&[self.quantile])
+                        // Availability and SLO attainment mass sits on
+                        // {0, 1}, and the resilience rates are bounded
+                        // epoch fractions: their quantiles are degenerate
+                        // (zero density), so by default only the mean
+                        // carries an accuracy target.
+                        match kind {
+                            MetricKind::Availability
+                            | MetricKind::ShedRate
+                            | MetricKind::HedgeWinRate
+                            | MetricKind::GoodputFraction
+                            | MetricKind::SloAttainment => spec.with_quantiles(&[]),
+                            _ => spec.with_quantiles(&[self.quantile]),
                         }
                     }
                 };
@@ -433,8 +480,34 @@ impl ExperimentConfig {
                         "availability metric requires fault injection (with_faults)".into(),
                     ));
                 }
+                MetricKind::ShedRate | MetricKind::GoodputFraction if self.resilience.is_none() => {
+                    return Err(SimError::InvalidConfig(format!(
+                        "{} metric requires a resilience config (with_resilience)",
+                        kind.name()
+                    )));
+                }
+                MetricKind::HedgeWinRate
+                    if self.resilience.as_ref().is_none_or(|r| r.hedge.is_none()) =>
+                {
+                    return Err(SimError::InvalidConfig(
+                        "hedge_win_rate metric requires a hedge policy (resilience.hedge)".into(),
+                    ));
+                }
+                MetricKind::SloAttainment
+                    if self
+                        .resilience
+                        .as_ref()
+                        .is_none_or(|r| r.slo_deadline.is_none()) =>
+                {
+                    return Err(SimError::InvalidConfig(
+                        "slo_attainment metric requires resilience.slo_deadline".into(),
+                    ));
+                }
                 _ => {}
             }
+        }
+        if let Some(resilience) = &self.resilience {
+            resilience.validate(self.servers)?;
         }
         Ok(())
     }
@@ -521,6 +594,69 @@ mod tests {
             .find(|(kind, _)| *kind == MetricKind::Availability)
             .unwrap();
         assert!(spec.quantiles().is_empty());
+    }
+
+    #[test]
+    fn resilience_metrics_require_resilience_config() {
+        use crate::resilience::ResilienceConfig;
+        for kind in [MetricKind::ShedRate, MetricKind::GoodputFraction] {
+            let err = base().with_metric(kind).validate();
+            assert!(matches!(err, Err(SimError::InvalidConfig(_))), "{err:?}");
+            base()
+                .with_metric(kind)
+                .with_resilience(ResilienceConfig::new())
+                .validate()
+                .unwrap();
+        }
+        // Hedge-win rate needs a hedge policy, not just any resilience.
+        let err = base()
+            .with_metric(MetricKind::HedgeWinRate)
+            .with_resilience(ResilienceConfig::new())
+            .validate();
+        assert!(matches!(err, Err(SimError::InvalidConfig(_))), "{err:?}");
+        base()
+            .with_servers(2)
+            .with_metric(MetricKind::HedgeWinRate)
+            .with_resilience(ResilienceConfig::new().with_hedge(0.1))
+            .validate()
+            .unwrap();
+        // SLO attainment needs a deadline.
+        let err = base()
+            .with_metric(MetricKind::SloAttainment)
+            .with_resilience(ResilienceConfig::new())
+            .validate();
+        assert!(matches!(err, Err(SimError::InvalidConfig(_))), "{err:?}");
+    }
+
+    #[test]
+    fn resilience_validation_runs_against_cluster() {
+        use crate::resilience::ResilienceConfig;
+        // Hedging on a single-server cluster has nowhere to hedge to.
+        let err = base()
+            .with_resilience(ResilienceConfig::new().with_hedge(0.1))
+            .validate();
+        assert!(matches!(err, Err(SimError::InvalidConfig(_))), "{err:?}");
+    }
+
+    #[test]
+    fn resilience_rate_specs_are_mean_only() {
+        use crate::resilience::ResilienceConfig;
+        let c = base()
+            .with_servers(2)
+            .with_resilience(
+                ResilienceConfig::new()
+                    .with_hedge(0.1)
+                    .with_slo_deadline(0.5),
+            )
+            .with_metric(MetricKind::ShedRate)
+            .with_metric(MetricKind::HedgeWinRate)
+            .with_metric(MetricKind::GoodputFraction)
+            .with_metric(MetricKind::SloAttainment);
+        for (kind, spec) in c.metric_specs() {
+            if kind != MetricKind::ResponseTime {
+                assert!(spec.quantiles().is_empty(), "{} has quantiles", kind.name());
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   to failure/repair processes; [`ExperimentConfig::with_retry`] adds
 //!   client-side request timeouts with capped-exponential-backoff retries.
 //!   Exact accounting lands in [`FaultSummary`].
+//! - Overload resilience ([`ExperimentConfig::with_resilience`]) composes
+//!   admission control, priority-class load shedding, hedged requests, and
+//!   deterministic overload ramps per cluster — enough to reproduce
+//!   metastable retry storms and show admission control restoring goodput.
+//!   Exact request disposition lands in [`ResilienceSummary`].
 //! - [`run_resumable`] executes the same statistics epoch-structured, so
 //!   the run can checkpoint itself ([`CheckpointConfig`]), survive a kill
 //!   (`--resume` restores bit-identical estimates), and wind down
@@ -65,6 +70,7 @@ mod multitier;
 mod parallel;
 pub mod procslave;
 mod report;
+mod resilience;
 mod runner;
 mod sweep;
 mod telemetry;
@@ -74,7 +80,8 @@ mod trace;
 pub use audit::SeededBug;
 pub use audit::{AuditConfig, AuditReport, AuditViolation, AuditWarning};
 pub use checkpoint::{
-    config_fingerprint, CheckpointConfig, CheckpointStore, FaultTotals, RunState, RunTotals,
+    config_fingerprint, CheckpointConfig, CheckpointStore, FaultTotals, ResilienceTotals, RunState,
+    RunTotals,
 };
 pub use cluster::ClusterSim;
 pub use config::{ArrivalMode, ExperimentConfig, MetricKind};
@@ -85,6 +92,10 @@ pub use parallel::{ParallelOutcome, ParallelRunner};
 pub use procslave::ProcChaos;
 pub use procslave::{slave_main, ExecBackend, ProcLimits, ProcSlaveConfig};
 pub use report::{ClusterSummary, FaultSummary, RuntimeStats, SimulationReport, TerminationReason};
+pub use resilience::{
+    AdmissionPolicy, ClassDisposition, HedgePolicy, OverloadRamp, ResilienceConfig,
+    ResilienceSummary, SheddingPolicy,
+};
 pub use runner::{run_resumable, run_serial, run_until_calibrated, RunOptions};
 #[doc(hidden)]
 pub use sweep::SweepFaultInjection;

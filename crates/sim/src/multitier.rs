@@ -303,6 +303,7 @@ impl TierNetworkSim {
             total_energy_joules: all.iter().map(|s| s.energy_joules()).sum(),
             average_power_watts: 0.0,
             faults: None,
+            resilience: None,
         }
     }
 }

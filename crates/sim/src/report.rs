@@ -6,6 +6,7 @@ use bighouse_stats::MetricEstimate;
 use bighouse_telemetry::TelemetrySnapshot;
 
 use crate::audit::AuditReport;
+use crate::resilience::ResilienceSummary;
 
 /// The report section that is allowed to differ between two runs of the
 /// same seed: wall-clock timing and the telemetry snapshot (whose `wall`
@@ -75,6 +76,10 @@ pub struct ClusterSummary {
     /// Fault/retry bookkeeping (`None` when fault injection is off).
     #[serde(default)]
     pub faults: Option<FaultSummary>,
+    /// Overload-resilience bookkeeping — offered/shed/goodput disposition,
+    /// hedging outcomes, SLO attainment (`None` when resilience is off).
+    #[serde(default)]
+    pub resilience: Option<ResilienceSummary>,
 }
 
 /// Why a simulation run stopped producing observations.
@@ -224,6 +229,7 @@ mod tests {
                 total_energy_joules: 100.0,
                 average_power_watts: 80.0,
                 faults: None,
+                resilience: None,
             },
             audit: None,
         }
@@ -274,6 +280,52 @@ mod tests {
             .replace(",\"faults\":null", "");
         let back: SimulationReport = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back.cluster.faults, None);
+    }
+
+    #[test]
+    fn resilience_summary_round_trips_and_defaults() {
+        use crate::resilience::ClassDisposition;
+        let mut r = report();
+        r.cluster.resilience = Some(ResilienceSummary {
+            offered: 120,
+            admitted: 100,
+            shed: 20,
+            goodput: 96,
+            timed_out: 3,
+            in_flight_at_end: 1,
+            hedges_launched: 10,
+            hedge_wins: 4,
+            hedge_cancelled: 9,
+            slo_met: 90,
+            per_class: vec![
+                ClassDisposition {
+                    offered: 80,
+                    shed: 5,
+                    goodput: 70,
+                    slo_met: 65,
+                },
+                ClassDisposition {
+                    offered: 40,
+                    shed: 15,
+                    goodput: 26,
+                    slo_met: 25,
+                },
+            ],
+        });
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimulationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+        // Reports written before the resilience subsystem existed still
+        // parse.
+        let legacy = serde_json::to_string(&report())
+            .unwrap()
+            .replace(",\"resilience\":null", "");
+        assert!(
+            !legacy.contains("resilience"),
+            "field must be stripped for the test"
+        );
+        let back: SimulationReport = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.cluster.resilience, None);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! mode never perturbs the estimates it vets.
 
 use bighouse_des::{Calendar, Engine};
+use bighouse_dists::Distribution;
 use bighouse_sim::{
     run_serial, AuditConfig, AuditReport, AuditViolation, ClusterSim, ExperimentConfig, SeededBug,
     TerminationReason,
@@ -107,6 +108,56 @@ fn zero_advance_livelock_is_broken_not_hung() {
 }
 
 #[test]
+fn double_hedge_completion_is_caught_by_the_request_ledger() {
+    // The seeded bug retires the first hedged primary completion twice:
+    // once directly (without clearing the hedge pair) and once again when
+    // the live hedge finishes. Only the tracked-request ledger can see the
+    // extra retirement — goodput outruns admissions.
+    use bighouse_sim::ResilienceConfig;
+    let service_mean = Workload::standard(StandardWorkload::Web).service().mean();
+    let config = base_config()
+        .with_servers(4)
+        .with_resilience(
+            // An aggressive deadline so hedge pairs form early and often.
+            ResilienceConfig::new().with_hedge(0.5 * service_mean),
+        )
+        .with_audit(AuditConfig::default());
+    let mut sim = ClusterSim::new(config, 7).unwrap();
+    sim.seed_bug(SeededBug::DoubleHedgeCompletion);
+    let mut cal = Calendar::new();
+    sim.prime(&mut cal);
+    let mut engine = Engine::from_parts(sim, cal);
+    let audit = AuditConfig::default();
+    let mut guard = audit.progress_guard();
+    let run = engine.run_guarded(500_000, &mut guard);
+    assert!(
+        run.stopped_by_guard || run.stopped_by_simulation,
+        "the double completion must stop the run before the event cap \
+         ({} events fired)",
+        run.events_fired
+    );
+    let now = engine.now();
+    let mut sim = engine.into_simulation();
+    if let Some(violation) = guard.violation() {
+        sim.record_progress_violation(violation);
+    }
+    sim.finalize_audit(now);
+    let report = sim.take_audit().expect("auditing was enabled");
+    assert!(
+        !report.passed(),
+        "the double completion must not go unnoticed"
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, AuditViolation::RequestLedger { .. })),
+        "expected a request-ledger imbalance, got: {:?}",
+        report.violations
+    );
+}
+
+#[test]
 fn clean_run_passes_the_same_auditor() {
     // The control: the exact checks that catch the seeded bugs stay quiet
     // on a healthy run, end to end through the serial runner.
@@ -118,6 +169,38 @@ fn clean_run_passes_the_same_auditor() {
     assert!(audit.passed(), "false positives: {:?}", audit.violations);
     assert!(audit.checks_run > 0, "the auditor must actually have swept");
     assert!(audit.observations_checked > 0);
+}
+
+#[test]
+fn zombie_work_passes_the_completion_cross_check() {
+    // Abandon-on-timeout clients leave zombie attempts completing on the
+    // servers after the request ledger has already moved on. The
+    // auditor's independent completion count must still reconcile with
+    // the server books — a missed zombie would surface as a
+    // CompletionMismatch.
+    use bighouse_faults::RetryPolicy;
+    let service_mean = Workload::standard(StandardWorkload::Web).service().mean();
+    // Subcritical zombie load (0.25 x 2 attempts < 1): the run converges
+    // instead of collapsing, but the heavy service tail still drives
+    // plenty of attempts past the timeout.
+    let config = base_config()
+        .with_utilization(0.25)
+        .with_retry(
+            RetryPolicy::new(service_mean * 0.5)
+                .with_max_retries(1)
+                .with_cancel_on_timeout(false),
+        )
+        .with_max_events(1_000_000)
+        .with_audit(AuditConfig::default());
+    let report = run_serial(&config, 7).unwrap();
+    let fs = report.cluster.faults.expect("retry implies fault mode");
+    assert!(
+        fs.timed_out > 20,
+        "the scenario must produce zombies: {fs:?}"
+    );
+    let audit = report.audit.expect("auditing was enabled");
+    assert!(audit.passed(), "false positives: {:?}", audit.violations);
+    assert!(audit.checks_run > 0);
 }
 
 #[test]
