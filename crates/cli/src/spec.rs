@@ -5,8 +5,8 @@ use serde::{Deserialize, Serialize};
 use bighouse::faults::{FaultSpec, RetrySpec};
 use bighouse::models::{DvfsModel, IdlePolicy, LinearPowerModel, PowerCapper};
 use bighouse::sim::{
-    AdmissionPolicy, AuditConfig, ExperimentConfig, HedgePolicy, MetricKind, OverloadRamp,
-    ResilienceConfig, SheddingPolicy,
+    AdmissionPolicy, AuditConfig, ExperimentConfig, FastPathMode, HedgePolicy, MetricKind,
+    OverloadRamp, ResilienceConfig, SheddingPolicy,
 };
 use bighouse::workloads::{StandardWorkload, Workload};
 
@@ -350,6 +350,11 @@ pub struct ExperimentSpec {
     /// hedged requests, overload ramp, SLO tracking.
     #[serde(default)]
     pub resilience: Option<ResilienceSpec>,
+    /// Analytic fast-path mode: `"auto"` (default), `"off"`, or
+    /// `"force"`. Eligible plain G/G/k FCFS configurations run on the
+    /// batched fast engine; estimates are bit-identical either way.
+    #[serde(default)]
+    pub fastpath: Option<FastPathMode>,
 }
 
 impl ExperimentSpec {
@@ -396,6 +401,7 @@ impl ExperimentSpec {
             slaves: None,
             paranoid: None,
             resilience: None,
+            fastpath: None,
         }
     }
 
@@ -535,6 +541,9 @@ impl ExperimentSpec {
         }
         if let Some(resilience) = &self.resilience {
             config = config.with_resilience(resilience.to_config());
+        }
+        if let Some(mode) = self.fastpath {
+            config = config.with_fastpath(mode);
         }
         for name in &self.metrics {
             let kind = match name.as_str() {
@@ -890,6 +899,22 @@ mod tests {
                 .unwrap();
         let config = spec.resolve().unwrap();
         assert_eq!(config.audit(), Some(&AuditConfig::default()));
+    }
+
+    #[test]
+    fn fastpath_mode_decodes_and_defaults_to_auto() {
+        let spec =
+            ExperimentSpec::from_json(r#"{"workload": {"standard": "web"}, "fastpath": "off"}"#)
+                .unwrap();
+        assert_eq!(spec.fastpath, Some(FastPathMode::Off));
+        let config = spec.resolve().unwrap();
+        assert_eq!(config.fastpath(), FastPathMode::Off);
+        let omitted = ExperimentSpec::from_json(r#"{"workload": {"standard": "web"}}"#).unwrap();
+        assert_eq!(omitted.fastpath, None);
+        assert_eq!(omitted.resolve().unwrap().fastpath(), FastPathMode::Auto);
+        let bad =
+            ExperimentSpec::from_json(r#"{"workload": {"standard": "web"}, "fastpath": "fast"}"#);
+        assert!(matches!(bad, Err(SpecError::Format(_))));
     }
 
     #[test]

@@ -99,6 +99,18 @@ impl SimRng {
     pub fn half_open01(&mut self) -> f64 {
         (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+
+    /// Draws the next raw 64-bit output — the same stream position as
+    /// [`RngCore::next_u64`], available without importing the trait.
+    ///
+    /// The simulator's analytic fast path feeds these bits through guided
+    /// inverse-CDF samplers while consuming the stream exactly as the
+    /// unguided samplers would, keeping the two engines draw-for-draw
+    /// identical.
+    #[must_use]
+    pub fn raw_u64(&mut self) -> u64 {
+        self.next()
+    }
 }
 
 impl RngCore for SimRng {

@@ -43,6 +43,7 @@ mod error;
 mod exponential;
 pub mod fit;
 mod gamma;
+mod guide;
 mod hyperexp;
 mod lognormal;
 mod mixture;
@@ -58,6 +59,7 @@ pub use erlang::Erlang;
 pub use error::DistributionError;
 pub use exponential::Exponential;
 pub use gamma::Gamma;
+pub use guide::QuantileGuide;
 pub use hyperexp::HyperExponential;
 pub use lognormal::LogNormal;
 pub use mixture::Mixture;

@@ -3,15 +3,17 @@
 use std::collections::{HashMap, VecDeque};
 
 use bighouse_des::{
-    Calendar, Control, EventHandle, FastMap, ProgressViolation, SimRng, Simulation, Time,
+    Calendar, CalendarStats, Control, EventHandle, FastMap, ProgressViolation, RunStats, SimRng,
+    Simulation, Time,
 };
-use bighouse_dists::Distribution;
-use bighouse_models::{Job, JobId, LoadBalancer, PowerCapper, Server};
+use bighouse_dists::{Distribution, QuantileGuide};
+use bighouse_models::{FinishedJob, Job, JobId, LoadBalancer, PowerCapper, Server};
 use bighouse_stats::{HistogramSpec, MetricId, Phase, StatsCollection};
 
 use crate::audit::{AuditLedger, AuditReport, Auditor, SeededBug};
 use crate::config::{ArrivalMode, ExperimentConfig, MetricKind};
 use crate::error::SimError;
+use crate::fastpath::FastPathMode;
 use crate::report::{ClusterSummary, FaultSummary};
 use crate::resilience::{AdmissionPolicy, ResilienceState, ResilienceSummary};
 use crate::telemetry::ClusterTelemetry;
@@ -617,6 +619,56 @@ impl ClusterSim {
     /// by the runners when the run (or epoch) ends.
     pub(crate) fn take_telemetry(&mut self) -> Option<Box<ClusterTelemetry>> {
         self.telemetry.take()
+    }
+
+    /// The configured engine-selection mode for the analytic fast path.
+    pub(crate) fn fastpath_mode(&self) -> FastPathMode {
+        self.config.fastpath()
+    }
+
+    /// Whether this configuration is a plain G/G/k FCFS segment the
+    /// analytic fast path can run with bit-identical estimates.
+    ///
+    /// Eligible configurations use only the arrival/attention event pair:
+    /// no fault process, no retries, no resilience machinery, no auditing,
+    /// no power capper, and no epoch-paced metrics (power, availability,
+    /// capping level, or any resilience rate) — every feature that makes
+    /// remaining-work tracking or epoch boundaries matter. Idle policies,
+    /// DVFS, power models, and both arrival modes are all allowed: they
+    /// live inside [`Server`]'s own state fold, which the fast path reuses
+    /// verbatim.
+    #[must_use]
+    pub fn fastpath_eligible(&self) -> bool {
+        self.config.faults.is_none()
+            && self.config.retry.is_none()
+            && self.config.resilience.is_none()
+            && self.config.audit.is_none()
+            && self.capper.is_none()
+            && !self.track_mode
+            && self.capping_id.is_none()
+            && self.power_id.is_none()
+            && self.availability_id.is_none()
+            && self.shed_id.is_none()
+            && self.hedge_win_id.is_none()
+            && self.goodput_id.is_none()
+            && self.slo_id.is_none()
+            && self.seeded_bug.is_none()
+    }
+
+    /// Counts a fast-path entry on the telemetry recorder (no-op with
+    /// telemetry off).
+    pub(crate) fn note_fastpath_entry(&mut self) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.note_fastpath_entry();
+        }
+    }
+
+    /// Counts a fast-path bailout on the telemetry recorder (no-op with
+    /// telemetry off).
+    pub(crate) fn note_fastpath_bailout(&mut self) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.note_fastpath_bailout();
+        }
     }
 
     /// Mutation-test hook: arms a deliberately seeded accounting bug. The
@@ -1410,6 +1462,308 @@ impl Simulation for ClusterSim {
     }
 }
 
+/// A vacant slot in the fast engine's virtual calendar. No real key can
+/// collide with it: the high 64 bits of a key are the bit pattern of a
+/// finite timestamp, and all-ones would be NaN.
+const VACANT: u128 = u128::MAX;
+
+/// The analytic fast-path engine for eligible (plain G/G/k FCFS) clusters.
+///
+/// An eligible configuration's calendar only ever holds one arrival event
+/// per stream plus at most one attention event per server — a fixed,
+/// statically known population. The fast engine exploits that: instead of
+/// a binary heap with handle indirection, pending events live in fixed
+/// slots as packed `(time, seq)` keys (the exact key format the real
+/// [`Calendar`] sorts by), and the next event is a linear minimum scan.
+/// Handler dispatch, event payloads, and `EventHandle` bookkeeping all
+/// disappear; service/interarrival draws go through [`QuantileGuide`]
+/// (bit-identical to the unguided sampler, byte-for-byte the same RNG
+/// stream); completions land in one reusable buffer instead of a fresh
+/// `Vec` per event.
+///
+/// **Bit-identity contract**: the engine replays the calendar engine's
+/// exact semantics — the same RNG draws in the same order, the same
+/// scheduling sequence numbers (so time ties break identically), the same
+/// observation order into the same [`StatsCollection`], and the same
+/// convergence-stop boundaries. Estimates are bit-identical, not merely
+/// statistically equivalent. The emulated [`CalendarStats`] match the real
+/// engine's except `sift_steps` (always zero: there is no heap to sift).
+#[derive(Debug)]
+pub(crate) struct FastEngine {
+    sim: ClusterSim,
+    now: Time,
+    /// One slot per arrival stream: each server's stream in per-server
+    /// mode, or the single balanced front-end stream (slot 0).
+    arrival_keys: Vec<u128>,
+    /// One slot per server for its pending attention event.
+    attention_keys: Vec<u128>,
+    /// Mirrors the real calendar's scheduling sequence counter, so packed
+    /// keys — and therefore time-tie ordering — are identical.
+    next_seq: u64,
+    /// Occupied slots (the emulated calendar depth).
+    pending: usize,
+    scheduled: u64,
+    fired: u64,
+    cancelled: u64,
+    depth_high_water: usize,
+    service_guide: QuantileGuide,
+    interarrival_guide: QuantileGuide,
+    /// Reusable completion buffer (the "batch" in batched departures).
+    finished: Vec<FinishedJob>,
+    /// Cached convergence verdict. `StatsCollection` phases only change
+    /// when an observation is recorded, so the flag is refreshed after
+    /// exactly those events — the stop fires at the same event boundary
+    /// the calendar engine's per-event check would find.
+    should_stop: bool,
+}
+
+impl FastEngine {
+    /// Builds the engine and primes the virtual calendar, replicating
+    /// [`ClusterSim::prime`]'s draw order for an eligible configuration.
+    pub(crate) fn new(mut sim: ClusterSim) -> Self {
+        debug_assert!(sim.fastpath_eligible(), "fast engine on ineligible sim");
+        sim.note_fastpath_entry();
+        let n = sim.servers.len();
+        let service_guide = QuantileGuide::new(sim.config.workload.service());
+        let interarrival_guide = QuantileGuide::new(sim.config.workload.interarrival());
+        let streams = match sim.config.arrival_mode {
+            ArrivalMode::PerServer => n,
+            ArrivalMode::LoadBalanced(_) => 1,
+        };
+        let mut engine = FastEngine {
+            sim,
+            now: Time::ZERO,
+            arrival_keys: vec![VACANT; streams],
+            attention_keys: vec![VACANT; n],
+            next_seq: 0,
+            pending: 0,
+            scheduled: 0,
+            fired: 0,
+            cancelled: 0,
+            depth_high_water: 0,
+            service_guide,
+            interarrival_guide,
+            finished: Vec::new(),
+            should_stop: false,
+        };
+        for stream in 0..streams {
+            let dt = engine.next_interarrival();
+            engine.arrival_keys[stream] = engine.pack(engine.now + dt);
+        }
+        // Restored (resumed-epoch) statistics may already be converged;
+        // the calendar engine would stop at the very first event.
+        engine.should_stop =
+            engine.sim.stop_on_convergence && engine.sim.stats.all_converged();
+        engine
+    }
+
+    /// Mirrors [`Engine::run_with_limit`] exactly.
+    pub(crate) fn run_with_limit(&mut self, max_events: u64) -> RunStats {
+        let mut stats = RunStats::default();
+        while stats.events_fired < max_events {
+            if !self.fire_next() {
+                return stats;
+            }
+            stats.events_fired += 1;
+            if self.should_stop {
+                stats.stopped_by_simulation = true;
+                return stats;
+            }
+        }
+        stats.hit_event_limit = true;
+        stats
+    }
+
+    /// Current simulated time (the timestamp of the last fired event).
+    pub(crate) fn now(&self) -> Time {
+        self.now
+    }
+
+    pub(crate) fn simulation(&self) -> &ClusterSim {
+        &self.sim
+    }
+
+    pub(crate) fn simulation_mut(&mut self) -> &mut ClusterSim {
+        &mut self.sim
+    }
+
+    pub(crate) fn into_simulation(self) -> ClusterSim {
+        self.sim
+    }
+
+    /// The emulated calendar counters (zero sift steps: no heap).
+    pub(crate) fn calendar_stats(&self) -> CalendarStats {
+        CalendarStats {
+            scheduled: self.scheduled,
+            fired: self.fired,
+            cancelled: self.cancelled,
+            depth_high_water: self.depth_high_water,
+            sift_steps: 0,
+        }
+    }
+
+    /// Packs `(at, seq)` into the real calendar's sort-key format,
+    /// consuming one sequence number and counting the schedule.
+    fn pack(&mut self, at: Time) -> u128 {
+        assert!(
+            at >= self.now,
+            "cannot schedule event at {at} before current time {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.pending += 1;
+        if self.pending > self.depth_high_water {
+            self.depth_high_water = self.pending;
+        }
+        // `+ 0.0` normalizes -0.0 to +0.0, exactly as the real calendar's
+        // key packing does.
+        (u128::from((at.as_seconds() + 0.0).to_bits()) << 64) | u128::from(seq)
+    }
+
+    /// One workload interarrival draw through the guided sampler — the
+    /// identical value and stream position as `ClusterSim::next_interarrival`
+    /// (no ramp: resilience is fast-path ineligible).
+    fn next_interarrival(&mut self) -> f64 {
+        let bits = self.sim.rng.raw_u64();
+        self.interarrival_guide.sample_from_bits(bits)
+    }
+
+    /// Pops and handles the earliest pending event. Returns `false` when
+    /// the virtual calendar is empty (mirroring a drained real calendar).
+    fn fire_next(&mut self) -> bool {
+        let mut best = VACANT;
+        let mut slot = 0usize;
+        for (i, &k) in self.arrival_keys.iter().enumerate() {
+            if k < best {
+                best = k;
+                slot = i;
+            }
+        }
+        let arrivals = self.arrival_keys.len();
+        for (s, &k) in self.attention_keys.iter().enumerate() {
+            if k < best {
+                best = k;
+                slot = arrivals + s;
+            }
+        }
+        if best == VACANT {
+            return false;
+        }
+        self.now = Time::from_seconds(f64::from_bits((best >> 64) as u64));
+        self.pending -= 1;
+        self.fired += 1;
+        let recorded = if slot < arrivals {
+            self.arrival_keys[slot] = VACANT;
+            self.handle_arrival(slot)
+        } else {
+            let server = slot - arrivals;
+            self.attention_keys[server] = VACANT;
+            self.handle_attention(server)
+        };
+        if recorded && self.sim.stop_on_convergence {
+            self.should_stop = self.sim.stats.all_converged();
+        }
+        true
+    }
+
+    /// Replays `ClusterEvent::Arrival` / `ClusterEvent::BalancedArrival`
+    /// for stream `stream`, in the calendar handler's exact order: inject,
+    /// reschedule attention, draw the next interarrival, schedule it.
+    fn handle_arrival(&mut self, stream: usize) -> bool {
+        let now = self.now;
+        let server = match self.sim.config.arrival_mode {
+            ArrivalMode::PerServer => Some(stream),
+            ArrivalMode::LoadBalanced(_) => {
+                let servers = &self.sim.servers;
+                self.sim
+                    .balancer
+                    .as_mut()
+                    .map(|b| b.pick_by(|i| servers[i].outstanding(), &mut self.sim.rng))
+            }
+        };
+        let mut recorded = false;
+        if let Some(server) = server {
+            recorded = self.inject(server, now);
+            self.reschedule_attention(server, now);
+        }
+        let dt = self.next_interarrival();
+        assert!(
+            dt.is_finite() && dt >= 0.0,
+            "event delay must be finite and non-negative, got {dt}"
+        );
+        self.arrival_keys[stream] = self.pack(now + dt);
+        recorded
+    }
+
+    /// Replays `ClusterEvent::Attention` for `server`: fold the server
+    /// forward, record its completions, re-arm its next event.
+    fn handle_attention(&mut self, server: usize) -> bool {
+        let now = self.now;
+        self.finished.clear();
+        self.sim.servers[server].sync_into(now, &mut self.finished);
+        let recorded = self.record_finished(now);
+        self.reschedule_attention(server, now);
+        recorded
+    }
+
+    /// Replays `ClusterSim::inject`: one guided service draw, the job
+    /// lands on `server`, completions recorded. Returns whether any
+    /// observation was recorded.
+    fn inject(&mut self, server: usize, now: Time) -> bool {
+        let bits = self.sim.rng.raw_u64();
+        let size = self.service_guide.sample_from_bits(bits);
+        let job = Job::new(JobId::new(self.sim.job_counter), now, size.max(1e-12));
+        self.sim.job_counter += 1;
+        if let Some(t) = self.sim.telemetry.as_deref_mut() {
+            t.note_queue_depth(self.sim.servers[server].outstanding());
+        }
+        self.finished.clear();
+        self.sim.servers[server].arrive_into(job, now, &mut self.finished);
+        self.record_finished(now)
+    }
+
+    /// Replays `ClusterSim::record_finished` for the eligible feature set
+    /// (no audit vetting, no zombies, no request tracking), in the same
+    /// observation order.
+    fn record_finished(&mut self, now: Time) -> bool {
+        if self.finished.is_empty() {
+            return false;
+        }
+        if let Some(t) = self.sim.telemetry.as_deref_mut() {
+            t.note_fastpath_batched_departures(self.finished.len() as u64);
+        }
+        for f in &self.finished {
+            self.sim
+                .observe(self.sim.response_id, "response_time", f.response_time(), now);
+            if let Some(id) = self.sim.waiting_id {
+                let wait = f.waiting_time();
+                if wait > 0.0 {
+                    self.sim.observe(id, "waiting_time", wait, now);
+                }
+            }
+        }
+        true
+    }
+
+    /// Replays `ClusterSim::reschedule_attention` against the virtual
+    /// calendar: cancel the stale attention (consuming no sequence number,
+    /// like the real `Calendar::cancel`), then schedule the server's next
+    /// internal event, if any.
+    fn reschedule_attention(&mut self, server: usize, now: Time) {
+        if self.attention_keys[server] != VACANT {
+            self.attention_keys[server] = VACANT;
+            self.pending -= 1;
+            self.cancelled += 1;
+        }
+        if let Some(t) = self.sim.servers[server].next_event() {
+            let at = t.max(now);
+            self.attention_keys[server] = self.pack(at);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1433,6 +1787,164 @@ mod tests {
         let stats = engine.run_with_limit(20_000_000);
         let now = engine.now();
         (engine.into_simulation(), now, stats.events_fired)
+    }
+
+    /// Runs `config` through the calendar engine and the fast engine with
+    /// the same seed and asserts bit-identical outcomes: event counts,
+    /// clocks, job counters, RNG stream position, per-metric sample
+    /// bookkeeping, and every estimate down to the last mantissa bit.
+    fn assert_engines_bit_identical(config: ExperimentConfig, seed: u64) {
+        let (mut cal_sim, cal_now, cal_events) = run(config.clone(), seed);
+        let fast_sim = ClusterSim::new(config, seed).expect("valid config");
+        assert!(fast_sim.fastpath_eligible(), "config must be eligible");
+        let mut fast = FastEngine::new(fast_sim);
+        let fast_stats = fast.run_with_limit(20_000_000);
+        let fast_now = fast.now();
+        let mut fast_sim = fast.into_simulation();
+
+        assert_eq!(cal_events, fast_stats.events_fired, "event count differs");
+        assert_eq!(
+            cal_now.as_seconds().to_bits(),
+            fast_now.as_seconds().to_bits(),
+            "final clock differs"
+        );
+        assert_eq!(cal_sim.job_counter, fast_sim.job_counter);
+        // Both engines must have consumed the RNG stream draw-for-draw:
+        // the next raw output matches only if every position did.
+        assert_eq!(cal_sim.rng.raw_u64(), fast_sim.rng.raw_u64());
+        for (a, b) in cal_sim.stats.iter().zip(fast_sim.stats.iter()) {
+            assert_eq!(a.kept_count(), b.kept_count());
+            assert_eq!(a.lag(), b.lag());
+            assert_eq!(a.total_observed(), b.total_observed());
+            assert_eq!(a.measurement_seen(), b.measurement_seen());
+            assert_eq!(a.is_converged(), b.is_converged());
+            let (ea, eb) = match (a.estimate(), b.estimate()) {
+                (Some(ea), Some(eb)) => (ea, eb),
+                (None, None) => continue,
+                _ => panic!("one engine produced an estimate, the other none"),
+            };
+            assert_eq!(ea.mean.to_bits(), eb.mean.to_bits(), "mean differs");
+            assert_eq!(ea.std_dev.to_bits(), eb.std_dev.to_bits());
+            assert_eq!(ea.mean_half_width.to_bits(), eb.mean_half_width.to_bits());
+            assert_eq!(ea.quantiles.len(), eb.quantiles.len());
+            for (qa, qb) in ea.quantiles.iter().zip(eb.quantiles.iter()) {
+                assert_eq!(
+                    qa.value.to_bits(),
+                    qb.value.to_bits(),
+                    "q{} differs",
+                    qa.q
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_engine_bit_identical_single_server() {
+        assert_engines_bit_identical(quick_config(), 11);
+    }
+
+    #[test]
+    fn fast_engine_bit_identical_per_server_cluster_with_waiting() {
+        assert_engines_bit_identical(
+            quick_config()
+                .with_servers(4)
+                .with_metric(MetricKind::WaitingTime),
+            12,
+        );
+    }
+
+    #[test]
+    fn fast_engine_bit_identical_load_balanced_jsq() {
+        use bighouse_models::BalancerPolicy;
+        let config = ExperimentConfig::new(
+            quick_config()
+                .workload()
+                .with_interarrival_scale(0.25)
+                .unwrap(),
+        )
+        .with_servers(4)
+        .with_arrival_mode(ArrivalMode::LoadBalanced(BalancerPolicy::JoinShortestQueue))
+        .with_target_accuracy(0.2)
+        .with_warmup(50)
+        .with_calibration(500);
+        assert_engines_bit_identical(config, 13);
+    }
+
+    #[test]
+    fn fast_engine_bit_identical_load_balanced_random_policy() {
+        // Random placement draws from the RNG inside the balancer; the fast
+        // path must keep even those draws in the identical stream position.
+        use bighouse_models::BalancerPolicy;
+        let config = ExperimentConfig::new(
+            quick_config()
+                .workload()
+                .with_interarrival_scale(0.25)
+                .unwrap(),
+        )
+        .with_servers(4)
+        .with_arrival_mode(ArrivalMode::LoadBalanced(BalancerPolicy::Random))
+        .with_target_accuracy(0.2)
+        .with_warmup(50)
+        .with_calibration(500);
+        assert_engines_bit_identical(config, 14);
+    }
+
+    #[test]
+    fn fast_engine_emulated_calendar_stats_match() {
+        let config = quick_config().with_servers(2);
+        let mut sim = ClusterSim::new(config.clone(), 15).expect("valid config");
+        let mut cal = Calendar::new();
+        sim.prime(&mut cal);
+        let mut engine = Engine::from_parts(sim, cal);
+        engine.run_with_limit(20_000_000);
+        let real = engine.calendar().stats();
+
+        let fast_sim = ClusterSim::new(config, 15).expect("valid config");
+        let mut fast = FastEngine::new(fast_sim);
+        fast.run_with_limit(20_000_000);
+        let emulated = fast.calendar_stats();
+
+        assert_eq!(real.scheduled, emulated.scheduled);
+        assert_eq!(real.fired, emulated.fired);
+        assert_eq!(real.cancelled, emulated.cancelled);
+        assert_eq!(real.depth_high_water, emulated.depth_high_water);
+        assert_eq!(emulated.sift_steps, 0, "virtual calendar never sifts");
+    }
+
+    #[test]
+    fn fastpath_eligibility_tracks_config_features() {
+        use crate::resilience::ResilienceConfig;
+
+        let eligible = ClusterSim::new(quick_config(), 1).unwrap();
+        assert!(eligible.fastpath_eligible());
+
+        let faulty = ClusterSim::new(
+            quick_config().with_faults(FaultProcess::exponential(50.0, 2.0).unwrap()),
+            1,
+        )
+        .unwrap();
+        assert!(!faulty.fastpath_eligible(), "faults disarm the fast path");
+
+        let retrying =
+            ClusterSim::new(quick_config().with_retry(RetryPolicy::new(1.0)), 1).unwrap();
+        assert!(!retrying.fastpath_eligible(), "retries disarm the fast path");
+
+        let resilient = ClusterSim::new(
+            quick_config().with_resilience(ResilienceConfig::new()),
+            1,
+        )
+        .unwrap();
+        assert!(
+            !resilient.fastpath_eligible(),
+            "resilience disarms the fast path"
+        );
+
+        let mut bugged = ClusterSim::new(quick_config(), 1).unwrap();
+        bugged.seed_bug(SeededBug::DropCompletion);
+        assert!(
+            !bugged.fastpath_eligible(),
+            "seeded bugs disarm the fast path"
+        );
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! The analytic fast path: engine selection for plain G/G/k FCFS segments.
+//!
+//! BigHouse pays per-event calendar cost even when a cluster segment is a
+//! plain G/G/k FCFS station where nothing interesting can happen — no
+//! fault process, no power-cap epochs, no resilience actions. For those
+//! segments the departure process is fully determined by the arrival and
+//! service draws (the queuecomputer observation), so the simulator can
+//! batch-compute departures with a handful of integer operations per event
+//! instead of running the full binary-heap calendar.
+//!
+//! The contract is strict **bit-identity**: the fast engine consumes the
+//! RNG stream draw-for-draw, fires the same logical events in the same
+//! order, records the same observations in the same sequence, and checks
+//! convergence at the same event boundaries as the calendar engine — so
+//! every estimate (mean, quantiles, confidence intervals) comes out
+//! bit-identical, not merely statistically equivalent. Eligibility is
+//! decided once per engine build from the configuration alone (see
+//! `ClusterSim::fastpath_eligible`); any feature that makes remaining-work
+//! tracking matter — faults, retries, resilience, auditing, epoch-paced
+//! metrics — routes the run to the calendar engine instead.
+
+use std::fmt;
+use std::str::FromStr;
+
+use bighouse_des::{Calendar, CalendarStats, Engine, ProgressGuard, RunStats, Time};
+
+use crate::cluster::{ClusterSim, FastEngine};
+use crate::error::SimError;
+
+/// Engine selection for plain G/G/k FCFS segments.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+#[serde(rename_all = "lowercase")]
+pub enum FastPathMode {
+    /// Use the fast path whenever the configuration is eligible (the
+    /// default). Safe because the fast path is estimate-bit-identical.
+    #[default]
+    Auto,
+    /// Always run the full event calendar.
+    Off,
+    /// Request the fast path. Behaves like [`FastPathMode::Auto`] — an
+    /// ineligible configuration still falls back to the calendar — but
+    /// states intent, and the differential CI pipeline runs every scenario
+    /// under `force` and `off` to gate on byte-equal estimates.
+    Force,
+}
+
+impl FastPathMode {
+    /// The mode's lowercase spec/CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FastPathMode::Auto => "auto",
+            FastPathMode::Off => "off",
+            FastPathMode::Force => "force",
+        }
+    }
+}
+
+impl fmt::Display for FastPathMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FastPathMode {
+    type Err = SimError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(FastPathMode::Auto),
+            "off" => Ok(FastPathMode::Off),
+            "force" => Ok(FastPathMode::Force),
+            other => Err(SimError::InvalidConfig(format!(
+                "unknown fastpath mode {other:?} (expected auto, off, or force)"
+            ))),
+        }
+    }
+}
+
+/// A primed engine, ready to run: either the full calendar engine or the
+/// analytic fast path. Built by [`AnyEngine::build`], which applies the
+/// mode/eligibility decision exactly once per engine and notes the outcome
+/// on the telemetry counters (`fastpath.entries` / `fastpath.bailouts`).
+#[derive(Debug)]
+pub(crate) enum AnyEngine {
+    /// The full discrete-event calendar engine.
+    Cal(Engine<ClusterSim>),
+    /// The batched fast-path engine for eligible FCFS segments.
+    Fast(FastEngine),
+}
+
+impl AnyEngine {
+    /// Primes `sim` and wraps it in the engine its configuration selects.
+    pub(crate) fn build(mut sim: ClusterSim) -> AnyEngine {
+        let mode = sim.fastpath_mode();
+        let eligible = sim.fastpath_eligible();
+        if eligible && mode != FastPathMode::Off {
+            AnyEngine::Fast(FastEngine::new(sim))
+        } else {
+            if !eligible {
+                // Note the bailout regardless of mode, so `force` and
+                // `off` emit identical telemetry on ineligible scenarios.
+                sim.note_fastpath_bailout();
+            }
+            let mut cal = Calendar::new();
+            sim.prime(&mut cal);
+            AnyEngine::Cal(Engine::from_parts(sim, cal))
+        }
+    }
+
+    /// Runs until a stop condition or the event budget, whichever first.
+    pub(crate) fn run_with_limit(&mut self, max_events: u64) -> RunStats {
+        match self {
+            AnyEngine::Cal(engine) => engine.run_with_limit(max_events),
+            AnyEngine::Fast(engine) => engine.run_with_limit(max_events),
+        }
+    }
+
+    /// As [`AnyEngine::run_with_limit`], under a progress guard. Guarded
+    /// runs only exist in paranoid (audited) mode, which is ineligible for
+    /// the fast path, so the `Fast` arm is unreachable by construction.
+    pub(crate) fn run_guarded(&mut self, max_events: u64, guard: &mut ProgressGuard) -> RunStats {
+        match self {
+            AnyEngine::Cal(engine) => engine.run_guarded(max_events, guard),
+            AnyEngine::Fast(_) => {
+                unreachable!("guarded runs imply auditing, which is fast-path ineligible")
+            }
+        }
+    }
+
+    /// Current simulated time.
+    pub(crate) fn now(&self) -> Time {
+        match self {
+            AnyEngine::Cal(engine) => engine.now(),
+            AnyEngine::Fast(engine) => engine.now(),
+        }
+    }
+
+    /// The underlying simulation (read access).
+    pub(crate) fn simulation(&self) -> &ClusterSim {
+        match self {
+            AnyEngine::Cal(engine) => engine.simulation(),
+            AnyEngine::Fast(engine) => engine.simulation(),
+        }
+    }
+
+    /// The underlying simulation (mutable access).
+    pub(crate) fn simulation_mut(&mut self) -> &mut ClusterSim {
+        match self {
+            AnyEngine::Cal(engine) => engine.simulation_mut(),
+            AnyEngine::Fast(engine) => engine.simulation_mut(),
+        }
+    }
+
+    /// Calendar health counters: real ones from the calendar engine,
+    /// emulated ones (identical schedule/fire/cancel accounting, zero sift
+    /// steps) from the fast path.
+    pub(crate) fn calendar_stats(&self) -> CalendarStats {
+        match self {
+            AnyEngine::Cal(engine) => engine.calendar().stats(),
+            AnyEngine::Fast(engine) => engine.calendar_stats(),
+        }
+    }
+
+    /// Consumes the engine, yielding the simulation.
+    pub(crate) fn into_simulation(self) -> ClusterSim {
+        match self {
+            AnyEngine::Cal(engine) => engine.into_simulation(),
+            AnyEngine::Fast(engine) => engine.into_simulation(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_round_trips_through_str() {
+        for mode in [FastPathMode::Auto, FastPathMode::Off, FastPathMode::Force] {
+            assert_eq!(mode.name().parse::<FastPathMode>().unwrap(), mode);
+            assert_eq!(mode.to_string(), mode.name());
+        }
+        assert!("fast".parse::<FastPathMode>().is_err());
+    }
+
+    #[test]
+    fn mode_serde_uses_lowercase_names() {
+        for mode in [FastPathMode::Auto, FastPathMode::Off, FastPathMode::Force] {
+            let json = serde_json::to_string(&mode).unwrap();
+            assert_eq!(json, format!("\"{}\"", mode.name()));
+            let back: FastPathMode = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, mode);
+        }
+    }
+
+    #[test]
+    fn default_is_auto() {
+        assert_eq!(FastPathMode::default(), FastPathMode::Auto);
+    }
+}

@@ -35,6 +35,12 @@
 //!   before it can poison an estimator, and livelocks/event storms are
 //!   broken with an honest partial report ([`AuditReport`]) instead of a
 //!   hang. With auditing off the estimates are bit-identical.
+//! - The analytic fast path ([`ExperimentConfig::with_fastpath`])
+//!   recognizes plain G/G/k FCFS configurations — no faults, no capping
+//!   epochs, no resilience — and batch-computes departures without the
+//!   binary-heap calendar, consuming the identical RNG stream so every
+//!   estimate stays bit-identical to the calendar engine. [`FastPathMode`]
+//!   selects `auto` (default), `off`, or `force`.
 //! - [`run_sweep`] orchestrates whole experiment *grids* across a
 //!   work-stealing pool: per-config panic isolation and deadlines,
 //!   bounded retry with quarantine of poison configs, deterministic
@@ -66,6 +72,7 @@ mod checkpoint;
 mod cluster;
 mod config;
 mod error;
+mod fastpath;
 mod multitier;
 mod parallel;
 pub mod procslave;
@@ -86,6 +93,7 @@ pub use checkpoint::{
 pub use cluster::ClusterSim;
 pub use config::{ArrivalMode, ExperimentConfig, MetricKind};
 pub use error::SimError;
+pub use fastpath::FastPathMode;
 pub use multitier::{run_multi_tier, MultiTierConfig, TierConfig};
 pub use parallel::{ParallelOutcome, ParallelRunner};
 #[doc(hidden)]

@@ -39,7 +39,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 
-use bighouse_des::{Calendar, Engine, SeedStream};
+use bighouse_des::SeedStream;
 use bighouse_stats::{
     required_samples_mean, required_samples_quantile, Histogram, HistogramSpec, MetricEstimate,
     MetricSpec, RunningStats, StatsCollection,
@@ -50,6 +50,7 @@ use crate::audit::{AuditConfig, AuditReport};
 use crate::cluster::ClusterSim;
 use crate::config::ExperimentConfig;
 use crate::error::SimError;
+use crate::fastpath::AnyEngine;
 use crate::procslave::{
     full_jitter_backoff, ExecBackend, FinalShard, ProcChaos, SlaveTelemetryShard,
 };
@@ -785,9 +786,7 @@ fn run_slave(
         if let Some(stats) = state.stats.take() {
             sim.restore_stats(stats)?;
         }
-        let mut cal = Calendar::new();
-        sim.prime(&mut cal);
-        let mut engine = Engine::from_parts(sim, cal);
+        let mut engine = AnyEngine::build(sim);
         let budget = epoch_events.min(config.max_events - state.events);
         let mut fired = 0u64;
         let mut drained = false;

@@ -60,7 +60,7 @@ use crossbeam::channel;
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 
-use bighouse_des::{Calendar, Engine, SeedStream};
+use bighouse_des::SeedStream;
 use bighouse_stats::{Histogram, HistogramSpec, MetricSpec, RunningStats};
 use bighouse_telemetry::{MemoryRecorder, Recorder as _};
 
@@ -69,6 +69,7 @@ use crate::checkpoint::fnv1a;
 use crate::cluster::ClusterSim;
 use crate::config::ExperimentConfig;
 use crate::error::SimError;
+use crate::fastpath::AnyEngine;
 use crate::parallel::{
     aggregate_sufficient, checkpoint_moments, epoch_seed, merge_finals, ParallelOutcome,
     ParallelRunner, CHUNK_EVENTS, RESTART_BACKOFF, WATCHDOG_TICK,
@@ -609,9 +610,7 @@ fn slave_session<L: SlaveLink>(link: &mut L, p: SessionParams) -> Result<(), Sim
         if let Some(stats) = state.stats.take() {
             sim.restore_stats(stats)?;
         }
-        let mut cal = Calendar::new();
-        sim.prime(&mut cal);
-        let mut engine = Engine::from_parts(sim, cal);
+        let mut engine = AnyEngine::build(sim);
         let budget = epoch_events.min(config.max_events - state.events);
         let mut fired = 0u64;
         let mut drained = false;

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use bighouse_des::{Calendar, CalendarStats, Engine};
+use bighouse_des::CalendarStats;
 use bighouse_stats::{HistogramSpec, StatsCollection};
 use bighouse_telemetry::{MemoryRecorder, Recorder as _, TelemetrySnapshot};
 
@@ -15,6 +15,7 @@ use crate::checkpoint::{config_fingerprint, CheckpointConfig, CheckpointStore, R
 use crate::cluster::ClusterSim;
 use crate::config::ExperimentConfig;
 use crate::error::SimError;
+use crate::fastpath::AnyEngine;
 use crate::report::{RuntimeStats, SimulationReport, TerminationReason};
 use crate::telemetry::assemble_snapshot;
 
@@ -32,17 +33,15 @@ use crate::telemetry::assemble_snapshot;
 /// See the [crate-level documentation](crate).
 pub fn run_serial(config: &ExperimentConfig, seed: u64) -> Result<SimulationReport, SimError> {
     let start = Instant::now();
-    let mut sim = ClusterSim::new(config.clone(), seed)?;
-    let mut cal = Calendar::new();
-    sim.prime(&mut cal);
-    let mut engine = Engine::from_parts(sim, cal);
+    let sim = ClusterSim::new(config.clone(), seed)?;
+    let mut engine = AnyEngine::build(sim);
     let mut guard = config.audit().map(AuditConfig::progress_guard);
     let run = match guard.as_mut() {
         Some(guard) => engine.run_guarded(config.max_events, guard),
         None => engine.run_with_limit(config.max_events),
     };
     let now = engine.now();
-    let cal_stats = engine.calendar().stats();
+    let cal_stats = engine.calendar_stats();
     let mut sim = engine.into_simulation();
     if let Some(violation) = guard.and_then(|g| g.violation()) {
         sim.record_progress_violation(violation);
@@ -294,9 +293,7 @@ pub fn run_resumable(
         if let Some(stats) = state.stats.take() {
             sim.restore_stats(stats)?;
         }
-        let mut cal = Calendar::new();
-        sim.prime(&mut cal);
-        let mut engine = Engine::from_parts(sim, cal);
+        let mut engine = AnyEngine::build(sim);
         let budget = opts
             .epoch_budget()
             .min(config.max_events - state.events_done);
@@ -310,7 +307,7 @@ pub fn run_resumable(
             });
         }
         let now = engine.now();
-        let epoch_cal = engine.calendar().stats();
+        let epoch_cal = engine.calendar_stats();
         let mut sim = engine.into_simulation();
         if run.stopped_by_guard {
             if let Some(violation) = guard.as_ref().and_then(|g| g.violation()) {
@@ -399,10 +396,8 @@ pub fn run_until_calibrated(
     config: &ExperimentConfig,
     seed: u64,
 ) -> Result<(HashMap<String, HistogramSpec>, u64), SimError> {
-    let mut sim = ClusterSim::new(config.clone(), seed)?;
-    let mut cal = Calendar::new();
-    sim.prime(&mut cal);
-    let mut engine = Engine::from_parts(sim, cal);
+    let sim = ClusterSim::new(config.clone(), seed)?;
+    let mut engine = AnyEngine::build(sim);
     const CHUNK: u64 = 1_000;
     let mut events = 0u64;
     let mut guard = config.audit().map(AuditConfig::progress_guard);

@@ -58,6 +58,14 @@ pub(crate) struct ClusterTelemetry {
     utilization_snapshots: u64,
     /// Mean utilization over the most recent epoch.
     last_epoch_utilization_mean: Option<f64>,
+    /// Engine builds that entered the analytic fast path.
+    fastpath_entries: u64,
+    /// Engine builds that fell back to the calendar on an ineligible
+    /// configuration (counted identically whatever the requested mode, so
+    /// `force` and `off` telemetry stays byte-comparable).
+    fastpath_bailouts: u64,
+    /// Departures the fast path batch-processed (hot: plain field).
+    fastpath_batched_departures: u64,
 }
 
 impl ClusterTelemetry {
@@ -74,6 +82,9 @@ impl ClusterTelemetry {
             server_utilization: FixedBinHistogram::linear(0.0, 1.0, 20),
             utilization_snapshots: 0,
             last_epoch_utilization_mean: None,
+            fastpath_entries: 0,
+            fastpath_bailouts: 0,
+            fastpath_batched_departures: 0,
         }
     }
 
@@ -95,6 +106,25 @@ impl ClusterTelemetry {
     #[inline]
     pub(crate) fn note_sample_rejected(&mut self) {
         self.samples_rejected += 1;
+    }
+
+    /// Counts an engine build that entered the analytic fast path.
+    #[inline]
+    pub(crate) fn note_fastpath_entry(&mut self) {
+        self.fastpath_entries += 1;
+    }
+
+    /// Counts an engine build that bailed out to the calendar because the
+    /// configuration is fast-path ineligible.
+    #[inline]
+    pub(crate) fn note_fastpath_bailout(&mut self) {
+        self.fastpath_bailouts += 1;
+    }
+
+    /// Counts departures the fast path batch-processed.
+    #[inline]
+    pub(crate) fn note_fastpath_batched_departures(&mut self, n: u64) {
+        self.fastpath_batched_departures += n;
     }
 
     /// Records a queue-depth sample at a dispatch decision.
@@ -164,9 +194,18 @@ impl ClusterTelemetry {
             server_utilization,
             utilization_snapshots,
             last_epoch_utilization_mean,
+            fastpath_entries,
+            fastpath_bailouts,
+            fastpath_batched_departures,
             ..
         } = self;
         rec.counter_add("stats.samples_recorded", samples_recorded);
+        // Always emitted, even at zero: the fast-path decision is part of
+        // every run's deterministic record, and a missing key would make
+        // `force` vs `off` snapshots structurally incomparable.
+        rec.counter_add("fastpath.entries", fastpath_entries);
+        rec.counter_add("fastpath.bailouts", fastpath_bailouts);
+        rec.counter_add("fastpath.batched_departures", fastpath_batched_departures);
         if samples_rejected > 0 {
             rec.counter_add("stats.samples_rejected", samples_rejected);
         }

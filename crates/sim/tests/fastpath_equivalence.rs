@@ -1,0 +1,292 @@
+//! Differential fast-path-vs-DES equivalence: the analytic fast path must
+//! be **bit-identical** to the calendar engine, not statistically close.
+//!
+//! Three contracts, all load-bearing for CI:
+//!
+//! 1. For every eligible G/G/k FCFS configuration, `fastpath=force` and
+//!    `fastpath=off` produce bit-identical estimates, event counts, and
+//!    simulated time — the fast engine consumes the same RNG stream in
+//!    the same order, so every per-request departure time matches.
+//! 2. Ineligible configurations (faults armed, hedging on, auditing on)
+//!    never enter the fast path, even under `force`: the telemetry
+//!    counters prove the engine selection, and force-vs-off stays
+//!    trivially bit-identical because both take the calendar.
+//! 3. Fast-path M/M/k estimates agree with the closed forms in
+//!    `bighouse-analytic` — the same oracle the calendar engine is
+//!    validated against.
+//!
+//! Comparisons use `f64::to_bits`, never formatted strings.
+
+use bighouse_analytic::mmk;
+use bighouse_faults::FaultProcess;
+use bighouse_models::BalancerPolicy;
+use bighouse_sim::{
+    run_resumable, run_serial, ArrivalMode, AuditConfig, ExperimentConfig, FastPathMode,
+    MetricKind, ResilienceConfig, RunOptions, SimulationReport,
+};
+use bighouse_workloads::{StandardWorkload, TaskMoments, Workload};
+
+/// A synthesized G/G/k workload with the given service-time shape
+/// (`cv` = σ/mean): 0.3 is nearly deterministic, 1.0 is exponential
+/// (M/M/k), 2.5 is heavy-tailed — spanning the service families the
+/// moment fitter selects (low-CV Erlang, exponential, hyperexponential).
+fn ggk_workload(service_cv: f64) -> Workload {
+    let mean = 0.02;
+    Workload::synthesize(
+        "ggk",
+        TaskMoments::new(0.002, 0.002),
+        TaskMoments::new(mean, service_cv * mean),
+        2012,
+    )
+    .expect("moment pairs are fittable")
+}
+
+fn eligible_config(service_cv: f64, utilization: f64, servers: usize) -> ExperimentConfig {
+    ExperimentConfig::new(ggk_workload(service_cv).at_utilization(utilization, 4))
+        .with_servers(servers)
+        .with_target_accuracy(0.05)
+        .with_warmup(100)
+        .with_calibration(500)
+        .with_max_events(400_000)
+}
+
+fn run_with_mode(config: &ExperimentConfig, mode: FastPathMode, seed: u64) -> SimulationReport {
+    run_serial(&config.clone().with_fastpath(mode), seed).expect("config is valid")
+}
+
+/// Bit-exact comparison of everything derived from per-request departure
+/// times: the estimates (means, CI half-widths, quantiles), the final
+/// simulated clock, the event count, and the job/energy accounting.
+fn assert_reports_bit_identical(a: &SimulationReport, b: &SimulationReport, context: &str) {
+    assert_eq!(a.events_fired, b.events_fired, "{context}: events differ");
+    assert_eq!(
+        a.simulated_seconds.to_bits(),
+        b.simulated_seconds.to_bits(),
+        "{context}: simulated time differs"
+    );
+    assert_eq!(a.converged, b.converged, "{context}: convergence differs");
+    assert_eq!(
+        a.cluster.jobs_completed, b.cluster.jobs_completed,
+        "{context}: completion counts differ"
+    );
+    assert_eq!(
+        a.cluster.total_energy_joules.to_bits(),
+        b.cluster.total_energy_joules.to_bits(),
+        "{context}: energy accounting differs"
+    );
+    assert_eq!(a.estimates.len(), b.estimates.len(), "{context}");
+    for (ea, eb) in a.estimates.iter().zip(&b.estimates) {
+        assert_eq!(ea.name, eb.name, "{context}");
+        assert_eq!(ea.mean.to_bits(), eb.mean.to_bits(), "{context}: {}", ea.name);
+        assert_eq!(
+            ea.std_dev.to_bits(),
+            eb.std_dev.to_bits(),
+            "{context}: {}",
+            ea.name
+        );
+        assert_eq!(
+            ea.mean_half_width.to_bits(),
+            eb.mean_half_width.to_bits(),
+            "{context}: {}",
+            ea.name
+        );
+        assert_eq!(ea.samples_kept, eb.samples_kept, "{context}: {}", ea.name);
+        assert_eq!(ea.lag, eb.lag, "{context}: {}", ea.name);
+        for (qa, qb) in ea.quantiles.iter().zip(&eb.quantiles) {
+            assert_eq!(
+                qa.value.to_bits(),
+                qb.value.to_bits(),
+                "{context}: {} q{}",
+                ea.name,
+                qa.q
+            );
+        }
+    }
+}
+
+#[test]
+fn force_and_off_are_bit_identical_across_ggk_shapes() {
+    // Service shape × cluster size × load, per-server and load-balanced:
+    // every combination must agree engine-vs-engine down to the last bit.
+    let mut case = 0u64;
+    for service_cv in [0.3, 1.0, 2.5] {
+        for (servers, utilization) in [(1usize, 0.5), (4, 0.7), (8, 0.3)] {
+            let configs = [
+                eligible_config(service_cv, utilization, servers),
+                eligible_config(service_cv, utilization, servers).with_arrival_mode(
+                    ArrivalMode::LoadBalanced(BalancerPolicy::JoinShortestQueue),
+                ),
+            ];
+            for config in configs {
+                case += 1;
+                let seed = 9000 + case;
+                let fast = run_with_mode(&config, FastPathMode::Force, seed);
+                let calendar = run_with_mode(&config, FastPathMode::Off, seed);
+                assert_reports_bit_identical(
+                    &fast,
+                    &calendar,
+                    &format!("cv={service_cv} servers={servers} u={utilization} case={case}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn waiting_time_metric_stays_bit_identical() {
+    // The waiting-time observation path has its own conditional record
+    // (only positive waits are observed); it must match exactly too.
+    let config = eligible_config(1.0, 0.7, 2).with_metric(MetricKind::WaitingTime);
+    let fast = run_with_mode(&config, FastPathMode::Force, 77);
+    let calendar = run_with_mode(&config, FastPathMode::Off, 77);
+    assert_reports_bit_identical(&fast, &calendar, "waiting-time");
+}
+
+#[test]
+fn auto_mode_matches_both_explicit_modes() {
+    let config = eligible_config(1.0, 0.6, 4);
+    let auto = run_with_mode(&config, FastPathMode::Auto, 31);
+    let forced = run_with_mode(&config, FastPathMode::Force, 31);
+    let calendar = run_with_mode(&config, FastPathMode::Off, 31);
+    assert_reports_bit_identical(&auto, &forced, "auto-vs-force");
+    assert_reports_bit_identical(&auto, &calendar, "auto-vs-off");
+}
+
+/// Telemetry proof of engine selection: the fast-path counters record
+/// entries on eligible runs and bailouts on ineligible ones.
+fn fastpath_counters(config: &ExperimentConfig, seed: u64) -> (u64, u64, u64) {
+    let report = run_serial(&config.clone().with_telemetry(true), seed).expect("valid config");
+    let snap = report.runtime.telemetry.expect("telemetry on");
+    (
+        snap.counters["fastpath.entries"],
+        snap.counters["fastpath.bailouts"],
+        snap.counters["fastpath.batched_departures"],
+    )
+}
+
+#[test]
+fn eligible_run_enters_fast_path_and_batches_departures() {
+    let config = eligible_config(1.0, 0.6, 2).with_fastpath(FastPathMode::Force);
+    let (entries, bailouts, batched) = fastpath_counters(&config, 5);
+    assert_eq!(entries, 1, "eligible forced run must enter the fast path");
+    assert_eq!(bailouts, 0);
+    assert!(batched > 0, "departures must be batch-recorded");
+}
+
+#[test]
+fn off_mode_never_enters_even_when_eligible() {
+    let config = eligible_config(1.0, 0.6, 2).with_fastpath(FastPathMode::Off);
+    let (entries, bailouts, batched) = fastpath_counters(&config, 5);
+    assert_eq!(entries, 0, "off must pin the calendar engine");
+    assert_eq!(bailouts, 0, "off is a choice, not a bailout");
+    assert_eq!(batched, 0);
+}
+
+#[test]
+fn ineligible_configs_never_enter_fast_path_even_under_force() {
+    let faulty = eligible_config(1.0, 0.6, 2)
+        .with_faults(FaultProcess::exponential(20.0, 2.0).unwrap())
+        .with_metric(MetricKind::Availability)
+        .with_fastpath(FastPathMode::Force);
+    let hedged = eligible_config(1.0, 0.6, 2)
+        .with_resilience(ResilienceConfig::new().with_hedge(0.05))
+        .with_fastpath(FastPathMode::Force);
+    let audited = eligible_config(1.0, 0.6, 2)
+        .with_audit(AuditConfig::default())
+        .with_fastpath(FastPathMode::Force);
+    for (name, config) in [("faults", faulty), ("hedging", hedged), ("audit", audited)] {
+        let (entries, bailouts, batched) = fastpath_counters(&config, 6);
+        assert_eq!(entries, 0, "{name}: must not enter the fast path");
+        assert_eq!(bailouts, 1, "{name}: the bailout must be counted");
+        assert_eq!(batched, 0, "{name}");
+    }
+}
+
+#[test]
+fn fault_arming_falls_back_with_estimates_bit_identical_to_pure_des() {
+    // The acceptance scenario: a configuration that would be eligible
+    // except for an armed fault process must take the calendar under
+    // every mode, and `force` must change nothing about the estimates.
+    let config = eligible_config(1.0, 0.7, 4)
+        .with_faults(FaultProcess::exponential(30.0, 1.0).unwrap())
+        .with_metric(MetricKind::Availability);
+    let forced = run_with_mode(&config, FastPathMode::Force, 91);
+    let pure_des = run_with_mode(&config, FastPathMode::Off, 91);
+    assert_reports_bit_identical(&forced, &pure_des, "fault-fallback");
+}
+
+#[test]
+fn resumable_epochs_stay_bit_identical_across_modes() {
+    // The epoch-structured runner rebuilds an engine per epoch; mode
+    // selection must not disturb the restored-statistics trajectory.
+    let config = eligible_config(1.0, 0.6, 2);
+    let opts = RunOptions {
+        epoch_events: 20_000,
+        ..RunOptions::default()
+    };
+    let fast = run_resumable(&config.clone().with_fastpath(FastPathMode::Force), 17, &opts)
+        .expect("valid config");
+    let calendar = run_resumable(&config.clone().with_fastpath(FastPathMode::Off), 17, &opts)
+        .expect("valid config");
+    assert_reports_bit_identical(&fast, &calendar, "resumable");
+}
+
+#[test]
+fn fast_path_mmk_estimates_agree_with_closed_forms() {
+    // M/M/4: one server with 4 cores is a single FCFS station with 4
+    // parallel service channels. The workload tabulates exponential
+    // draws into an empirical inverse CDF, so the simulated mean carries
+    // sampling error (±2% target accuracy here — looser targets stop the
+    // run too early for an oracle check, since queueing samples are
+    // positively correlated and the CI undercovers on short runs) plus
+    // the tabulation's modeling error; 10% total headroom against the
+    // exact closed form.
+    let mean_service = 0.02;
+    let utilization = 0.7;
+    let cores = 4u32;
+    let workload = ggk_workload(1.0).at_utilization(utilization, cores);
+    let config = ExperimentConfig::new(workload)
+        .with_cores(cores as usize)
+        .with_target_accuracy(0.02)
+        .with_warmup(500)
+        .with_calibration(2_000)
+        .with_max_events(8_000_000)
+        .with_fastpath(FastPathMode::Force);
+    let report = run_serial(&config, 2012).expect("valid config");
+    assert!(report.converged, "the oracle comparison needs a converged run");
+    let est = report.metric("response_time").expect("metric tracked");
+
+    let mu = 1.0 / mean_service;
+    let lambda = utilization * f64::from(cores) * mu;
+    let analytic = mmk::mean_response(lambda, mu, cores);
+    let rel_err = (est.mean - analytic).abs() / analytic;
+    assert!(
+        rel_err < 0.10,
+        "fast-path M/M/{cores} mean {:.6} vs closed form {analytic:.6} (rel err {:.3})",
+        est.mean,
+        rel_err
+    );
+    // And the exact same estimate must come off the calendar engine.
+    let calendar = run_serial(&config.clone().with_fastpath(FastPathMode::Off), 2012).unwrap();
+    assert_reports_bit_identical(&report, &calendar, "mmk-oracle");
+}
+
+#[test]
+fn standard_workloads_are_eligible_and_bit_identical() {
+    // The Table 1 workloads with plain FCFS service are exactly the
+    // segments the fast path exists for.
+    for (i, which) in [StandardWorkload::Web, StandardWorkload::Dns]
+        .into_iter()
+        .enumerate()
+    {
+        let config = ExperimentConfig::new(Workload::standard(which))
+            .with_utilization(0.5)
+            .with_target_accuracy(0.1)
+            .with_warmup(50)
+            .with_calibration(500);
+        let seed = 300 + i as u64;
+        let fast = run_with_mode(&config, FastPathMode::Force, seed);
+        let calendar = run_with_mode(&config, FastPathMode::Off, seed);
+        assert_reports_bit_identical(&fast, &calendar, which.name());
+    }
+}

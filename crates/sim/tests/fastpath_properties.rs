@@ -1,0 +1,116 @@
+//! Property-based fast-path equivalence: for *randomized* G/G/k FCFS
+//! configurations — exponential-ish, near-deterministic, and heavy-tailed
+//! service shapes, varying core counts, server counts, and loads — the
+//! analytic fast path must produce estimates bit-identical to the full
+//! event calendar, and ineligible configurations must never enter it.
+//!
+//! The fixed-matrix companion lives in `fastpath_equivalence.rs`; this
+//! file explores the configuration space proptest-style. Case counts are
+//! kept low because every case is two full (event-capped) runs.
+
+use proptest::prelude::*;
+
+use bighouse_faults::FaultProcess;
+use bighouse_sim::{
+    run_serial, ExperimentConfig, FastPathMode, MetricKind, ResilienceConfig, SimulationReport,
+};
+use bighouse_workloads::{TaskMoments, Workload};
+
+/// A synthesized G/G/k workload: `service_cv` sweeps the moment fitter
+/// across its low-CV (Erlang, near-deterministic), exponential, and
+/// hyperexponential (Pareto-ish heavy-tail) families.
+fn ggk_config(
+    service_cv: f64,
+    utilization: f64,
+    servers: usize,
+    cores: usize,
+) -> ExperimentConfig {
+    let mean = 0.02;
+    let workload = Workload::synthesize(
+        "ggk-prop",
+        TaskMoments::new(0.002, 0.002),
+        TaskMoments::new(mean, service_cv * mean),
+        2012,
+    )
+    .expect("moment pairs are fittable");
+    ExperimentConfig::new(workload.at_utilization(utilization, cores as u32))
+        .with_servers(servers)
+        .with_cores(cores)
+        .with_target_accuracy(0.2)
+        .with_warmup(20)
+        .with_calibration(200)
+        .with_max_events(150_000)
+}
+
+fn run_with_mode(config: &ExperimentConfig, mode: FastPathMode, seed: u64) -> SimulationReport {
+    run_serial(&config.clone().with_fastpath(mode), seed).expect("config is valid")
+}
+
+fn fastpath_counters(config: &ExperimentConfig, seed: u64) -> (u64, u64) {
+    let report = run_serial(&config.clone().with_telemetry(true), seed).expect("valid config");
+    let snap = report.runtime.telemetry.expect("telemetry on");
+    (
+        snap.counters["fastpath.entries"],
+        snap.counters["fastpath.bailouts"],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any seed, load, cluster shape, and service-time family, the
+    /// fast path and the calendar engine agree bit-for-bit: identical
+    /// event counts, identical simulated time (hence identical
+    /// per-request departure times — the clock advances only through
+    /// them), and identical final estimates.
+    #[test]
+    fn fast_and_calendar_estimates_are_bit_identical(
+        seed in any::<u64>(),
+        service_cv in 0.2f64..3.0,
+        utilization in 0.1f64..0.85,
+        servers in 1usize..4,
+        cores in 1usize..6,
+    ) {
+        let config = ggk_config(service_cv, utilization, servers, cores);
+        let fast = run_with_mode(&config, FastPathMode::Force, seed);
+        let calendar = run_with_mode(&config, FastPathMode::Off, seed);
+        prop_assert_eq!(fast.events_fired, calendar.events_fired);
+        prop_assert_eq!(
+            fast.simulated_seconds.to_bits(),
+            calendar.simulated_seconds.to_bits()
+        );
+        prop_assert_eq!(fast.cluster.jobs_completed, calendar.cluster.jobs_completed);
+        prop_assert_eq!(
+            fast.cluster.total_energy_joules.to_bits(),
+            calendar.cluster.total_energy_joules.to_bits()
+        );
+        prop_assert_eq!(fast.estimates, calendar.estimates);
+    }
+
+    /// Ineligible configurations never enter the fast path, no matter the
+    /// seed or load: a run with faults armed or hedging on must bail out
+    /// to the calendar even under `force`, and the differential estimates
+    /// stay trivially identical because both modes take the same engine.
+    #[test]
+    fn ineligible_configs_never_enter_fast_path(
+        seed in any::<u64>(),
+        utilization in 0.2f64..0.8,
+        hedged in any::<bool>(),
+    ) {
+        let base = ggk_config(1.0, utilization, 2, 4);
+        let config = if hedged {
+            base.with_resilience(ResilienceConfig::new().with_hedge(0.05))
+        } else {
+            base.with_faults(FaultProcess::exponential(20.0, 2.0).unwrap())
+                .with_metric(MetricKind::Availability)
+        }
+        .with_fastpath(FastPathMode::Force);
+        let (entries, bailouts) = fastpath_counters(&config, seed);
+        prop_assert_eq!(entries, 0, "ineligible config entered the fast path");
+        prop_assert_eq!(bailouts, 1);
+        let forced = run_with_mode(&config, FastPathMode::Force, seed);
+        let calendar = run_with_mode(&config, FastPathMode::Off, seed);
+        prop_assert_eq!(forced.events_fired, calendar.events_fired);
+        prop_assert_eq!(forced.estimates, calendar.estimates);
+    }
+}

@@ -15,7 +15,7 @@
 
 use bighouse_faults::{FaultProcess, RetryPolicy};
 use bighouse_sim::{
-    run_resumable, run_serial, ArrivalMode, ExperimentConfig, MetricKind, RunOptions,
+    run_resumable, run_serial, ArrivalMode, ExperimentConfig, FastPathMode, MetricKind, RunOptions,
 };
 use bighouse_telemetry::TelemetrySnapshot;
 use bighouse_workloads::{StandardWorkload, Workload};
@@ -194,6 +194,56 @@ fn resumable_telemetry_spans_epochs_and_stays_observational() {
         deterministic(&snap),
         deterministic(&again.runtime.telemetry.expect("telemetry on"))
     );
+}
+
+#[test]
+fn fastpath_counters_are_deterministic_and_sit_outside_the_wall_quarantine() {
+    // The fast-path counters are facts about engine selection and batch
+    // sizes — pure functions of the configuration and seed — so they
+    // belong to the deterministic split, not the wall quarantine.
+    let config = quick_config().with_telemetry(true);
+    let a = run_serial(&config, 85).unwrap();
+    let b = run_serial(&config, 85).unwrap();
+    let snap_a = a.runtime.telemetry.expect("telemetry on");
+    let snap_b = b.runtime.telemetry.expect("telemetry on");
+    for key in ["fastpath.entries", "fastpath.bailouts", "fastpath.batched_departures"] {
+        assert!(snap_a.counters.contains_key(key), "{key} must be a counter");
+        assert!(!snap_a.wall.contains_key(key), "{key} must not be wall-quarantined");
+        assert_eq!(snap_a.counters[key], snap_b.counters[key], "{key}");
+    }
+    // quick_config is an eligible plain FCFS scenario.
+    assert_eq!(snap_a.counters["fastpath.entries"], 1);
+    assert_eq!(snap_a.counters["fastpath.bailouts"], 0);
+    assert!(snap_a.counters["fastpath.batched_departures"] > 0);
+}
+
+#[test]
+fn ineligible_snapshots_are_bit_identical_across_fastpath_modes() {
+    // An ineligible scenario falls back to the calendar under every mode,
+    // so `force` and `off` must produce the same telemetry down to the
+    // bailout counter — the differential CI job relies on this when it
+    // sweeps specs whose scenarios are not fast-path eligible.
+    let config = quick_config()
+        .with_servers(2)
+        .with_telemetry(true)
+        .with_faults(FaultProcess::exponential(20.0, 2.0).unwrap())
+        .with_metric(MetricKind::Availability)
+        .with_calibration(200);
+    let forced = run_serial(&config.clone().with_fastpath(FastPathMode::Force), 86).unwrap();
+    let off = run_serial(&config.clone().with_fastpath(FastPathMode::Off), 86).unwrap();
+    assert_estimates_bit_identical(&forced, &off, "ineligible force-vs-off");
+    let snap_forced = forced.runtime.telemetry.expect("telemetry on");
+    let snap_off = off.runtime.telemetry.expect("telemetry on");
+    assert_eq!(
+        snap_forced.counters["fastpath.entries"], 0,
+        "ineligible scenario must not enter the fast path even under force"
+    );
+    assert_eq!(snap_forced.counters["fastpath.bailouts"], 1);
+    // The bailout is noted regardless of mode, so the two snapshots are
+    // the *same* deterministic object — same calendar work, same stats,
+    // same mode-selection counters — and the comparison needs no carve-out.
+    assert_eq!(snap_off.counters["fastpath.bailouts"], 1);
+    assert_eq!(deterministic(&snap_forced), deterministic(&snap_off));
 }
 
 #[test]
